@@ -1,0 +1,417 @@
+// Benchmarks regenerating every figure and table of the paper's evaluation
+// (run `go test -bench=. -benchmem`), plus ablation benches for the design
+// choices DESIGN.md calls out. The qemu-bench command prints the same
+// content as formatted tables with paper-style sweeps; these benches give
+// the per-operation numbers under the standard Go harness.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fft"
+	"repro/internal/gates"
+	"repro/internal/ising"
+	"repro/internal/linalg"
+	"repro/internal/qft"
+	"repro/internal/revlib"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/statevec"
+)
+
+// --- Figure 1: multiplication ----------------------------------------------
+
+func BenchmarkFig1MultiplySimulation(b *testing.B) {
+	for _, m := range []uint{3, 4, 5} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			l := revlib.NewMultiplierLayout(m)
+			circ := revlib.BuildMultiplier(l)
+			st := superposed(l.NumQubits(), 2*m)
+			work := st.Clone()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work.CopyFrom(st)
+				sim.Wrap(work, sim.DefaultOptions()).Run(circ)
+			}
+		})
+	}
+}
+
+func BenchmarkFig1MultiplyEmulation(b *testing.B) {
+	for _, m := range []uint{3, 4, 5, 7} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			l := revlib.NewMultiplierLayout(m)
+			st := superposed(l.NumQubits(), 2*m)
+			work := st.Clone()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work.CopyFrom(st)
+				core.Wrap(work).Multiply(0, m, 2*m, m)
+			}
+		})
+	}
+}
+
+// --- Figure 2: division ------------------------------------------------------
+
+func BenchmarkFig2DivideSimulation(b *testing.B) {
+	for _, m := range []uint{2, 3, 4} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			l := revlib.NewDividerLayout(m)
+			circ := revlib.BuildDivider(l)
+			st := superposed(l.NumQubits(), m) // dividend register
+			work := st.Clone()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work.CopyFrom(st)
+				sim.Wrap(work, sim.DefaultOptions()).Run(circ)
+			}
+		})
+	}
+}
+
+func BenchmarkFig2DivideEmulation(b *testing.B) {
+	for _, m := range []uint{2, 3, 4, 5} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			l := revlib.NewDividerLayout(m)
+			st := superposed(l.NumQubits(), m)
+			work := st.Clone()
+			layout := core.DivideLayout{M: m, RPos: 0, BPos: 2 * m, QPos: 3 * m}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work.CopyFrom(st)
+				core.Wrap(work).Divide(layout)
+			}
+		})
+	}
+}
+
+// --- Figure 3: distributed QFT simulation vs FFT emulation -----------------
+
+func BenchmarkFig3QFTSimulationCluster(b *testing.B) {
+	for _, p := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			benchCluster(b, p, true, func(c *cluster.Cluster, circ *circuit.Circuit) {
+				c.Run(circ)
+			})
+		})
+	}
+}
+
+func BenchmarkFig3FFTEmulationCluster(b *testing.B) {
+	for _, p := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			benchCluster(b, p, true, func(c *cluster.Cluster, _ *circuit.Circuit) {
+				if err := c.EmulateQFT(); err != nil {
+					b.Fatal(err)
+				}
+			})
+		})
+	}
+}
+
+// --- Figure 4: diagonal-gate communication optimisation --------------------
+
+func BenchmarkFig4OurSimulatorCluster(b *testing.B) {
+	benchCluster(b, 8, true, func(c *cluster.Cluster, circ *circuit.Circuit) { c.Run(circ) })
+}
+
+func BenchmarkFig4QHipsterClassCluster(b *testing.B) {
+	benchCluster(b, 8, false, func(c *cluster.Cluster, circ *circuit.Circuit) { c.Run(circ) })
+}
+
+// --- Figure 5: single-node QFT across back-ends -----------------------------
+
+func BenchmarkFig5QFT(b *testing.B) {
+	const n = 16
+	circ := qft.Circuit(n)
+	init := statevec.NewRandom(n, rng.New(5))
+	run := func(b *testing.B, backend func(*statevec.State) circuit.Runner) {
+		work := init.Clone()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			work.CopyFrom(init)
+			circ.Run(backend(work))
+		}
+	}
+	b.Run("ours", func(b *testing.B) {
+		run(b, func(s *statevec.State) circuit.Runner { return sim.Wrap(s, sim.DefaultOptions()) })
+	})
+	b.Run("qhipster-class", func(b *testing.B) {
+		run(b, func(s *statevec.State) circuit.Runner { return sim.WrapGeneric(s) })
+	})
+	b.Run("liquid-class", func(b *testing.B) {
+		run(b, func(s *statevec.State) circuit.Runner { return sim.WrapSparseMatrix(s) })
+	})
+}
+
+// --- Figure 6: entangling operation across back-ends ------------------------
+
+func BenchmarkFig6Entangler(b *testing.B) {
+	const n = 18
+	circ := qft.Entangler(n)
+	init := statevec.NewRandom(n, rng.New(6))
+	run := func(b *testing.B, backend func(*statevec.State) circuit.Runner) {
+		work := init.Clone()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			work.CopyFrom(init)
+			circ.Run(backend(work))
+		}
+	}
+	b.Run("ours", func(b *testing.B) {
+		run(b, func(s *statevec.State) circuit.Runner { return sim.Wrap(s, sim.DefaultOptions()) })
+	})
+	b.Run("qhipster-class", func(b *testing.B) {
+		run(b, func(s *statevec.State) circuit.Runner { return sim.WrapGeneric(s) })
+	})
+	b.Run("liquid-class", func(b *testing.B) {
+		run(b, func(s *statevec.State) circuit.Runner { return sim.WrapSparseMatrix(s) })
+	})
+}
+
+// --- Table 2: QPE cost components -------------------------------------------
+
+func BenchmarkTable2ApplyU(b *testing.B) {
+	for _, n := range []uint{8, 10} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			circ := ising.TrotterStep(n, ising.DefaultParams())
+			st := statevec.NewRandom(n, rng.New(7))
+			backend := sim.Wrap(st, sim.DefaultOptions())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				backend.Run(circ)
+			}
+		})
+	}
+}
+
+func BenchmarkTable2ConstructDenseU(b *testing.B) {
+	for _, n := range []uint{6, 8} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			circ := ising.TrotterStep(n, ising.DefaultParams())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = sim.DenseUnitary(circ)
+			}
+		})
+	}
+}
+
+func BenchmarkTable2Gemm(b *testing.B) {
+	for _, n := range []uint{6, 8} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			u := sim.DenseUnitary(ising.TrotterStep(n, ising.DefaultParams()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = u.Mul(u)
+			}
+		})
+	}
+}
+
+func BenchmarkTable2Strassen(b *testing.B) {
+	for _, n := range []uint{6, 8} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			u := sim.DenseUnitary(ising.TrotterStep(n, ising.DefaultParams()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = u.Strassen(u)
+			}
+		})
+	}
+}
+
+func BenchmarkTable2Eigendecomposition(b *testing.B) {
+	for _, n := range []uint{6, 8} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			u := sim.DenseUnitary(ising.TrotterStep(n, ising.DefaultParams()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := linalg.Eig(u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Section 3.4: measurement shortcut --------------------------------------
+
+func BenchmarkMeasureExactExpectation(b *testing.B) {
+	st := statevec.NewRandom(18, rng.New(8))
+	obs := func(i uint64) float64 { return float64(i % 7) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = st.ExpectationDiagonal(obs)
+	}
+}
+
+func BenchmarkMeasureSampledExpectation(b *testing.B) {
+	st := statevec.NewRandom(18, rng.New(8))
+	obs := func(i uint64) float64 { return float64(i % 7) }
+	src := rng.New(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = st.EstimateDiagonal(obs, 10000, src)
+	}
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+func BenchmarkAblationKernelSpecialization(b *testing.B) {
+	const n = 16
+	circ := qft.Circuit(n)
+	init := statevec.NewRandom(n, rng.New(10))
+	for _, spec := range []bool{true, false} {
+		b.Run(fmt.Sprintf("specialize=%v", spec), func(b *testing.B) {
+			work := init.Clone()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work.CopyFrom(init)
+				sim.Wrap(work, sim.Options{Specialize: spec}).Run(circ)
+			}
+		})
+	}
+}
+
+func BenchmarkAblationGateFusion(b *testing.B) {
+	const n = 16
+	// Fusion-heavy circuit: runs of single-qubit gates on each target.
+	circ := circuit.New(n)
+	for r := 0; r < 4; r++ {
+		for q := uint(0); q < n; q++ {
+			circ.Append(gates.H(q), gates.T(q), gates.S(q), gates.H(q))
+		}
+	}
+	init := statevec.NewRandom(n, rng.New(11))
+	for _, fuse := range []bool{true, false} {
+		b.Run(fmt.Sprintf("fuse=%v", fuse), func(b *testing.B) {
+			work := init.Clone()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work.CopyFrom(init)
+				sim.Wrap(work, sim.Options{Specialize: true, Fuse: fuse}).Run(circ)
+			}
+		})
+	}
+}
+
+func BenchmarkAblationFFTAlgorithm(b *testing.B) {
+	const n = 18
+	src := rng.New(12)
+	data := make([]complex128, 1<<n)
+	for i := range data {
+		data[i] = src.Complex()
+	}
+	b.Run("radix2", func(b *testing.B) {
+		plan, _ := fft.NewPlan(1 << n)
+		work := make([]complex128, len(data))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(work, data)
+			plan.Forward(work)
+		}
+	})
+	b.Run("fourstep", func(b *testing.B) {
+		work := make([]complex128, len(data))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(work, data)
+			if err := fft.FourStep(work, +1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkAblationQPESquaringVsStrassen(b *testing.B) {
+	u := sim.DenseUnitary(ising.TrotterStep(8, ising.DefaultParams()))
+	psi := make([]complex128, 1<<8)
+	psi[0] = 1
+	for _, mode := range []core.Mode{core.RepeatedSquaring, core.RepeatedSquaringStrassen} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.QPE(u, psi, 4, mode); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationCircuitLowering(b *testing.B) {
+	// The multiplier uses multi-controlled gates natively; lowering to the
+	// 1-2 qubit universal set (the paper's Section 2 setting) trades gate
+	// count for gate simplicity. Both must run, at different cost.
+	const m = 4
+	l := revlib.NewMultiplierLayout(m)
+	native := revlib.BuildMultiplier(l)
+	lowered := native.Lower(2)
+	init := superposed(l.NumQubits(), 2*m)
+	for _, cfg := range []struct {
+		name string
+		c    *circuit.Circuit
+	}{{"native-multicontrol", native}, {"lowered-to-2q", lowered}} {
+		b.Run(fmt.Sprintf("%s/gates=%d", cfg.name, cfg.c.Len()), func(b *testing.B) {
+			work := init.Clone()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work.CopyFrom(init)
+				sim.Wrap(work, sim.DefaultOptions()).Run(cfg.c)
+			}
+		})
+	}
+}
+
+func BenchmarkMathFuncEmulation(b *testing.B) {
+	// Section 3.1 extension: emulated fixed-point sin oracle.
+	const m = 10
+	st := superposed(2*m, m)
+	em := core.Wrap(st)
+	f := func(a uint64) uint64 { return (a*a + 3) & ((1 << m) - 1) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		em.ApplyUnaryFunc(0, m, m, m, f)
+	}
+}
+
+// --- helpers -----------------------------------------------------------------
+
+// superposed returns an n-qubit state with Hadamards on the low h qubits.
+func superposed(n, h uint) *statevec.State {
+	st := statevec.New(n)
+	for q := uint(0); q < h; q++ {
+		st.ApplyGate(gates.H(q))
+	}
+	return st
+}
+
+func benchCluster(b *testing.B, p int, diag bool, run func(*cluster.Cluster, *circuit.Circuit)) {
+	b.Helper()
+	local := uint(12)
+	n := local
+	for q := 1; q < p; q *= 2 {
+		n++
+	}
+	circ := qft.CircuitNoSwap(n)
+	init := statevec.NewRandom(n, rng.New(13))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := cluster.New(n, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.DiagonalOptimization = diag
+		if err := c.LoadState(init); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		run(c, circ)
+	}
+}

@@ -1,0 +1,179 @@
+// Command qemu-bench regenerates the paper's evaluation: every figure and
+// table of Section 4, on the repository's substrates.
+//
+// Usage:
+//
+//	qemu-bench [-experiment all|fig1|fig2|fig3|fig4|fig5|fig6|table2|measure]
+//	           [-quick] [-max-sim-m M] [-max-emu-m M] [-local-qubits L]
+//	           [-max-nodes P] [-max-qubits N] [-max-measured-n N]
+//
+// Each experiment prints an aligned table with the same rows/series the
+// paper reports; absolute times are machine-dependent, the shape (who
+// wins, by what factor, where cross-overs fall) is the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/experiments"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	var (
+		experiment   = flag.String("experiment", "all", "which experiment to run (all, fig1, fig2, fig3, fig4, fig5, fig6, table2, measure, mathfunc)")
+		quick        = flag.Bool("quick", false, "shrink every sweep for a fast smoke run")
+		maxSimM      = flag.Uint("max-sim-m", 0, "override: largest simulated operand width for fig1/fig2")
+		maxEmuM      = flag.Uint("max-emu-m", 0, "override: largest emulated operand width for fig1/fig2")
+		localQubits  = flag.Uint("local-qubits", 0, "override: per-node qubits for fig3/fig4")
+		maxNodes     = flag.Int("max-nodes", 0, "override: largest emulated node count for fig3/fig4")
+		maxQubits    = flag.Uint("max-qubits", 0, "override: largest register for fig5/fig6")
+		maxMeasuredN = flag.Uint("max-measured-n", 0, "override: largest measured size for table2")
+	)
+	flag.Parse()
+
+	fmt.Printf("qemu-bench: %d hardware threads (GOMAXPROCS)\n\n", runtime.GOMAXPROCS(0))
+
+	run := func(name string) bool { return *experiment == "all" || *experiment == name }
+	ran := false
+
+	if run("fig1") {
+		ran = true
+		cfg := experiments.DefaultFig1()
+		if *quick {
+			cfg.MaxSimM, cfg.MaxEmuM = 4, 5
+		}
+		if *maxSimM > 0 {
+			cfg.MaxSimM = *maxSimM
+		}
+		if *maxEmuM > 0 {
+			cfg.MaxEmuM = *maxEmuM
+		}
+		fmt.Println(experiments.FormatArith(
+			"Figure 1: multiplication of two m-bit numbers (n = 3m+1 qubits)",
+			experiments.Fig1(cfg)))
+	}
+	if run("fig2") {
+		ran = true
+		cfg := experiments.DefaultFig2()
+		if *quick {
+			cfg.MaxSimM, cfg.MaxEmuM = 3, 4
+		}
+		if *maxSimM > 0 {
+			cfg.MaxSimM = *maxSimM
+		}
+		if *maxEmuM > 0 {
+			cfg.MaxEmuM = *maxEmuM
+		}
+		fmt.Println(experiments.FormatArith(
+			"Figure 2: division of two m-bit numbers (n = 4m+2 qubits incl. work)",
+			experiments.Fig2(cfg)))
+	}
+	if run("fig3") {
+		ran = true
+		cfg := experiments.DefaultWeakScaling()
+		if *quick {
+			cfg.LocalQubits, cfg.MaxNodes = 12, 8
+		}
+		applyWeak(&cfg, *localQubits, *maxNodes)
+		fmt.Println(experiments.FormatFig3(experiments.Fig3(cfg)))
+		fmt.Println(modelTable())
+	}
+	if run("fig4") {
+		ran = true
+		cfg := experiments.DefaultWeakScaling()
+		if *quick {
+			cfg.LocalQubits, cfg.MaxNodes = 12, 8
+		}
+		applyWeak(&cfg, *localQubits, *maxNodes)
+		fmt.Println(experiments.FormatFig4(experiments.Fig4(cfg)))
+	}
+	if run("fig5") {
+		ran = true
+		cfg := experiments.DefaultFig5()
+		if *quick {
+			cfg.MinQubits, cfg.MaxQubits = 12, 16
+		}
+		if *maxQubits > 0 {
+			cfg.MaxQubits = *maxQubits
+		}
+		fmt.Println(experiments.FormatSingleNode(
+			"Figure 5: single-node QFT across simulator back-ends",
+			experiments.Fig5(cfg)))
+	}
+	if run("fig6") {
+		ran = true
+		cfg := experiments.DefaultFig6()
+		if *quick {
+			cfg.MinQubits, cfg.MaxQubits = 12, 16
+		}
+		if *maxQubits > 0 {
+			cfg.MaxQubits = *maxQubits
+		}
+		fmt.Println(experiments.FormatSingleNode(
+			"Figure 6: single-node entangling operation across back-ends",
+			experiments.Fig6(cfg)))
+	}
+	if run("table2") {
+		ran = true
+		cfg := experiments.DefaultTable2()
+		if *quick {
+			cfg.MaxMeasuredN = 7
+		}
+		if *maxMeasuredN > 0 {
+			cfg.MaxMeasuredN = *maxMeasuredN
+		}
+		fmt.Println(experiments.FormatTable2(experiments.Table2(cfg)))
+	}
+	if run("measure") {
+		ran = true
+		n := uint(20)
+		if *quick {
+			n = 14
+		}
+		fmt.Println(experiments.FormatMeasure(
+			experiments.Measure34(n, []int{100, 10000, 1000000})))
+	}
+	if run("mathfunc") {
+		ran = true
+		maxM := uint(12)
+		if *quick {
+			maxM = 8
+		}
+		fmt.Println(experiments.FormatMathFunc(experiments.MathFunc(4, maxM)))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func applyWeak(cfg *experiments.WeakScalingConfig, local uint, nodes int) {
+	if local > 0 {
+		cfg.LocalQubits = local
+	}
+	if nodes > 0 {
+		cfg.MaxNodes = nodes
+	}
+}
+
+func modelTable() string {
+	m := perfmodel.Stampede()
+	pts := m.WeakScaling(28, 36)
+	var rows [][]string
+	for _, p := range pts {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Qubits),
+			fmt.Sprintf("%d", p.Nodes),
+			fmt.Sprintf("%.2f s", p.TQFT),
+			fmt.Sprintf("%.2f s", p.TFFT),
+			fmt.Sprintf("%.1fx", p.Speedup),
+		})
+	}
+	return "Eq. 5/6 model at paper scale (Stampede-like parameters)\n" +
+		experiments.Table([]string{"qubits", "nodes", "T_QFT (Eq.6)", "T_FFT (Eq.5)", "speedup"}, rows)
+}

@@ -1,0 +1,67 @@
+// Command qemu-model evaluates the paper's analytic performance models
+// (Eqs. 5 and 6) at full paper scale, printing the Figure 3 weak-scaling
+// prediction and the asymptotic QPE cross-over bounds of Section 3.3.
+//
+// Usage:
+//
+//	qemu-model [-min-qubits N] [-max-qubits N] [-eff-fft F] [-bmem B] [-bnet B]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	var (
+		minQ   = flag.Uint("min-qubits", 28, "weak-scaling start (1 node)")
+		maxQ   = flag.Uint("max-qubits", 36, "weak-scaling end")
+		effFFT = flag.Float64("eff-fft", 0, "override FFT efficiency (fraction of peak)")
+		bmem   = flag.Float64("bmem", 0, "override per-node memory bandwidth (bytes/s)")
+		bnet   = flag.Float64("bnet", 0, "override per-node network bandwidth (bytes/s)")
+	)
+	flag.Parse()
+
+	m := perfmodel.Stampede()
+	if *effFFT > 0 {
+		m.EffFFT = *effFFT
+	}
+	if *bmem > 0 {
+		m.BMemNode = *bmem
+	}
+	if *bnet > 0 {
+		m.BNetNode = *bnet
+	}
+
+	fmt.Printf("machine %q: peak %.0f GF/s, FFT eff %.0f%%, Bmem %.0f GB/s, Bnet %.1f GB/s\n\n",
+		m.Name, m.FLOPSPeak/1e9, m.EffFFT*100, m.BMemNode/1e9, m.BNetNode/1e9)
+
+	pts := m.WeakScaling(*minQ, *maxQ)
+	var rows [][]string
+	for _, p := range pts {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Qubits),
+			fmt.Sprintf("%d", p.Nodes),
+			fmt.Sprintf("%.3f s", p.TQFT),
+			fmt.Sprintf("%.3f s", p.TFFT),
+			fmt.Sprintf("%.1fx", p.Speedup),
+		})
+	}
+	fmt.Println("Figure 3 model: distributed QFT simulation (Eq. 6) vs FFT emulation (Eq. 5)")
+	fmt.Println(experiments.Table(
+		[]string{"qubits", "nodes", "T_QFT", "T_FFT", "speedup"}, rows))
+
+	fmt.Println("Section 3.3 asymptotic QPE cross-overs (precision bits b where emulation wins):")
+	var xrows [][]string
+	for n := uint(8); n <= 14; n++ {
+		xrows = append(xrows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f", perfmodel.AsymptoticCrossOverSquaring(n, false)),
+			fmt.Sprintf("%.1f", perfmodel.AsymptoticCrossOverSquaring(n, true)),
+		})
+	}
+	fmt.Println(experiments.Table([]string{"n", "b (zgemm, 2n)", "b (Strassen, 1.8n)"}, xrows))
+}

@@ -1,0 +1,69 @@
+// Grover: unstructured search with an emulated oracle. The oracle — a
+// classical predicate lifted to a phase flip — is exactly the kind of
+// classical function Section 3.1 says an emulator should evaluate directly
+// instead of compiling to a reversible circuit. The diffusion operator runs
+// at gate level, showing the two execution models mixing freely on one
+// state.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro"
+	"repro/internal/gates"
+)
+
+func main() {
+	const n = 10 // search over 2^10 = 1024 items
+	const marked = 0b1011001110
+
+	e := repro.NewEmulator(n)
+	for q := uint(0); q < n; q++ {
+		e.ApplyGate(gates.H(q))
+	}
+
+	iterations := int(math.Round(math.Pi / 4 * math.Sqrt(float64(uint64(1)<<n))))
+	fmt.Printf("searching %d items for %#b with %d Grover iterations\n",
+		1<<n, marked, iterations)
+
+	oracle := func(x uint64) complex128 {
+		if x == marked {
+			return -1
+		}
+		return 1
+	}
+	for i := 0; i < iterations; i++ {
+		// Oracle: emulated phase flip on the marked item.
+		e.ApplyPhaseOracle(oracle)
+		// Diffusion: H^n, phase flip about |0...0>, H^n — gate level except
+		// the inner flip, which is again an emulated diagonal.
+		for q := uint(0); q < n; q++ {
+			e.ApplyGate(gates.H(q))
+		}
+		e.ApplyPhaseOracle(func(x uint64) complex128 {
+			if x == 0 {
+				return -1
+			}
+			return 1
+		})
+		for q := uint(0); q < n; q++ {
+			e.ApplyGate(gates.H(q))
+		}
+	}
+
+	// Exact readout (Section 3.4): no sampling loop needed to see the
+	// success probability.
+	probs := e.Probabilities()
+	fmt.Printf("P(marked) = %.6f\n", probs[marked])
+	best, bp := 0, 0.0
+	for i, p := range probs {
+		if p > bp {
+			best, bp = i, p
+		}
+	}
+	fmt.Printf("most probable outcome: %#b (p = %.6f)\n", best, bp)
+	if best == marked {
+		fmt.Println("found the marked item ✓")
+	}
+}

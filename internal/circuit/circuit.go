@@ -1,0 +1,153 @@
+// Package circuit provides the gate-sequence intermediate representation a
+// simulator executes: an ordered list of gates over a fixed-width qubit
+// register, with builders, inversion (the uncomputation step of reversible
+// logic), statistics, and the Toffoli decomposition into Clifford+T.
+package circuit
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gates"
+)
+
+// Circuit is an ordered gate sequence over NumQubits qubits.
+type Circuit struct {
+	// NumQubits is the register width; every gate must fit inside it.
+	NumQubits uint
+	// Gates is the sequence, applied left to right.
+	Gates []gates.Gate
+}
+
+// New returns an empty circuit over n qubits.
+func New(n uint) *Circuit {
+	return &Circuit{NumQubits: n}
+}
+
+// Append adds gates to the end of the circuit, validating qubit bounds.
+func (c *Circuit) Append(gs ...gates.Gate) *Circuit {
+	for _, g := range gs {
+		if g.MaxQubit() >= c.NumQubits {
+			panic(fmt.Sprintf("circuit: gate %v exceeds register width %d", g, c.NumQubits))
+		}
+		c.Gates = append(c.Gates, g)
+	}
+	return c
+}
+
+// Extend appends every gate of other; other must not be wider than c.
+func (c *Circuit) Extend(other *Circuit) *Circuit {
+	if other.NumQubits > c.NumQubits {
+		panic("circuit: Extend with wider circuit")
+	}
+	return c.Append(other.Gates...)
+}
+
+// Len returns the number of gates.
+func (c *Circuit) Len() int { return len(c.Gates) }
+
+// Dagger returns the inverse circuit: every gate inverted, in reverse
+// order. Running a circuit followed by its dagger is the uncomputation
+// pattern of Bennett [10] that clears temporary work qubits.
+func (c *Circuit) Dagger() *Circuit {
+	inv := New(c.NumQubits)
+	inv.Gates = make([]gates.Gate, 0, len(c.Gates))
+	for i := len(c.Gates) - 1; i >= 0; i-- {
+		inv.Gates = append(inv.Gates, c.Gates[i].Dagger())
+	}
+	return inv
+}
+
+// Controlled returns the circuit with every gate additionally conditioned
+// on the given control qubits. Valid when every gate commutes with the
+// control projection, which holds for any unitary sequence: C-(UV) =
+// (C-U)(C-V).
+func (c *Circuit) Controlled(controls ...uint) *Circuit {
+	cc := New(c.NumQubits)
+	cc.Gates = make([]gates.Gate, 0, len(c.Gates))
+	for _, g := range c.Gates {
+		cc.Gates = append(cc.Gates, g.WithControls(controls...))
+	}
+	return cc
+}
+
+// Stats summarises the cost profile of a circuit — the quantities the
+// paper's analysis (gate count G, Toffoli count, diagonal fraction) uses.
+type Stats struct {
+	Total        int            // all gates
+	ByName       map[string]int // count per gate name
+	Controlled   int            // gates with >= 1 control
+	Toffoli      int            // gates with >= 2 controls
+	Diagonal     int            // gates whose full matrix is diagonal
+	TwoQubitPlus int            // gates touching >= 2 qubits
+}
+
+// Statistics scans the circuit once and reports its cost profile.
+func (c *Circuit) Statistics() Stats {
+	st := Stats{ByName: make(map[string]int)}
+	for _, g := range c.Gates {
+		st.Total++
+		st.ByName[g.Name]++
+		if len(g.Controls) > 0 {
+			st.Controlled++
+			st.TwoQubitPlus++
+		}
+		if len(g.Controls) >= 2 {
+			st.Toffoli++
+		}
+		if g.IsDiagonalOnState() {
+			st.Diagonal++
+		}
+	}
+	return st
+}
+
+// Depth returns the circuit depth under the standard as-soon-as-possible
+// schedule: gates sharing no qubit may run in the same layer.
+func (c *Circuit) Depth() int {
+	level := make(map[uint]int, c.NumQubits)
+	depth := 0
+	for _, g := range c.Gates {
+		l := 0
+		for _, q := range g.Qubits() {
+			if level[q] > l {
+				l = level[q]
+			}
+		}
+		l++
+		for _, q := range g.Qubits() {
+			level[q] = l
+		}
+		if l > depth {
+			depth = l
+		}
+	}
+	return depth
+}
+
+func (c *Circuit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "circuit[%d qubits, %d gates]:", c.NumQubits, len(c.Gates))
+	for i, g := range c.Gates {
+		if i >= 32 {
+			fmt.Fprintf(&b, " ... (+%d more)", len(c.Gates)-i)
+			break
+		}
+		b.WriteByte(' ')
+		b.WriteString(g.String())
+	}
+	return b.String()
+}
+
+// Runner is anything that can execute a gate; both the local state vector
+// and the distributed back-end satisfy it.
+type Runner interface {
+	ApplyGate(g gates.Gate)
+}
+
+// Run applies every gate of c to r in order.
+func (c *Circuit) Run(r Runner) {
+	for _, g := range c.Gates {
+		r.ApplyGate(g)
+	}
+}

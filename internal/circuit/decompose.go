@@ -1,0 +1,137 @@
+package circuit
+
+import (
+	"math"
+
+	"repro/internal/gates"
+)
+
+// DecomposeToffoli expands a Toffoli (CCNOT) on (c0, c1, t) into the
+// standard 15-gate Clifford+T network (Nielsen & Chuang Fig. 4.9). A
+// simulator restricted to one- and two-qubit gates — the setting of the
+// paper's Section 2 — must run this expansion for every Toffoli of a
+// reversible-arithmetic circuit.
+func DecomposeToffoli(c0, c1, t uint) []gates.Gate {
+	tdg := gates.T(0).Dagger().Matrix
+	tDag := func(q uint) gates.Gate { return gates.Gate{Name: "T†", Matrix: tdg, Target: q} }
+	return []gates.Gate{
+		gates.H(t),
+		gates.CNOT(c1, t),
+		tDag(t),
+		gates.CNOT(c0, t),
+		gates.T(t),
+		gates.CNOT(c1, t),
+		tDag(t),
+		gates.CNOT(c0, t),
+		gates.T(c1),
+		gates.T(t),
+		gates.H(t),
+		gates.CNOT(c0, c1),
+		gates.T(c0),
+		tDag(c1),
+		gates.CNOT(c0, c1),
+	}
+}
+
+// Lower rewrites the circuit so that no gate has more than maxControls
+// controls, expanding Toffolis via DecomposeToffoli and multi-controlled
+// gates via the standard V/V† ladder. maxControls must be 1 or 2.
+func (c *Circuit) Lower(maxControls int) *Circuit {
+	if maxControls != 1 && maxControls != 2 {
+		panic("circuit: Lower supports maxControls of 1 or 2")
+	}
+	out := New(c.NumQubits)
+	for _, g := range c.Gates {
+		lowerGate(out, g, maxControls)
+	}
+	return out
+}
+
+func lowerGate(out *Circuit, g gates.Gate, maxControls int) {
+	switch {
+	case len(g.Controls) <= maxControls:
+		out.Append(g)
+	case len(g.Controls) == 2 && g.Matrix == gates.MatX:
+		out.Append(DecomposeToffoli(g.Controls[0], g.Controls[1], g.Target)...)
+	case len(g.Controls) == 2:
+		// C²-U = (C-V on c1)(CNOT c0,c1)(C-V† on c1)(CNOT c0,c1)(C-V on c0)
+		// with V² = U (Barenco et al. construction).
+		v := sqrtMatrix2(g.Matrix)
+		vd := v.Adjoint()
+		c0, c1 := g.Controls[0], g.Controls[1]
+		seq := []gates.Gate{
+			{Name: g.Name + "^1/2", Matrix: v, Target: g.Target, Controls: []uint{c1}},
+			gates.CNOT(c0, c1),
+			{Name: g.Name + "^-1/2", Matrix: vd, Target: g.Target, Controls: []uint{c1}},
+			gates.CNOT(c0, c1),
+			{Name: g.Name + "^1/2", Matrix: v, Target: g.Target, Controls: []uint{c0}},
+		}
+		for _, sg := range seq {
+			lowerGate(out, sg, maxControls)
+		}
+	default:
+		// More than two controls: peel one control off with the same
+		// V/V† recursion, recursing on a (k-1)-controlled gate.
+		v := sqrtMatrix2(g.Matrix)
+		vd := v.Adjoint()
+		k := len(g.Controls)
+		last := g.Controls[k-1]
+		rest := append([]uint(nil), g.Controls[:k-1]...)
+		seq := []gates.Gate{
+			{Name: g.Name + "^1/2", Matrix: v, Target: g.Target, Controls: []uint{last}},
+			{Name: "X", Matrix: gates.MatX, Target: last, Controls: rest},
+			{Name: g.Name + "^-1/2", Matrix: vd, Target: g.Target, Controls: []uint{last}},
+			{Name: "X", Matrix: gates.MatX, Target: last, Controls: rest},
+			{Name: g.Name + "^1/2", Matrix: v, Target: g.Target, Controls: rest},
+		}
+		for _, sg := range seq {
+			lowerGate(out, sg, maxControls)
+		}
+	}
+}
+
+// sqrtMatrix2 returns a matrix V with V·V = m, for unitary m, via the
+// eigendecomposition of a 2x2 unitary: principal square roots of the
+// eigenvalues recombined with the eigenvectors.
+func sqrtMatrix2(m gates.Matrix2) gates.Matrix2 {
+	// Special-case the most common input: X.
+	if m == gates.MatX {
+		// sqrt(X) = 1/2 [[1+i, 1-i], [1-i, 1+i]]
+		return gates.Matrix2{
+			complex(0.5, 0.5), complex(0.5, -0.5),
+			complex(0.5, -0.5), complex(0.5, 0.5),
+		}
+	}
+	if m.Classify() == gates.Diagonal || m.Classify() == gates.Identity {
+		return gates.Matrix2{sqrtC(m[0]), 0, 0, sqrtC(m[3])}
+	}
+	// General 2x2: eigenvalues from the characteristic polynomial.
+	tr := m[0] + m[3]
+	det := m[0]*m[3] - m[1]*m[2]
+	disc := sqrtC(tr*tr - 4*det)
+	l1 := (tr + disc) / 2
+	l2 := (tr - disc) / 2
+	// Eigenvectors: (m - l2 I) projects onto the l1 eigenspace and vice
+	// versa (Cayley-Hamilton), giving V = s1 P1 + s2 P2 with si = sqrt(li).
+	s1, s2 := sqrtC(l1), sqrtC(l2)
+	if l1 == l2 {
+		return gates.Matrix2{s1, 0, 0, s1}
+	}
+	inv := 1 / (l1 - l2)
+	p1 := gates.Matrix2{(m[0] - l2) * inv, m[1] * inv, m[2] * inv, (m[3] - l2) * inv}
+	p2 := gates.Matrix2{(l1 - m[0]) * inv, -m[1] * inv, -m[2] * inv, (l1 - m[3]) * inv}
+	return gates.Matrix2{
+		s1*p1[0] + s2*p2[0], s1*p1[1] + s2*p2[1],
+		s1*p1[2] + s2*p2[2], s1*p1[3] + s2*p2[3],
+	}
+}
+
+func sqrtC(z complex128) complex128 {
+	r := math.Hypot(real(z), imag(z))
+	if r == 0 {
+		return 0
+	}
+	theta := math.Atan2(imag(z), real(z)) / 2
+	sr := math.Sqrt(r)
+	return complex(sr*math.Cos(theta), sr*math.Sin(theta))
+}

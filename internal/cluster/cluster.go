@@ -1,0 +1,167 @@
+// Package cluster emulates a distributed-memory machine running a sharded
+// state-vector simulation — the substitute for the paper's 6400-node TACC
+// Stampede system. Each emulated node owns a contiguous shard of 2^L
+// amplitudes (the low L qubits are node-local; the high log2(P) qubits
+// select the node), executes its local work on its own goroutine, and
+// communicates through an accounted in-process network.
+//
+// The accounting (bytes on the wire, message count, exchange count) is the
+// quantity the paper's Eqs. 5-6 are written in terms of; the repository
+// reports both measured wall time of the emulated cluster and modeled time
+// at Stampede scale via package perfmodel.
+package cluster
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/statevec"
+)
+
+// Stats accumulates communication and work counters across a run.
+type Stats struct {
+	// BytesSent is the total payload crossing the (emulated) network.
+	BytesSent atomic.Uint64
+	// Messages counts point-to-point transfers.
+	Messages atomic.Uint64
+	// Exchanges counts full pairwise shard exchanges (the unit Eq. 6's
+	// log2(P) communication term is written in).
+	Exchanges atomic.Uint64
+	// AllToAlls counts collective transposition steps (Eq. 5's "3").
+	AllToAlls atomic.Uint64
+	// Gates counts gates applied.
+	Gates atomic.Uint64
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		BytesSent: s.BytesSent.Load(),
+		Messages:  s.Messages.Load(),
+		Exchanges: s.Exchanges.Load(),
+		AllToAlls: s.AllToAlls.Load(),
+		Gates:     s.Gates.Load(),
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	BytesSent uint64
+	Messages  uint64
+	Exchanges uint64
+	AllToAlls uint64
+	Gates     uint64
+}
+
+// Cluster is a P-node emulated machine holding an n-qubit state.
+type Cluster struct {
+	// P is the node count (power of two).
+	P int
+	// L is the per-node (local) qubit count.
+	L uint
+	// NodeBits is log2(P).
+	NodeBits uint
+	// DiagonalOptimization enables the paper's communication-avoiding
+	// treatment of diagonal gates (our simulator). The qHiPSTER-class
+	// configuration turns it off and pays an exchange for every gate on a
+	// non-local qubit.
+	DiagonalOptimization bool
+
+	shards [][]complex128
+	// Stats tracks communication; reset with ResetStats.
+	Stats Stats
+}
+
+// New returns a cluster of p nodes holding the n-qubit basis state |0...0>.
+// p must be a power of two with log2(p) <= n.
+func New(n uint, p int) (*Cluster, error) {
+	if p <= 0 || p&(p-1) != 0 {
+		return nil, fmt.Errorf("cluster: node count %d is not a power of two", p)
+	}
+	nodeBits := uint(bits.TrailingZeros(uint(p)))
+	if nodeBits > n {
+		return nil, fmt.Errorf("cluster: %d nodes need at least %d qubits, have %d", p, nodeBits, n)
+	}
+	c := &Cluster{
+		P:                    p,
+		L:                    n - nodeBits,
+		NodeBits:             nodeBits,
+		DiagonalOptimization: true,
+	}
+	c.shards = make([][]complex128, p)
+	local := uint64(1) << c.L
+	for i := range c.shards {
+		c.shards[i] = make([]complex128, local)
+	}
+	c.shards[0][0] = 1
+	return c, nil
+}
+
+// NumQubits returns the total register width.
+func (c *Cluster) NumQubits() uint { return c.L + c.NodeBits }
+
+// LocalSize returns the per-node amplitude count 2^L.
+func (c *Cluster) LocalSize() uint64 { return uint64(1) << c.L }
+
+// ResetStats zeroes the communication counters.
+func (c *Cluster) ResetStats() {
+	c.Stats.BytesSent.Store(0)
+	c.Stats.Messages.Store(0)
+	c.Stats.Exchanges.Store(0)
+	c.Stats.AllToAlls.Store(0)
+	c.Stats.Gates.Store(0)
+}
+
+// LoadState scatters a full state vector across the shards.
+func (c *Cluster) LoadState(st *statevec.State) error {
+	if st.NumQubits() != c.NumQubits() {
+		return fmt.Errorf("cluster: state has %d qubits, cluster %d", st.NumQubits(), c.NumQubits())
+	}
+	amps := st.Amplitudes()
+	local := c.LocalSize()
+	for p := 0; p < c.P; p++ {
+		copy(c.shards[p], amps[uint64(p)*local:(uint64(p)+1)*local])
+	}
+	return nil
+}
+
+// Gather assembles the distributed state into a single state vector
+// (testing and small-scale verification only).
+func (c *Cluster) Gather() *statevec.State {
+	st := statevec.NewZero(c.NumQubits())
+	amps := st.Amplitudes()
+	local := c.LocalSize()
+	for p := 0; p < c.P; p++ {
+		copy(amps[uint64(p)*local:(uint64(p)+1)*local], c.shards[p])
+	}
+	return st
+}
+
+// eachNode runs fn(nodeID) on one goroutine per node and waits — the BSP
+// superstep primitive every collective below is built from.
+func (c *Cluster) eachNode(fn func(p int)) {
+	var wg sync.WaitGroup
+	wg.Add(c.P)
+	for p := 0; p < c.P; p++ {
+		go func(p int) {
+			defer wg.Done()
+			fn(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// exchangeShards swaps the full shards of nodes a and b, charging the
+// network for both transfers. The copies are real work (memcpy through the
+// emulated interconnect), so measured wall time scales with bytes moved
+// like the modeled time does.
+func (c *Cluster) exchangeShards(a, b int, bufA, bufB []complex128) {
+	copy(bufA, c.shards[a])
+	copy(bufB, c.shards[b])
+	bytes := uint64(len(bufA)+len(bufB)) * 16
+	c.Stats.BytesSent.Add(bytes)
+	c.Stats.Messages.Add(2)
+	c.Stats.Exchanges.Add(1)
+}

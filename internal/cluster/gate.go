@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bitops"
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// ApplyGate executes one gate on the distributed state. Gates whose target
+// is node-local never communicate. Gates targeting a node qubit require a
+// pairwise shard exchange — unless the gate's full matrix is diagonal and
+// DiagonalOptimization is on, in which case every node just scales its own
+// amplitudes (the communication saving of Figure 4).
+func (c *Cluster) ApplyGate(g gates.Gate) {
+	if g.MaxQubit() >= c.NumQubits() {
+		panic(fmt.Sprintf("cluster: gate %v exceeds register width %d", g, c.NumQubits()))
+	}
+	c.Stats.Gates.Add(1)
+
+	// Split controls into local and node-level.
+	var localControls []uint
+	var nodeControlMask uint64
+	for _, ctl := range g.Controls {
+		if ctl < c.L {
+			localControls = append(localControls, ctl)
+		} else {
+			nodeControlMask |= uint64(1) << (ctl - c.L)
+		}
+	}
+
+	if g.Target < c.L {
+		c.applyLocalTarget(g, localControls, nodeControlMask)
+		return
+	}
+	if c.DiagonalOptimization && g.IsDiagonalOnState() {
+		c.applyNodeDiagonal(g, localControls, nodeControlMask)
+		return
+	}
+	c.applyNodeTargetExchange(g, localControls, nodeControlMask)
+}
+
+// Run executes a whole circuit.
+func (c *Cluster) Run(circ *circuit.Circuit) {
+	for _, g := range circ.Gates {
+		c.ApplyGate(g)
+	}
+}
+
+// applyLocalTarget runs the gate inside each shard that satisfies the
+// node-level controls.
+func (c *Cluster) applyLocalTarget(g gates.Gate, localControls []uint, nodeControlMask uint64) {
+	cmask := bitops.ControlMask(localControls)
+	useDiag := c.DiagonalOptimization && g.IsDiagonalOnState()
+	c.eachNode(func(p int) {
+		if uint64(p)&nodeControlMask != nodeControlMask {
+			return
+		}
+		if useDiag {
+			diagKernel(c.shards[p], g.Matrix[0], g.Matrix[3], g.Target, cmask)
+		} else {
+			denseKernel(c.shards[p], g.Matrix, g.Target, cmask)
+		}
+	})
+}
+
+// applyNodeDiagonal handles a diagonal gate on a node qubit without any
+// communication: node p's amplitudes all share target bit value
+// bit(p, target-L), so the node multiplies its whole (control-satisfying)
+// shard by d0 or d1.
+func (c *Cluster) applyNodeDiagonal(g gates.Gate, localControls []uint, nodeControlMask uint64) {
+	cmask := bitops.ControlMask(localControls)
+	tbit := uint(g.Target - c.L)
+	c.eachNode(func(p int) {
+		if uint64(p)&nodeControlMask != nodeControlMask {
+			return
+		}
+		d := g.Matrix[0]
+		if bitops.Bit(uint64(p), tbit) == 1 {
+			d = g.Matrix[3]
+		}
+		if d == 1 {
+			return
+		}
+		shard := c.shards[p]
+		if cmask == 0 {
+			for i := range shard {
+				shard[i] *= d
+			}
+			return
+		}
+		for i := range shard {
+			if uint64(i)&cmask == cmask {
+				shard[i] *= d
+			}
+		}
+	})
+}
+
+// applyNodeTargetExchange handles a gate on a node qubit the expensive way:
+// each node pair differing in the target node bit exchanges shards, then
+// each member computes its half of the 2x2 update.
+func (c *Cluster) applyNodeTargetExchange(g gates.Gate, localControls []uint, nodeControlMask uint64) {
+	cmask := bitops.ControlMask(localControls)
+	tbit := uint(g.Target - c.L)
+	local := c.LocalSize()
+	var wg sync.WaitGroup
+	for p0 := 0; p0 < c.P; p0++ {
+		if bitops.Bit(uint64(p0), tbit) == 1 {
+			continue // enumerate pairs from the 0 side
+		}
+		p1 := p0 | (1 << tbit)
+		// The target bit is never a control bit, and the remaining node
+		// control bits agree across the pair, so checking p0 suffices.
+		if uint64(p0)&nodeControlMask != nodeControlMask {
+			continue
+		}
+		wg.Add(1)
+		go func(p0, p1 int) {
+			defer wg.Done()
+			bufA := make([]complex128, local)
+			bufB := make([]complex128, local)
+			c.exchangeShards(p0, p1, bufA, bufB)
+			s0, s1 := c.shards[p0], c.shards[p1]
+			// bufA = old shard p0, bufB = old shard p1.
+			m := g.Matrix
+			for i := uint64(0); i < local; i++ {
+				if i&cmask != cmask {
+					continue
+				}
+				a0, a1 := bufA[i], bufB[i]
+				s0[i] = m[0]*a0 + m[1]*a1
+				s1[i] = m[2]*a0 + m[3]*a1
+			}
+		}(p0, p1)
+	}
+	wg.Wait()
+}
+
+// denseKernel applies the 2x2 matrix to a shard, honouring local controls.
+func denseKernel(shard []complex128, m gates.Matrix2, target uint, cmask uint64) {
+	half := uint64(len(shard)) >> 1
+	stride := uint64(1) << target
+	for cidx := uint64(0); cidx < half; cidx++ {
+		i0 := bitops.InsertZeroBit(cidx, target)
+		if i0&cmask != cmask {
+			continue
+		}
+		i1 := i0 | stride
+		a0, a1 := shard[i0], shard[i1]
+		shard[i0] = m[0]*a0 + m[1]*a1
+		shard[i1] = m[2]*a0 + m[3]*a1
+	}
+}
+
+// diagKernel applies diag(d0, d1) to a shard, honouring local controls.
+func diagKernel(shard []complex128, d0, d1 complex128, target uint, cmask uint64) {
+	stride := uint64(1) << target
+	scale0, scale1 := d0 != 1, d1 != 1
+	if !scale0 && !scale1 {
+		return
+	}
+	half := uint64(len(shard)) >> 1
+	for cidx := uint64(0); cidx < half; cidx++ {
+		i0 := bitops.InsertZeroBit(cidx, target)
+		if i0&cmask != cmask {
+			continue
+		}
+		if scale0 {
+			shard[i0] *= d0
+		}
+		if scale1 {
+			shard[i0|stride] *= d1
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gates"
+	"repro/internal/rng"
+)
+
+func TestDistributedPermutationMatchesLocal(t *testing.T) {
+	src := rng.New(21)
+	for _, p := range []int{1, 2, 8} {
+		c, err := New(9, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := loadRandom(t, c, src)
+		f := func(i uint64) uint64 { return (i + 37) % 512 }
+		c.ApplyPermutation(f)
+		want := st.Clone()
+		want.ApplyPermutation(f)
+		if d := c.Gather().MaxDiff(want); d > 0 {
+			t.Fatalf("p=%d: distributed permutation differs by %g", p, d)
+		}
+	}
+}
+
+func TestDistributedPermutationOneAllToAll(t *testing.T) {
+	src := rng.New(22)
+	c, _ := New(10, 4)
+	loadRandom(t, c, src)
+	c.ResetStats()
+	// Bit-reversal: a communication-heavy global permutation.
+	c.ApplyPermutation(func(i uint64) uint64 {
+		var r uint64
+		for k := uint(0); k < 10; k++ {
+			r |= ((i >> k) & 1) << (9 - k)
+		}
+		return r
+	})
+	if got := c.Stats.AllToAlls.Load(); got != 1 {
+		t.Errorf("global permutation used %d all-to-alls, want 1", got)
+	}
+	if c.Stats.BytesSent.Load() == 0 {
+		t.Error("bit reversal should cross node boundaries")
+	}
+}
+
+func TestDistributedMultiplyMatchesEmulator(t *testing.T) {
+	// The Figure 1 shortcut on the cluster must equal the single-node
+	// emulator: (a, b, c) -> (a, b, c + a*b mod 2^m) on a superposition.
+	const m = uint(3)
+	n := 3 * m
+	src := rng.New(23)
+	c, err := New(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := loadRandom(t, c, src)
+	c.EmulateMultiply(0, m, 2*m, m)
+
+	want := st.Clone()
+	core.Wrap(want).Multiply(0, m, 2*m, m)
+	if d := c.Gather().MaxDiff(want); d > 0 {
+		t.Fatalf("distributed multiply differs by %g", d)
+	}
+}
+
+func TestDistributedMultiplyAfterGates(t *testing.T) {
+	// Mixing distributed gate execution and distributed emulation on the
+	// same register.
+	const m = uint(2)
+	n := 3 * m
+	c, _ := New(n, 2)
+	for q := uint(0); q < 2*m; q++ {
+		c.ApplyGate(gates.H(q))
+	}
+	c.EmulateMultiply(0, m, 2*m, m)
+	st := c.Gather()
+	// Check P(a=3, b=2, c=3*2 mod 4=2) = 1/16.
+	idx := uint64(3) | 2<<m | 2<<(2*m)
+	a := st.Amplitude(idx)
+	p := real(a)*real(a) + imag(a)*imag(a)
+	if p < 0.9/16 || p > 1.1/16 {
+		t.Fatalf("P(3,2,2) = %v, want 1/16", p)
+	}
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gates"
+	"repro/internal/revlib"
+	"repro/internal/sim"
+	"repro/internal/statevec"
+)
+
+// ArithRow is one point of Figure 1 or Figure 2: simulation vs emulation
+// time for an m-bit arithmetic operation.
+type ArithRow struct {
+	M       uint    // operand bits
+	NQubits uint    // total register width
+	Gates   int     // gate count of the simulated circuit (0 if skipped)
+	TSim    float64 // seconds per simulated operation (0 if skipped)
+	TEmu    float64 // seconds per emulated operation
+	Speedup float64 // TSim/TEmu (0 if simulation skipped)
+}
+
+// Fig1Config scopes the multiplication sweep. Simulation cost grows as
+// O(m^3 2^(3m)), so MaxSimM stays small; emulation reaches larger m.
+type Fig1Config struct {
+	MinM    uint
+	MaxSimM uint // largest m simulated at gate level
+	MaxEmuM uint // largest m emulated (memory bound: 2^(3m+1) amplitudes)
+}
+
+// DefaultFig1 keeps the sweep under a minute on a laptop-class machine.
+func DefaultFig1() Fig1Config { return Fig1Config{MinM: 2, MaxSimM: 5, MaxEmuM: 8} }
+
+// prepMulInput loads a uniform superposition over the a and b registers —
+// the "all inputs in parallel" workload of Section 3.1.
+func prepMulInput(st *statevec.State, m uint) {
+	for q := uint(0); q < 2*m; q++ {
+		st.ApplyGate(gates.H(q))
+	}
+}
+
+// Fig1 runs the multiplication sweep (paper Figure 1): simulate the
+// shift-and-add Toffoli network vs emulate the classical multiply.
+func Fig1(cfg Fig1Config) []ArithRow {
+	var rows []ArithRow
+	for m := cfg.MinM; m <= cfg.MaxEmuM; m++ {
+		l := revlib.NewMultiplierLayout(m)
+		n := l.NumQubits()
+		row := ArithRow{M: m, NQubits: n}
+
+		var st *statevec.State
+		reset := func() {
+			st = statevec.New(n)
+			prepMulInput(st, m)
+		}
+		if m <= cfg.MaxSimM {
+			// The paper's Section 2 setting: the simulator executes the
+			// circuit decomposed into one- and two-qubit gates (Toffolis
+			// expanded to the 15-gate Clifford+T network, multi-controls
+			// recursively lowered), exactly what quantum hardware runs.
+			circ := revlib.BuildMultiplier(l).Lower(1)
+			row.Gates = circ.Len()
+			row.TSim = timeIt(shortTime, reset, func() {
+				sim.Wrap(st, sim.DefaultOptions()).Run(circ)
+			})
+		}
+		row.TEmu = timeIt(shortTime, reset, func() {
+			core.Wrap(st).Multiply(0, m, 2*m, m)
+		})
+		if row.TSim > 0 {
+			row.Speedup = row.TSim / row.TEmu
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig2Config scopes the division sweep; the divider needs 4m+2 qubits
+// (the extra work qubits of Figure 2), so memory runs out sooner.
+type Fig2Config struct {
+	MinM    uint
+	MaxSimM uint
+	MaxEmuM uint
+}
+
+// DefaultFig2 mirrors the paper's m <= 7 limit scaled to one process.
+func DefaultFig2() Fig2Config { return Fig2Config{MinM: 2, MaxSimM: 4, MaxEmuM: 6} }
+
+// Fig2 runs the division sweep (paper Figure 2): restoring-divider circuit
+// vs word-level emulation.
+func Fig2(cfg Fig2Config) []ArithRow {
+	var rows []ArithRow
+	for m := cfg.MinM; m <= cfg.MaxEmuM; m++ {
+		l := revlib.NewDividerLayout(m)
+		n := l.NumQubits()
+		row := ArithRow{M: m, NQubits: n}
+
+		var st *statevec.State
+		reset := func() {
+			st = statevec.New(n)
+			// Superpose dividend and divisor registers.
+			for q := uint(0); q < m; q++ {
+				st.ApplyGate(gates.H(q)) // low half of R = dividend
+			}
+			for q := 2 * m; q < 3*m; q++ {
+				st.ApplyGate(gates.H(q)) // divisor
+			}
+		}
+		if m <= cfg.MaxSimM {
+			// Lowered to the 1-2 qubit gate set, as in Fig1.
+			circ := revlib.BuildDivider(l).Lower(1)
+			row.Gates = circ.Len()
+			row.TSim = timeIt(shortTime, reset, func() {
+				sim.Wrap(st, sim.DefaultOptions()).Run(circ)
+			})
+		}
+		row.TEmu = timeIt(shortTime, reset, func() {
+			core.Wrap(st).Divide(core.DivideLayout{M: m, RPos: 0, BPos: 2 * m, QPos: 3 * m})
+		})
+		if row.TSim > 0 {
+			row.Speedup = row.TSim / row.TEmu
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatArith renders Figure 1/2 rows.
+func FormatArith(title string, rows []ArithRow) string {
+	out := title + "\n"
+	var table [][]string
+	for _, r := range rows {
+		sim, sp := "-", "-"
+		gatesStr := "-"
+		if r.TSim > 0 {
+			sim = secs(r.TSim)
+			sp = fmt.Sprintf("%.0fx", r.Speedup)
+			gatesStr = fmt.Sprintf("%d", r.Gates)
+		}
+		table = append(table, []string{
+			fmt.Sprintf("%d", r.M),
+			fmt.Sprintf("%d", r.NQubits),
+			gatesStr,
+			sim,
+			secs(r.TEmu),
+			sp,
+		})
+	}
+	return out + Table(
+		[]string{"m bits", "qubits", "gates", "t_sim", "t_emu", "speedup"},
+		table)
+}

@@ -1,0 +1,96 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4) on the repository's substrates: the arithmetic
+// emulation-vs-simulation sweeps (Figs. 1-2), the distributed QFT weak
+// scaling (Figs. 3-4), the single-node simulator comparisons (Figs. 5-6),
+// the QPE cost/cross-over table (Table 2), and the measurement-shortcut
+// ablation (Section 3.4).
+//
+// Each experiment returns typed rows plus a formatted table, so the
+// qemu-bench command, the root benchmarks and the tests all share one
+// implementation.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// timeIt measures the wall time of one execution of fn, repeating the
+// setup+run pair until minDuration has elapsed so short operations are
+// resolved accurately. setup (which may be nil) is excluded from timing.
+func timeIt(minDuration time.Duration, setup func(), fn func()) float64 {
+	var total time.Duration
+	runs := 0
+	for total < minDuration || runs < 1 {
+		if setup != nil {
+			setup()
+		}
+		start := time.Now()
+		fn()
+		total += time.Since(start)
+		runs++
+		if runs >= 1 && total >= minDuration {
+			break
+		}
+		if runs >= 1000 {
+			break
+		}
+	}
+	return total.Seconds() / float64(runs)
+}
+
+// shortTime is the default resolution floor for per-operation timings.
+const shortTime = 30 * time.Millisecond
+
+// Table renders rows of columns as an aligned text table.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func secs(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v < 1e-6:
+		return fmt.Sprintf("%.1f ns", v*1e9)
+	case v < 1e-3:
+		return fmt.Sprintf("%.2f µs", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.2f ms", v*1e3)
+	default:
+		return fmt.Sprintf("%.3f s", v)
+	}
+}

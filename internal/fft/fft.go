@@ -1,0 +1,192 @@
+// Package fft implements the classical fast Fourier transform the emulator
+// substitutes for the quantum Fourier transform circuit (paper Section 3.2).
+//
+// Everything is handwritten on complex128 slices: an iterative radix-2
+// decimation-in-time transform with a precomputed twiddle table and
+// parallel butterfly stages, plus the Bailey four-step variant whose three
+// transposition steps model the three all-to-all exchanges of a distributed
+// 1-D FFT (the paper's Eq. 5).
+//
+// Sign convention: Forward uses exp(+2*pi*i*k*l/N), matching the QFT
+// definition in the paper's Eq. 4; Unitary additionally scales by
+// 1/sqrt(N) so that Forward(Unitary) is exactly the QFT matrix.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"runtime"
+	"sync"
+
+	"repro/internal/bitops"
+)
+
+// Plan precomputes twiddle factors for transforms of a fixed length,
+// amortising the table across repeated transforms (the emulator applies
+// the QFT many times in phase estimation).
+type Plan struct {
+	n       uint // log2(size)
+	size    uint64
+	forward []complex128 // exp(+2 pi i j / size) for j in [0, size/2)
+	inverse []complex128 // conjugates
+}
+
+// NewPlan builds a plan for transforms of the given power-of-two size.
+func NewPlan(size uint64) (*Plan, error) {
+	if !bitops.IsPowerOfTwo(size) {
+		return nil, fmt.Errorf("fft: size %d is not a power of two", size)
+	}
+	p := &Plan{n: bitops.Log2(size), size: size}
+	half := size / 2
+	if half == 0 {
+		half = 1
+	}
+	p.forward = make([]complex128, half)
+	p.inverse = make([]complex128, half)
+	for j := uint64(0); j < half; j++ {
+		theta := 2 * math.Pi * float64(j) / float64(size)
+		w := cmplx.Exp(complex(0, theta))
+		p.forward[j] = w
+		p.inverse[j] = cmplx.Conj(w)
+	}
+	return p, nil
+}
+
+// Size returns the transform length.
+func (p *Plan) Size() uint64 { return p.size }
+
+// Forward computes the unnormalised transform with the +i sign convention,
+// in place. len(data) must equal the plan size.
+func (p *Plan) Forward(data []complex128) { p.transform(data, p.forward, true) }
+
+// Inverse computes the unnormalised transform with the -i sign convention,
+// in place. Inverse(Forward(x)) == N*x.
+func (p *Plan) Inverse(data []complex128) { p.transform(data, p.inverse, true) }
+
+// ForwardSerial is Forward restricted to the calling goroutine. The
+// cluster back-end uses it so each emulated node stays single-threaded.
+func (p *Plan) ForwardSerial(data []complex128) { p.transform(data, p.forward, false) }
+
+// InverseSerial is Inverse restricted to the calling goroutine.
+func (p *Plan) InverseSerial(data []complex128) { p.transform(data, p.inverse, false) }
+
+// Unitary computes the unitary (QFT) transform: Forward scaled by
+// 1/sqrt(N). Applying it to a state vector performs the paper's Eq. 4.
+func (p *Plan) Unitary(data []complex128) {
+	p.Forward(data)
+	p.scale(data)
+}
+
+// UnitaryInverse computes the inverse QFT: Inverse scaled by 1/sqrt(N).
+func (p *Plan) UnitaryInverse(data []complex128) {
+	p.Inverse(data)
+	p.scale(data)
+}
+
+func (p *Plan) scale(data []complex128) {
+	s := complex(1/math.Sqrt(float64(p.size)), 0)
+	parallelFor(uint64(len(data)), func(lo, hi uint64) {
+		for i := lo; i < hi; i++ {
+			data[i] *= s
+		}
+	})
+}
+
+func (p *Plan) transform(data []complex128, tw []complex128, parallel bool) {
+	if uint64(len(data)) != p.size {
+		panic(fmt.Sprintf("fft: data length %d does not match plan size %d", len(data), p.size))
+	}
+	if p.size == 1 {
+		return
+	}
+	bitReverse(data, p.n)
+	// Butterfly stages. At stage s the butterflies span 2^(s+1) elements;
+	// the twiddle for offset j within a half-block is tw[j << (n-1-s)].
+	for s := uint(0); s < p.n; s++ {
+		blockSize := uint64(1) << (s + 1)
+		half := blockSize >> 1
+		wstep := p.size >> (s + 1) // stride into the twiddle table
+		nBlocks := p.size / blockSize
+		switch {
+		case !parallel:
+			for b := uint64(0); b < nBlocks; b++ {
+				butterflyRange(data, tw, b*blockSize, half, 0, half, wstep)
+			}
+		case p.size >= minParallel && nBlocks >= uint64(runtime.GOMAXPROCS(0)):
+			// Many small blocks: parallelise across blocks.
+			parallelFor(nBlocks, func(lo, hi uint64) {
+				for b := lo; b < hi; b++ {
+					butterflyRange(data, tw, b*blockSize, half, 0, half, wstep)
+				}
+			})
+		case p.size >= minParallel:
+			// Few large blocks: parallelise within each block.
+			for b := uint64(0); b < nBlocks; b++ {
+				base := b * blockSize
+				parallelFor(half, func(lo, hi uint64) {
+					butterflyRange(data, tw, base, half, lo, hi, wstep)
+				})
+			}
+		default:
+			for b := uint64(0); b < nBlocks; b++ {
+				butterflyRange(data, tw, b*blockSize, half, 0, half, wstep)
+			}
+		}
+	}
+}
+
+// butterflyRange performs the butterflies j in [lo, hi) of one block:
+// (data[base+j], data[base+j+half]) <- (u + w t, u - w t) with
+// w = tw[j*wstep].
+func butterflyRange(data, tw []complex128, base, half, lo, hi, wstep uint64) {
+	for j := lo; j < hi; j++ {
+		w := tw[j*wstep]
+		i0 := base + j
+		i1 := i0 + half
+		t := w * data[i1]
+		u := data[i0]
+		data[i0] = u + t
+		data[i1] = u - t
+	}
+}
+
+// bitReverse permutes data into bit-reversed order in place.
+func bitReverse(data []complex128, n uint) {
+	size := uint64(len(data))
+	for i := uint64(0); i < size; i++ {
+		j := bitops.ReverseBits(i, n)
+		if j > i {
+			data[i], data[j] = data[j], data[i]
+		}
+	}
+}
+
+// minParallel is the smallest transform that benefits from goroutines.
+const minParallel = 1 << 14
+
+// parallelFor invokes fn over disjoint chunks of [0, size).
+func parallelFor(size uint64, fn func(lo, hi uint64)) {
+	w := uint64(runtime.GOMAXPROCS(0))
+	if size < 1024 || w <= 1 {
+		fn(0, size)
+		return
+	}
+	if w > size/512 {
+		w = size / 512
+	}
+	var wg sync.WaitGroup
+	chunk := (size + w - 1) / w
+	for start := uint64(0); start < size; start += chunk {
+		end := start + chunk
+		if end > size {
+			end = size
+		}
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(start, end)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,191 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func randomVector(src *rng.Source, size int) []complex128 {
+	v := make([]complex128, size)
+	for i := range v {
+		v[i] = src.Complex()
+	}
+	return v
+}
+
+func maxDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestPlanRejectsNonPowerOfTwo(t *testing.T) {
+	for _, bad := range []uint64{0, 3, 12, 100} {
+		if _, err := NewPlan(bad); err == nil {
+			t.Errorf("NewPlan(%d) accepted", bad)
+		}
+	}
+}
+
+func TestForwardMatchesDFT(t *testing.T) {
+	src := rng.New(1)
+	for _, size := range []int{1, 2, 4, 8, 64, 256} {
+		p, err := NewPlan(uint64(size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomVector(src, size)
+		want := DFT(x, +1)
+		got := append([]complex128(nil), x...)
+		p.Forward(got)
+		if d := maxDiff(got, want); d > 1e-9*float64(size) {
+			t.Errorf("size %d: forward differs from DFT by %g", size, d)
+		}
+		// Inverse sign too.
+		wantInv := DFT(x, -1)
+		gotInv := append([]complex128(nil), x...)
+		p.Inverse(gotInv)
+		if d := maxDiff(gotInv, wantInv); d > 1e-9*float64(size) {
+			t.Errorf("size %d: inverse differs from DFT by %g", size, d)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := rng.New(2)
+	for _, size := range []uint64{2, 16, 1024, 1 << 15} {
+		p, err := NewPlan(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomVector(src, int(size))
+		got := append([]complex128(nil), x...)
+		p.Forward(got)
+		p.Inverse(got)
+		scale := complex(1/float64(size), 0)
+		for i := range got {
+			got[i] *= scale
+		}
+		if d := maxDiff(got, x); d > 1e-10*float64(size) {
+			t.Errorf("size %d: round trip error %g", size, d)
+		}
+	}
+}
+
+func TestUnitaryPreservesNorm(t *testing.T) {
+	src := rng.New(3)
+	size := uint64(1 << 12)
+	p, _ := NewPlan(size)
+	x := randomVector(src, int(size))
+	var normIn float64
+	for _, v := range x {
+		normIn += real(v)*real(v) + imag(v)*imag(v)
+	}
+	p.Unitary(x)
+	var normOut float64
+	for _, v := range x {
+		normOut += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(normOut-normIn) > 1e-8*normIn {
+		t.Errorf("unitary FFT changed norm: %v -> %v", normIn, normOut)
+	}
+	// And UnitaryInverse undoes Unitary.
+	p.UnitaryInverse(x)
+}
+
+func TestSerialMatchesParallel(t *testing.T) {
+	src := rng.New(4)
+	size := uint64(1 << 15) // above minParallel
+	p, _ := NewPlan(size)
+	x := randomVector(src, int(size))
+	a := append([]complex128(nil), x...)
+	b := append([]complex128(nil), x...)
+	p.Forward(a)
+	p.ForwardSerial(b)
+	if d := maxDiff(a, b); d > 0 {
+		t.Errorf("serial and parallel transforms differ by %g", d)
+	}
+}
+
+func TestDeltaTransform(t *testing.T) {
+	// FFT of a delta at 0 is the all-ones vector.
+	p, _ := NewPlan(32)
+	x := make([]complex128, 32)
+	x[0] = 1
+	p.Forward(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("delta transform wrong at %d: %v", i, v)
+		}
+	}
+}
+
+func TestFourStepMatchesDirect(t *testing.T) {
+	src := rng.New(5)
+	for _, n := range []uint{2, 3, 5, 8, 11} {
+		size := uint64(1) << n
+		x := randomVector(src, int(size))
+		want := append([]complex128(nil), x...)
+		p, _ := NewPlan(size)
+		p.Forward(want)
+		got := append([]complex128(nil), x...)
+		if err := FourStep(got, +1); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxDiff(got, want); d > 1e-8*float64(size) {
+			t.Errorf("n=%d: four-step differs from direct by %g", n, d)
+		}
+		// Inverse sign.
+		gotInv := append([]complex128(nil), x...)
+		if err := FourStep(gotInv, -1); err != nil {
+			t.Fatal(err)
+		}
+		wantInv := append([]complex128(nil), x...)
+		p.Inverse(wantInv)
+		if d := maxDiff(gotInv, wantInv); d > 1e-8*float64(size) {
+			t.Errorf("n=%d: inverse four-step differs by %g", n, d)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	src := rng.New(6)
+	rows, cols := uint64(8), uint64(16)
+	m := randomVector(src, int(rows*cols))
+	tr := make([]complex128, rows*cols)
+	transpose(tr, m, rows, cols)
+	for r := uint64(0); r < rows; r++ {
+		for c := uint64(0); c < cols; c++ {
+			if tr[c*rows+r] != m[r*cols+c] {
+				t.Fatalf("transpose wrong at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Parseval: sum |X_k|^2 = N * sum |x_j|^2 for the unnormalised FFT.
+	src := rng.New(7)
+	size := uint64(512)
+	p, _ := NewPlan(size)
+	x := randomVector(src, int(size))
+	var inE float64
+	for _, v := range x {
+		inE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	p.Forward(x)
+	var outE float64
+	for _, v := range x {
+		outE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(outE-float64(size)*inE) > 1e-6*outE {
+		t.Errorf("Parseval violated: %v vs %v", outE, float64(size)*inE)
+	}
+}

@@ -1,0 +1,348 @@
+// Package qasm implements a minimal text format for quantum circuits so
+// external tools (and the qemu-run command) can execute circuits against
+// any back-end. The grammar is line-oriented:
+//
+//	qubits 5          # register width, must appear first
+//	h 0               # gate name, then target qubit
+//	x 3
+//	rz 2 1.5708       # rotation gates take an angle (radians)
+//	cnot 0 1          # control, target
+//	cr 0 1 0.785      # control, target, angle
+//	toffoli 0 1 2     # control, control, target
+//	ctrl 3 4 : h 0    # arbitrary extra controls before any gate
+//	# comments and blank lines are ignored
+//
+// Angles accept plain floats or the forms pi, pi/N and -pi/N.
+package qasm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// Parse reads a circuit description from r.
+func Parse(r io.Reader) (*circuit.Circuit, error) {
+	sc := bufio.NewScanner(r)
+	var circ *circuit.Circuit
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(strings.ToLower(line))
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == "qubits" {
+			if circ != nil {
+				return nil, fmt.Errorf("qasm: line %d: duplicate qubits directive", lineNo)
+			}
+			n, err := strconv.ParseUint(fields[1], 10, 8)
+			if err != nil || n == 0 {
+				return nil, fmt.Errorf("qasm: line %d: bad qubit count %q", lineNo, fields[1])
+			}
+			circ = circuit.New(uint(n))
+			continue
+		}
+		if circ == nil {
+			return nil, fmt.Errorf("qasm: line %d: gate before qubits directive", lineNo)
+		}
+		// Optional control prefix: "ctrl c1 c2 ... : gate ...".
+		var extraControls []uint
+		if fields[0] == "ctrl" {
+			sep := -1
+			for i, f := range fields {
+				if f == ":" {
+					sep = i
+					break
+				}
+			}
+			if sep < 2 {
+				return nil, fmt.Errorf("qasm: line %d: malformed ctrl prefix", lineNo)
+			}
+			for _, f := range fields[1:sep] {
+				q, err := parseQubit(f, circ.NumQubits)
+				if err != nil {
+					return nil, fmt.Errorf("qasm: line %d: %v", lineNo, err)
+				}
+				extraControls = append(extraControls, q)
+			}
+			fields = fields[sep+1:]
+			if len(fields) == 0 {
+				return nil, fmt.Errorf("qasm: line %d: ctrl prefix without gate", lineNo)
+			}
+		}
+		gs, err := parseGate(fields, circ.NumQubits)
+		if err != nil {
+			return nil, fmt.Errorf("qasm: line %d: %v", lineNo, err)
+		}
+		for _, g := range gs {
+			circ.Append(g.WithControls(extraControls...))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("qasm: %v", err)
+	}
+	if circ == nil {
+		return nil, fmt.Errorf("qasm: missing qubits directive")
+	}
+	return circ, nil
+}
+
+// ParseString parses a circuit from a string.
+func ParseString(s string) (*circuit.Circuit, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parseQubit(s string, n uint) (uint, error) {
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad qubit %q", s)
+	}
+	if uint(v) >= n {
+		return 0, fmt.Errorf("qubit %d out of range (register width %d)", v, n)
+	}
+	return uint(v), nil
+}
+
+func parseAngle(s string) (float64, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var v float64
+	switch {
+	case s == "pi":
+		v = math.Pi
+	case strings.HasPrefix(s, "pi/"):
+		d, err := strconv.ParseFloat(s[3:], 64)
+		if err != nil || d == 0 {
+			return 0, fmt.Errorf("bad angle %q", s)
+		}
+		v = math.Pi / d
+	default:
+		var err error
+		v, err = strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad angle %q", s)
+		}
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func parseGate(fields []string, n uint) ([]gates.Gate, error) {
+	name := fields[0]
+	args := fields[1:]
+	qubitArgs := func(count int) ([]uint, error) {
+		if len(args) != count {
+			return nil, fmt.Errorf("%s expects %d qubit argument(s), got %d", name, count, len(args))
+		}
+		out := make([]uint, count)
+		for i, a := range args {
+			q, err := parseQubit(a, n)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = q
+		}
+		return out, nil
+	}
+	qubitAngleArgs := func(count int) ([]uint, float64, error) {
+		if len(args) != count+1 {
+			return nil, 0, fmt.Errorf("%s expects %d qubit(s) and an angle", name, count)
+		}
+		qs := make([]uint, count)
+		for i := 0; i < count; i++ {
+			q, err := parseQubit(args[i], n)
+			if err != nil {
+				return nil, 0, err
+			}
+			qs[i] = q
+		}
+		theta, err := parseAngle(args[count])
+		if err != nil {
+			return nil, 0, err
+		}
+		return qs, theta, nil
+	}
+
+	switch name {
+	case "x", "not":
+		q, err := qubitArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return []gates.Gate{gates.X(q[0])}, nil
+	case "y":
+		q, err := qubitArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return []gates.Gate{gates.Y(q[0])}, nil
+	case "z":
+		q, err := qubitArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return []gates.Gate{gates.Z(q[0])}, nil
+	case "h":
+		q, err := qubitArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return []gates.Gate{gates.H(q[0])}, nil
+	case "s":
+		q, err := qubitArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return []gates.Gate{gates.S(q[0])}, nil
+	case "t":
+		q, err := qubitArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return []gates.Gate{gates.T(q[0])}, nil
+	case "sdg":
+		q, err := qubitArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return []gates.Gate{gates.S(q[0]).Dagger()}, nil
+	case "tdg":
+		q, err := qubitArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return []gates.Gate{gates.T(q[0]).Dagger()}, nil
+	case "rx":
+		q, theta, err := qubitAngleArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return []gates.Gate{gates.Rx(q[0], theta)}, nil
+	case "ry":
+		q, theta, err := qubitAngleArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return []gates.Gate{gates.Ry(q[0], theta)}, nil
+	case "rz":
+		q, theta, err := qubitAngleArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return []gates.Gate{gates.Rz(q[0], theta)}, nil
+	case "phase", "r":
+		q, theta, err := qubitAngleArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return []gates.Gate{gates.Phase(q[0], theta)}, nil
+	case "cnot", "cx":
+		q, err := qubitArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		return []gates.Gate{gates.CNOT(q[0], q[1])}, nil
+	case "cz":
+		q, err := qubitArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		return []gates.Gate{gates.CZ(q[0], q[1])}, nil
+	case "cr", "cphase":
+		q, theta, err := qubitAngleArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		return []gates.Gate{gates.CR(q[0], q[1], theta)}, nil
+	case "toffoli", "ccx", "ccnot":
+		q, err := qubitArgs(3)
+		if err != nil {
+			return nil, err
+		}
+		return []gates.Gate{gates.Toffoli(q[0], q[1], q[2])}, nil
+	case "swap":
+		q, err := qubitArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		return gates.Swap(q[0], q[1]), nil
+	default:
+		return nil, fmt.Errorf("unknown gate %q", name)
+	}
+}
+
+// Write serialises a circuit in the package's text format. Gates whose
+// matrices are not in the standard set are rejected.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	if _, err := fmt.Fprintf(w, "qubits %d\n", c.NumQubits); err != nil {
+		return err
+	}
+	for _, g := range c.Gates {
+		line, err := formatGate(g)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatGate(g gates.Gate) (string, error) {
+	var base string
+	switch {
+	case g.Matrix == gates.MatX && len(g.Controls) == 1:
+		return fmt.Sprintf("cnot %d %d", g.Controls[0], g.Target), nil
+	case g.Matrix == gates.MatX && len(g.Controls) == 2:
+		return fmt.Sprintf("toffoli %d %d %d", g.Controls[0], g.Controls[1], g.Target), nil
+	case g.Matrix == gates.MatX:
+		base = fmt.Sprintf("x %d", g.Target)
+	case g.Matrix == gates.MatY:
+		base = fmt.Sprintf("y %d", g.Target)
+	case g.Matrix == gates.MatZ:
+		base = fmt.Sprintf("z %d", g.Target)
+	case g.Matrix == gates.MatH:
+		base = fmt.Sprintf("h %d", g.Target)
+	case g.Matrix == gates.MatS:
+		base = fmt.Sprintf("s %d", g.Target)
+	case g.Matrix == gates.MatT:
+		base = fmt.Sprintf("t %d", g.Target)
+	case g.Matrix.Classify() == gates.Diagonal && g.Matrix[0] == 1:
+		theta := phaseAngle(g.Matrix[3])
+		if len(g.Controls) == 1 {
+			return fmt.Sprintf("cr %d %d %.17g", g.Controls[0], g.Target, theta), nil
+		}
+		base = fmt.Sprintf("phase %d %.17g", g.Target, theta)
+	default:
+		return "", fmt.Errorf("qasm: gate %v has no textual form", g)
+	}
+	if len(g.Controls) == 0 {
+		return base, nil
+	}
+	ctl := "ctrl"
+	for _, c := range g.Controls {
+		ctl += fmt.Sprintf(" %d", c)
+	}
+	return ctl + " : " + base, nil
+}
+
+func phaseAngle(z complex128) float64 {
+	return math.Atan2(imag(z), real(z))
+}

@@ -1,0 +1,67 @@
+// Package qft generates the quantum Fourier transform circuit — the
+// O(n^2) Hadamard + conditional-phase-shift network of Section 3.2 that a
+// simulator must execute gate by gate — together with the entangling
+// benchmark circuit of Figure 6. The emulated path (classical FFT) lives in
+// package core; tests assert the two produce identical states.
+package qft
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// Circuit returns the full QFT circuit on n qubits implementing the
+// paper's Eq. 4 exactly (including the final qubit-reversal swaps):
+//
+//	a_l  <-  2^{-n/2} sum_k a_k exp(2 pi i k l / 2^n).
+//
+// It contains n Hadamards, n(n-1)/2 conditional phase shifts and
+// floor(n/2) swaps.
+func Circuit(n uint) *circuit.Circuit {
+	c := CircuitNoSwap(n)
+	for k := uint(0); k < n/2; k++ {
+		c.Append(gates.Swap(k, n-1-k)...)
+	}
+	return c
+}
+
+// CircuitNoSwap returns the QFT without the final reversal swaps: the
+// output appears with qubits in bit-reversed order. Algorithms that can
+// absorb the reversal into subsequent indexing (as Shor's does) use this
+// cheaper variant.
+func CircuitNoSwap(n uint) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := int(n) - 1; i >= 0; i-- {
+		c.Append(gates.H(uint(i)))
+		for j := i - 1; j >= 0; j-- {
+			theta := math.Pi / float64(uint64(1)<<uint(i-j))
+			c.Append(gates.CR(uint(j), uint(i), theta))
+		}
+	}
+	return c
+}
+
+// InverseCircuit returns the inverse QFT circuit.
+func InverseCircuit(n uint) *circuit.Circuit {
+	return Circuit(n).Dagger()
+}
+
+// GateCount returns the gate count of the QFT circuit on n qubits
+// (Hadamards + phase shifts + the CNOTs of the reversal swaps).
+func GateCount(n uint) int {
+	return int(n) + int(n*(n-1)/2) + 3*int(n/2)
+}
+
+// Entangler returns the entangling benchmark operation of Figure 6: a
+// Hadamard on qubit 0 followed by a CNOT from qubit 0 onto every other
+// qubit, preparing the n-qubit GHZ state from |0...0>.
+func Entangler(n uint) *circuit.Circuit {
+	c := circuit.New(n)
+	c.Append(gates.H(0))
+	for q := uint(1); q < n; q++ {
+		c.Append(gates.CNOT(0, q))
+	}
+	return c
+}

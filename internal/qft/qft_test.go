@@ -1,0 +1,99 @@
+package qft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/bitops"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/statevec"
+)
+
+func TestCircuitMatchesDFTMatrix(t *testing.T) {
+	// Column y of the QFT unitary must be 2^{-n/2} e^{2 pi i x y / N}.
+	for _, n := range []uint{1, 2, 3, 4} {
+		dim := uint64(1) << n
+		for x := uint64(0); x < dim; x++ {
+			st := statevec.NewBasis(n, x)
+			sim.Wrap(st, sim.DefaultOptions()).Run(Circuit(n))
+			scale := 1 / math.Sqrt(float64(dim))
+			for y := uint64(0); y < dim; y++ {
+				want := complex(scale, 0) *
+					cmplx.Exp(complex(0, 2*math.Pi*float64(x)*float64(y)/float64(dim)))
+				if cmplx.Abs(st.Amplitude(y)-want) > 1e-10 {
+					t.Fatalf("n=%d: QFT|%d> amplitude at %d wrong: %v vs %v",
+						n, x, y, st.Amplitude(y), want)
+				}
+			}
+		}
+	}
+}
+
+func TestNoSwapIsBitReversed(t *testing.T) {
+	// CircuitNoSwap must equal Circuit followed by index bit reversal.
+	n := uint(4)
+	src := rng.New(3)
+	st := statevec.NewRandom(n, src)
+	full := st.Clone()
+	sim.Wrap(full, sim.DefaultOptions()).Run(Circuit(n))
+	ns := st.Clone()
+	sim.Wrap(ns, sim.DefaultOptions()).Run(CircuitNoSwap(n))
+	for i := uint64(0); i < st.Dim(); i++ {
+		rev := bitops.ReverseBits(i, n)
+		if cmplx.Abs(ns.Amplitude(rev)-full.Amplitude(i)) > 1e-10 {
+			t.Fatalf("bit-reversal relation broken at %d", i)
+		}
+	}
+}
+
+func TestInverseCircuit(t *testing.T) {
+	n := uint(5)
+	src := rng.New(4)
+	st := statevec.NewRandom(n, src)
+	orig := st.Clone()
+	backend := sim.Wrap(st, sim.DefaultOptions())
+	backend.Run(Circuit(n))
+	backend.Run(InverseCircuit(n))
+	if d := st.MaxDiff(orig); d > 1e-9 {
+		t.Fatalf("QFT inverse round trip error %g", d)
+	}
+}
+
+func TestGateCount(t *testing.T) {
+	for _, n := range []uint{1, 2, 5, 10} {
+		c := Circuit(n)
+		if c.Len() != GateCount(n) {
+			t.Errorf("n=%d: Len=%d GateCount=%d", n, c.Len(), GateCount(n))
+		}
+	}
+	// The paper's complexity claim: n Hadamards + n(n-1)/2 phase shifts.
+	c := CircuitNoSwap(10)
+	st := c.Statistics()
+	if st.ByName["H"] != 10 {
+		t.Errorf("H count %d", st.ByName["H"])
+	}
+	if st.ByName["R"] != 45 {
+		t.Errorf("CR count %d", st.ByName["R"])
+	}
+	if st.Diagonal != 45 {
+		t.Errorf("diagonal count %d: every CR must be diagonal", st.Diagonal)
+	}
+}
+
+func TestEntangler(t *testing.T) {
+	// Entangler prepares the GHZ state (|0...0> + |1...1>)/sqrt2.
+	for _, n := range []uint{2, 5, 10} {
+		st := statevec.New(n)
+		sim.Wrap(st, sim.DefaultOptions()).Run(Entangler(n))
+		w := 1 / math.Sqrt2
+		if cmplx.Abs(st.Amplitude(0)-complex(w, 0)) > 1e-12 ||
+			cmplx.Abs(st.Amplitude(st.Dim()-1)-complex(w, 0)) > 1e-12 {
+			t.Fatalf("n=%d: not a GHZ state", n)
+		}
+		if c := Entangler(n).Len(); c != int(n) {
+			t.Errorf("entangler gate count %d, want %d", c, n)
+		}
+	}
+}

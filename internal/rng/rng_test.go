@@ -1,0 +1,117 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds agree on %d/100 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	src := New(1)
+	for i := 0; i < 10000; i++ {
+		f := src.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	src := New(7)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += src.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	src := New(3)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := src.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn(7): value %d drawn %d times, want ~10000", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	src := New(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := src.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v", variance)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	src := New(5)
+	fork := src.Fork()
+	agree := 0
+	for i := 0; i < 100; i++ {
+		if src.Uint64() == fork.Uint64() {
+			agree++
+		}
+	}
+	if agree > 2 {
+		t.Errorf("forked stream agrees on %d/100 draws", agree)
+	}
+}
+
+func TestUint64nSmallRange(t *testing.T) {
+	src := New(9)
+	for i := 0; i < 1000; i++ {
+		if v := src.Uint64n(3); v >= 3 {
+			t.Fatalf("Uint64n(3) = %d", v)
+		}
+	}
+}

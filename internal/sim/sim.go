@@ -1,0 +1,162 @@
+// Package sim provides the gate-level simulator back-ends benchmarked in
+// the paper's Section 4.5:
+//
+//   - Simulator: the paper's own simulator. It exploits the structure of
+//     gate matrices (specialised diagonal / anti-diagonal / Hadamard
+//     kernels that never multiply by ones and zeros) and optionally fuses
+//     adjacent single-qubit gates on the same target.
+//   - Generic: the qHiPSTER-class baseline. Structure-blind: every gate
+//     runs the dense 2x2 kernel.
+//   - SparseMatrix: the LIQUi|>-class baseline. Each gate is expanded into
+//     an explicit sparse 2^n x 2^n matrix (CSR) and applied by a generic
+//     sparse matrix-vector product — the "series of sparse matrix vector
+//     multiplications" of the paper's Section 1.
+//
+// All three produce identical states; only the cost differs, which is the
+// point of Figures 4-6.
+package sim
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/linalg"
+	"repro/internal/statevec"
+)
+
+// Backend executes circuits against a state vector.
+type Backend interface {
+	// State returns the backing state vector.
+	State() *statevec.State
+	// ApplyGate executes one gate.
+	ApplyGate(g gates.Gate)
+	// Run executes a whole circuit.
+	Run(c *circuit.Circuit)
+	// Name identifies the back-end in benchmark output.
+	Name() string
+}
+
+// Options control the optimisations of the paper's simulator, so each can
+// be ablated independently.
+type Options struct {
+	// Specialize selects structure-aware kernels (diagonal, X, Hadamard).
+	// Off means every gate runs the dense 2x2 kernel.
+	Specialize bool
+	// Fuse merges runs of single-qubit gates acting on the same target
+	// qubit into one matrix before touching the state.
+	Fuse bool
+}
+
+// DefaultOptions enables every optimisation.
+func DefaultOptions() Options { return Options{Specialize: true, Fuse: true} }
+
+// Simulator is the paper's optimised gate-level simulator.
+type Simulator struct {
+	state *statevec.State
+	opts  Options
+}
+
+// New returns an optimised simulator over a fresh |0...0> register.
+func New(n uint) *Simulator { return NewWithOptions(n, DefaultOptions()) }
+
+// NewWithOptions returns a simulator with explicit optimisation settings.
+func NewWithOptions(n uint, opts Options) *Simulator {
+	return &Simulator{state: statevec.New(n), opts: opts}
+}
+
+// Wrap returns a simulator operating on an existing state.
+func Wrap(s *statevec.State, opts Options) *Simulator {
+	return &Simulator{state: s, opts: opts}
+}
+
+// State returns the backing state vector.
+func (s *Simulator) State() *statevec.State { return s.state }
+
+// Name implements Backend.
+func (s *Simulator) Name() string { return "our-simulator" }
+
+// ApplyGate executes one gate with the most specialised kernel enabled.
+func (s *Simulator) ApplyGate(g gates.Gate) {
+	if s.opts.Specialize {
+		s.state.ApplyGate(g)
+	} else {
+		s.state.ApplyGateGeneric(g)
+	}
+}
+
+// Run executes the circuit, fusing same-target single-qubit runs when
+// enabled.
+func (s *Simulator) Run(c *circuit.Circuit) {
+	if !s.opts.Fuse {
+		for _, g := range c.Gates {
+			s.ApplyGate(g)
+		}
+		return
+	}
+	gs := c.Gates
+	for i := 0; i < len(gs); {
+		g := gs[i]
+		if len(g.Controls) != 0 {
+			s.ApplyGate(g)
+			i++
+			continue
+		}
+		// Fuse the maximal run of uncontrolled gates on the same target.
+		m := g.Matrix
+		j := i + 1
+		for j < len(gs) && len(gs[j].Controls) == 0 && gs[j].Target == g.Target {
+			m = gs[j].Matrix.Mul(m)
+			j++
+		}
+		if j == i+1 {
+			s.ApplyGate(g)
+		} else {
+			s.ApplyGate(gates.Gate{Name: "fused", Matrix: m, Target: g.Target})
+		}
+		i = j
+	}
+}
+
+// Generic is the qHiPSTER-class structure-blind baseline.
+type Generic struct {
+	state *statevec.State
+}
+
+// NewGeneric returns a Generic back-end over a fresh register.
+func NewGeneric(n uint) *Generic { return &Generic{state: statevec.New(n)} }
+
+// WrapGeneric returns a Generic back-end over an existing state.
+func WrapGeneric(s *statevec.State) *Generic { return &Generic{state: s} }
+
+// State returns the backing state vector.
+func (g *Generic) State() *statevec.State { return g.state }
+
+// Name implements Backend.
+func (g *Generic) Name() string { return "qhipster-class" }
+
+// ApplyGate executes one gate through the dense 2x2 kernel.
+func (g *Generic) ApplyGate(gt gates.Gate) { g.state.ApplyGateGeneric(gt) }
+
+// Run executes the circuit gate by gate, no fusion.
+func (g *Generic) Run(c *circuit.Circuit) {
+	for _, gt := range c.Gates {
+		g.ApplyGate(gt)
+	}
+}
+
+// DenseUnitary builds the full 2^n x 2^n matrix of a circuit by running it
+// on every computational basis state: column i is C|i>. Cost O(G * 2^(2n)),
+// exactly the "T_construction of dense U" step of Table 2.
+func DenseUnitary(c *circuit.Circuit) *linalg.Matrix {
+	n := c.NumQubits
+	dim := 1 << n
+	u := linalg.NewMatrix(dim, dim)
+	for col := 0; col < dim; col++ {
+		st := statevec.NewBasis(n, uint64(col))
+		s := Wrap(st, DefaultOptions())
+		s.Run(c)
+		for row, a := range st.Amplitudes() {
+			u.Set(row, col, a)
+		}
+	}
+	return u
+}

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/rng"
+	"repro/internal/statevec"
+)
+
+func randomCircuit(src *rng.Source, n uint, count int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < count; i++ {
+		q := uint(src.Intn(int(n)))
+		switch src.Intn(6) {
+		case 0:
+			c.Append(gates.H(q))
+		case 1:
+			c.Append(gates.T(q))
+		case 2:
+			c.Append(gates.Rz(q, src.Float64()*3))
+		case 3:
+			c.Append(gates.X(q))
+		case 4:
+			o := uint(src.Intn(int(n)))
+			if o != q {
+				c.Append(gates.CNOT(o, q))
+			} else {
+				c.Append(gates.Y(q))
+			}
+		default:
+			o := uint(src.Intn(int(n)))
+			if o != q {
+				c.Append(gates.CR(o, q, src.Float64()*2))
+			} else {
+				c.Append(gates.S(q))
+			}
+		}
+	}
+	return c
+}
+
+// TestBackendsAgree is the Section 4.5 consistency check: all three
+// back-ends must produce identical states on identical circuits.
+func TestBackendsAgree(t *testing.T) {
+	src := rng.New(404)
+	for trial := 0; trial < 8; trial++ {
+		n := uint(3 + src.Intn(4))
+		c := randomCircuit(src, n, 60)
+
+		ours := New(n)
+		generic := NewGeneric(n)
+		sparse := NewSparseMatrix(n)
+		ours.Run(c)
+		generic.Run(c)
+		sparse.Run(c)
+
+		if d := ours.State().MaxDiff(generic.State()); d > 1e-10 {
+			t.Fatalf("trial %d: ours vs generic differ by %g", trial, d)
+		}
+		if d := ours.State().MaxDiff(sparse.State()); d > 1e-10 {
+			t.Fatalf("trial %d: ours vs sparse differ by %g", trial, d)
+		}
+	}
+}
+
+func TestFusionPreservesSemantics(t *testing.T) {
+	src := rng.New(505)
+	n := uint(5)
+	// Circuit with long same-target runs to exercise fusion.
+	c := circuit.New(n)
+	for i := 0; i < 30; i++ {
+		q := uint(src.Intn(int(n)))
+		c.Append(gates.H(q), gates.T(q), gates.S(q))
+		if i%4 == 0 {
+			c.Append(gates.CNOT(q, (q+1)%n))
+		}
+	}
+	fused := NewWithOptions(n, Options{Specialize: true, Fuse: true})
+	plain := NewWithOptions(n, Options{Specialize: true, Fuse: false})
+	fused.Run(c)
+	plain.Run(c)
+	if d := fused.State().MaxDiff(plain.State()); d > 1e-10 {
+		t.Fatalf("fusion changed semantics by %g", d)
+	}
+}
+
+func TestSpecializeOffStillCorrect(t *testing.T) {
+	src := rng.New(606)
+	n := uint(4)
+	c := randomCircuit(src, n, 40)
+	spec := NewWithOptions(n, Options{Specialize: true})
+	unspec := NewWithOptions(n, Options{Specialize: false})
+	spec.Run(c)
+	unspec.Run(c)
+	if d := spec.State().MaxDiff(unspec.State()); d > 1e-10 {
+		t.Fatalf("specialisation ablation diverges: %g", d)
+	}
+}
+
+func TestGateToCSRStructure(t *testing.T) {
+	// CSR of a CNOT: permutation matrix with one 1 per row.
+	m := GateToCSR(gates.CNOT(0, 1), 2)
+	if m.N != 4 {
+		t.Fatalf("dim %d", m.N)
+	}
+	for row := uint64(0); row < 4; row++ {
+		nnz := m.RowPtr[row+1] - m.RowPtr[row]
+		if nnz != 1 && nnz != 2 {
+			t.Fatalf("row %d has %d nnz", row, nnz)
+		}
+	}
+	// Column sums of |entries|^2 must be 1 (unitary with unit columns).
+	colSum := make([]float64, 4)
+	for p := range m.Values {
+		v := m.Values[p]
+		colSum[m.ColIdx[p]] += real(v)*real(v) + imag(v)*imag(v)
+	}
+	for c, s := range colSum {
+		if math.Abs(s-1) > 1e-12 {
+			t.Errorf("column %d norm %v", c, s)
+		}
+	}
+}
+
+func TestDenseUnitaryOfCNOT(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(gates.CNOT(0, 1))
+	u := DenseUnitary(c)
+	// CNOT with control q0, target q1: |01> <-> |11>, i.e. columns 1 and 3
+	// swapped relative to identity.
+	want := [][]complex128{
+		{1, 0, 0, 0},
+		{0, 0, 0, 1},
+		{0, 0, 1, 0},
+		{0, 1, 0, 0},
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if u.At(i, j) != want[i][j] {
+				t.Fatalf("U[%d][%d] = %v, want %v", i, j, u.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestDenseUnitaryIsUnitary(t *testing.T) {
+	src := rng.New(707)
+	c := randomCircuit(src, 4, 30)
+	u := DenseUnitary(c)
+	if !u.IsUnitary(1e-9) {
+		t.Error("circuit unitary is not unitary")
+	}
+	// And it must act like the circuit on a random state.
+	st := statevec.NewRandom(4, src)
+	viaMatrix := u.MatVec(st.Amplitudes())
+	viaSim := st.Clone()
+	Wrap(viaSim, DefaultOptions()).Run(c)
+	for i, v := range viaMatrix {
+		d := v - viaSim.Amplitude(uint64(i))
+		if math.Hypot(real(d), imag(d)) > 1e-9 {
+			t.Fatalf("matrix path differs at %d", i)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package statevec
+
+import (
+	"repro/internal/bitops"
+	"repro/internal/gates"
+)
+
+// ApplyMatrix2 applies the dense 2x2 unitary m to qubit k. This is the
+// generic kernel a structure-blind simulator (the qHiPSTER-class baseline)
+// uses for every gate: two reads, two writes and a full complex 2x2
+// multiply per amplitude pair.
+func (s *State) ApplyMatrix2(m gates.Matrix2, k uint) {
+	if k >= s.n {
+		panic("statevec: target qubit out of range")
+	}
+	half := s.Dim() >> 1
+	stride := uint64(1) << k
+	parallelRange(half, func(start, end uint64) {
+		for c := start; c < end; c++ {
+			i0 := bitops.InsertZeroBit(c, k)
+			i1 := i0 | stride
+			a0, a1 := s.amp[i0], s.amp[i1]
+			s.amp[i0] = m[0]*a0 + m[1]*a1
+			s.amp[i1] = m[2]*a0 + m[3]*a1
+		}
+	})
+}
+
+// ApplyControlledMatrix2 applies m to qubit k on the subspace where every
+// control qubit reads 1. Controls must not include k.
+func (s *State) ApplyControlledMatrix2(m gates.Matrix2, k uint, controls []uint) {
+	if len(controls) == 0 {
+		s.ApplyMatrix2(m, k)
+		return
+	}
+	for _, c := range controls {
+		if c == k {
+			panic("statevec: control equals target")
+		}
+		if c >= s.n {
+			panic("statevec: control qubit out of range")
+		}
+	}
+	cmask := bitops.ControlMask(controls)
+	half := s.Dim() >> 1
+	stride := uint64(1) << k
+	parallelRange(half, func(start, end uint64) {
+		for c := start; c < end; c++ {
+			i0 := bitops.InsertZeroBit(c, k)
+			if i0&cmask != cmask {
+				continue
+			}
+			i1 := i0 | stride
+			a0, a1 := s.amp[i0], s.amp[i1]
+			s.amp[i0] = m[0]*a0 + m[1]*a1
+			s.amp[i1] = m[2]*a0 + m[3]*a1
+		}
+	})
+}
+
+// ApplyX applies a NOT to qubit k by swapping amplitude pairs — no complex
+// arithmetic at all. One of the specialised kernels that distinguish the
+// paper's simulator from the generic baseline.
+func (s *State) ApplyX(k uint) {
+	if k >= s.n {
+		panic("statevec: target qubit out of range")
+	}
+	half := s.Dim() >> 1
+	stride := uint64(1) << k
+	parallelRange(half, func(start, end uint64) {
+		for c := start; c < end; c++ {
+			i0 := bitops.InsertZeroBit(c, k)
+			i1 := i0 | stride
+			s.amp[i0], s.amp[i1] = s.amp[i1], s.amp[i0]
+		}
+	})
+}
+
+// ApplyDiag applies the diagonal gate diag(d0, d1) to qubit k: a single
+// multiply per amplitude, no pairing, no swaps. Entries equal to exactly 1
+// are skipped entirely, so a phase gate touches only half the vector — this
+// is the "read and write only a quarter of the state" optimisation of
+// Section 3.2 once a control is added.
+func (s *State) ApplyDiag(d0, d1 complex128, k uint) {
+	if k >= s.n {
+		panic("statevec: target qubit out of range")
+	}
+	half := s.Dim() >> 1
+	stride := uint64(1) << k
+	scale0 := d0 != 1
+	scale1 := d1 != 1
+	if !scale0 && !scale1 {
+		return
+	}
+	parallelRange(half, func(start, end uint64) {
+		for c := start; c < end; c++ {
+			i0 := bitops.InsertZeroBit(c, k)
+			if scale0 {
+				s.amp[i0] *= d0
+			}
+			if scale1 {
+				s.amp[i0|stride] *= d1
+			}
+		}
+	})
+}
+
+// ApplyControlledDiag applies diag(d0, d1) on qubit k conditioned on the
+// controls. For the conditional phase shift (d0 == 1) only the amplitudes
+// with target bit 1 AND all control bits 1 are touched: a quarter of the
+// state for one control, an eighth for two, and so on.
+func (s *State) ApplyControlledDiag(d0, d1 complex128, k uint, controls []uint) {
+	if len(controls) == 0 {
+		s.ApplyDiag(d0, d1, k)
+		return
+	}
+	cmask := bitops.ControlMask(controls)
+	half := s.Dim() >> 1
+	stride := uint64(1) << k
+	scale0 := d0 != 1
+	scale1 := d1 != 1
+	if !scale0 && !scale1 {
+		return
+	}
+	parallelRange(half, func(start, end uint64) {
+		for c := start; c < end; c++ {
+			i0 := bitops.InsertZeroBit(c, k)
+			if i0&cmask != cmask {
+				continue
+			}
+			if scale0 {
+				s.amp[i0] *= d0
+			}
+			if scale1 {
+				s.amp[i0|stride] *= d1
+			}
+		}
+	})
+}
+
+// ApplyControlledX applies a (multi-)controlled NOT by swapping the
+// amplitude pairs whose controls are satisfied — no complex arithmetic at
+// all, where the generic kernel spends a full 2x2 complex multiply per
+// pair. CNOT and Toffoli both land here.
+func (s *State) ApplyControlledX(k uint, controls []uint) {
+	if len(controls) == 0 {
+		s.ApplyX(k)
+		return
+	}
+	cmask := bitops.ControlMask(controls)
+	half := s.Dim() >> 1
+	stride := uint64(1) << k
+	parallelRange(half, func(start, end uint64) {
+		for c := start; c < end; c++ {
+			i0 := bitops.InsertZeroBit(c, k)
+			if i0&cmask != cmask {
+				continue
+			}
+			i1 := i0 | stride
+			s.amp[i0], s.amp[i1] = s.amp[i1], s.amp[i0]
+		}
+	})
+}
+
+// ApplyHadamard applies H to qubit k with the multiply count minimised:
+// one scale and one add/sub per output instead of a generic 2x2 product.
+func (s *State) ApplyHadamard(k uint) {
+	if k >= s.n {
+		panic("statevec: target qubit out of range")
+	}
+	const invSqrt2 = 0.7071067811865476
+	half := s.Dim() >> 1
+	stride := uint64(1) << k
+	parallelRange(half, func(start, end uint64) {
+		for c := start; c < end; c++ {
+			i0 := bitops.InsertZeroBit(c, k)
+			i1 := i0 | stride
+			a0, a1 := s.amp[i0], s.amp[i1]
+			s.amp[i0] = complex(invSqrt2*(real(a0)+real(a1)), invSqrt2*(imag(a0)+imag(a1)))
+			s.amp[i1] = complex(invSqrt2*(real(a0)-real(a1)), invSqrt2*(imag(a0)-imag(a1)))
+		}
+	})
+}
+
+// ApplyGate dispatches g to the most specialised kernel available. This is
+// the paper's "take advantage of the structure of gate matrices" strategy:
+// diagonal and anti-diagonal gates never run the dense kernel.
+func (s *State) ApplyGate(g gates.Gate) {
+	switch g.Kind() {
+	case gates.Identity:
+		if g.Matrix[0] != 1 {
+			s.ApplyControlledDiag(g.Matrix[0], g.Matrix[3], g.Target, g.Controls)
+		}
+	case gates.Diagonal:
+		s.ApplyControlledDiag(g.Matrix[0], g.Matrix[3], g.Target, g.Controls)
+	case gates.AntiDiagonal:
+		if g.Matrix[1] == 1 && g.Matrix[2] == 1 {
+			s.ApplyControlledX(g.Target, g.Controls)
+			return
+		}
+		s.ApplyControlledMatrix2(g.Matrix, g.Target, g.Controls)
+	default:
+		if len(g.Controls) == 0 && g.Matrix == gates.MatH {
+			s.ApplyHadamard(g.Target)
+			return
+		}
+		s.ApplyControlledMatrix2(g.Matrix, g.Target, g.Controls)
+	}
+}
+
+// ApplyGateGeneric applies g through the dense 2x2 kernel regardless of
+// structure. The qHiPSTER-class baseline and the kernel-specialisation
+// ablation use it.
+func (s *State) ApplyGateGeneric(g gates.Gate) {
+	s.ApplyControlledMatrix2(g.Matrix, g.Target, g.Controls)
+}
+
+// ApplyPermutation relabels basis states: amplitude at index i moves to
+// index f(i). f must be a bijection on [0, 2^n); the classical-function
+// emulation of Section 3.1 reduces reversible circuits to exactly this.
+// The permutation is applied out of place into scratch storage.
+func (s *State) ApplyPermutation(f func(uint64) uint64) {
+	dim := s.Dim()
+	out := make([]complex128, dim)
+	parallelRange(dim, func(start, end uint64) {
+		for i := start; i < end; i++ {
+			out[f(i)] = s.amp[i]
+		}
+	})
+	s.amp = out
+}
+
+// ApplyDiagonalFunc multiplies amplitude i by phase(i). Emulated diagonal
+// unitaries (e.g. e^{i f(x)} oracles) use it.
+func (s *State) ApplyDiagonalFunc(phase func(uint64) complex128) {
+	parallelRange(s.Dim(), func(start, end uint64) {
+		for i := start; i < end; i++ {
+			s.amp[i] *= phase(i)
+		}
+	})
+}
+
+// MapRegister applies an in-register classical map: the field of width
+// `width` bits starting at bit `pos` is replaced by f(old field, rest)
+// where rest is the index with the field zeroed. f must be a bijection of
+// the field value for every fixed rest, which keeps the whole map a
+// permutation. This expresses e.g. (a,b,0) -> (a,b,a*b) directly.
+func (s *State) MapRegister(pos, width uint, f func(field, rest uint64) uint64) {
+	mask := bitops.Mask(width) << pos
+	s.ApplyPermutation(func(i uint64) uint64 {
+		field := (i & mask) >> pos
+		rest := i &^ mask
+		return rest | ((f(field, rest) << pos) & mask)
+	})
+}

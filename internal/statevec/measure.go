@@ -1,0 +1,168 @@
+package statevec
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/bitops"
+	"repro/internal/rng"
+)
+
+// Probability returns the probability that measuring qubit k yields 1.
+func (s *State) Probability(k uint) float64 {
+	if k >= s.n {
+		panic("statevec: qubit out of range")
+	}
+	stride := uint64(1) << k
+	half := s.Dim() >> 1
+	var p float64
+	for c := uint64(0); c < half; c++ {
+		i1 := bitops.InsertZeroBit(c, k) | stride
+		a := s.amp[i1]
+		p += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return p
+}
+
+// Probabilities returns |amp_i|^2 for every basis state — the complete
+// measurement distribution the paper's Section 3.4 says an emulator can
+// hand out in one shot, removing the need for repeated sampling.
+func (s *State) Probabilities() []float64 {
+	p := make([]float64, s.Dim())
+	parallelRange(s.Dim(), func(start, end uint64) {
+		for i := start; i < end; i++ {
+			a := s.amp[i]
+			p[i] = real(a)*real(a) + imag(a)*imag(a)
+		}
+	})
+	return p
+}
+
+// Measure performs a projective measurement of qubit k, collapsing the
+// state and renormalising. It returns the observed bit.
+func (s *State) Measure(k uint, src *rng.Source) uint64 {
+	p1 := s.Probability(k)
+	var outcome uint64
+	if src.Float64() < p1 {
+		outcome = 1
+	}
+	s.Collapse(k, outcome)
+	return outcome
+}
+
+// Collapse projects qubit k onto the given outcome (0 or 1) and
+// renormalises. It panics if the outcome has zero probability.
+func (s *State) Collapse(k uint, outcome uint64) {
+	if k >= s.n {
+		panic("statevec: qubit out of range")
+	}
+	stride := uint64(1) << k
+	var norm float64
+	parallelRange(s.Dim(), func(start, end uint64) {
+		for i := start; i < end; i++ {
+			if (i&stride != 0) != (outcome == 1) {
+				s.amp[i] = 0
+			}
+		}
+	})
+	for _, a := range s.amp {
+		norm += real(a)*real(a) + imag(a)*imag(a)
+	}
+	if norm == 0 {
+		panic("statevec: collapse onto zero-probability outcome")
+	}
+	inv := complex(1/math.Sqrt(norm), 0)
+	for i := range s.amp {
+		s.amp[i] *= inv
+	}
+}
+
+// Sample draws one full-register measurement outcome without collapsing
+// the state, via inverse-CDF sampling over the amplitude weights. This is
+// what a real quantum computer returns per run: n bits.
+func (s *State) Sample(src *rng.Source) uint64 {
+	r := src.Float64()
+	var acc float64
+	for i, a := range s.amp {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		if r < acc {
+			return uint64(i)
+		}
+	}
+	return s.Dim() - 1
+}
+
+// SampleMany draws k independent outcomes by sorting uniforms against the
+// cumulative distribution, costing O(2^n + k log k) instead of O(k 2^n).
+func (s *State) SampleMany(k int, src *rng.Source) []uint64 {
+	rs := make([]float64, k)
+	for i := range rs {
+		rs[i] = src.Float64()
+	}
+	sort.Float64s(rs)
+	out := make([]uint64, k)
+	var acc float64
+	idx := 0
+	for i, a := range s.amp {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		for idx < k && rs[idx] < acc {
+			out[idx] = uint64(i)
+			idx++
+		}
+		if idx == k {
+			break
+		}
+	}
+	for ; idx < k; idx++ {
+		out[idx] = s.Dim() - 1
+	}
+	// Restore random order so callers see i.i.d. draws.
+	for i := k - 1; i > 0; i-- {
+		j := src.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// ExpectationZ returns <Z_k>, the expectation of the Pauli-Z observable on
+// qubit k, computed exactly from the distribution (no sampling).
+func (s *State) ExpectationZ(k uint) float64 {
+	return 1 - 2*s.Probability(k)
+}
+
+// ExpectationDiagonal returns the exact expectation of a diagonal
+// observable with eigenvalue obs(i) on basis state i. Section 3.4's point:
+// the emulator evaluates this in one pass over the state, where hardware
+// needs many repetitions for statistical accuracy.
+func (s *State) ExpectationDiagonal(obs func(uint64) float64) float64 {
+	var acc float64
+	for i, a := range s.amp {
+		p := real(a)*real(a) + imag(a)*imag(a)
+		if p != 0 {
+			acc += p * obs(uint64(i))
+		}
+	}
+	return acc
+}
+
+// EstimateDiagonal estimates the same expectation the way hardware must:
+// by drawing shots samples and averaging, returning the estimate and its
+// standard error. The Section 3.4 ablation compares it to the exact path.
+func (s *State) EstimateDiagonal(obs func(uint64) float64, shots int, src *rng.Source) (mean, stderr float64) {
+	if shots <= 0 {
+		panic("statevec: shots must be positive")
+	}
+	var sum, sumSq float64
+	for _, x := range s.SampleMany(shots, src) {
+		v := obs(x)
+		sum += v
+		sumSq += v * v
+	}
+	mean = sum / float64(shots)
+	variance := sumSq/float64(shots) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	stderr = math.Sqrt(variance / float64(shots))
+	return mean, stderr
+}

@@ -1,0 +1,132 @@
+package statevec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/rng"
+)
+
+func TestProbabilityUniform(t *testing.T) {
+	s := New(4)
+	for q := uint(0); q < 4; q++ {
+		s.ApplyGate(gates.H(q))
+	}
+	for q := uint(0); q < 4; q++ {
+		if p := s.Probability(q); math.Abs(p-0.5) > eps {
+			t.Errorf("P(q%d=1) = %v, want 0.5", q, p)
+		}
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	src := rng.New(1)
+	s := NewRandom(7, src)
+	var sum float64
+	for _, p := range s.Probabilities() {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-10 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+}
+
+func TestCollapse(t *testing.T) {
+	s := New(2)
+	s.ApplyGate(gates.H(0))
+	s.ApplyGate(gates.CNOT(0, 1))
+	s.Collapse(0, 1)
+	// Bell state collapsed on qubit 0 = 1 must be |11>.
+	if math.Abs(real(s.Amplitude(3))-1) > eps {
+		t.Fatalf("collapse gave %v", s.Amplitudes())
+	}
+	if math.Abs(s.Norm()-1) > eps {
+		t.Error("collapse broke normalisation")
+	}
+}
+
+func TestCollapseZeroProbabilityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("collapse onto zero-probability outcome did not panic")
+		}
+	}()
+	New(2).Collapse(0, 1) // |00> has P(q0=1) = 0
+}
+
+func TestMeasureBellCorrelations(t *testing.T) {
+	src := rng.New(2024)
+	for trial := 0; trial < 50; trial++ {
+		s := New(2)
+		s.ApplyGate(gates.H(0))
+		s.ApplyGate(gates.CNOT(0, 1))
+		b0 := s.Measure(0, src)
+		b1 := s.Measure(1, src)
+		if b0 != b1 {
+			t.Fatal("Bell measurement decorrelated")
+		}
+	}
+}
+
+func TestSampleDistribution(t *testing.T) {
+	// State (|0> + |1>)/sqrt2 on one qubit: ~50/50 sampling.
+	s := New(1)
+	s.ApplyGate(gates.H(0))
+	src := rng.New(9)
+	ones := 0
+	const shots = 20000
+	for i := 0; i < shots; i++ {
+		ones += int(s.Sample(src))
+	}
+	frac := float64(ones) / shots
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("sampled fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestSampleManyMatchesDistribution(t *testing.T) {
+	src := rng.New(10)
+	s := NewRandom(4, src)
+	probs := s.Probabilities()
+	const shots = 60000
+	counts := make([]int, s.Dim())
+	for _, x := range s.SampleMany(shots, src) {
+		counts[x]++
+	}
+	for i, p := range probs {
+		got := float64(counts[i]) / shots
+		tol := 4*math.Sqrt(p*(1-p)/shots) + 1e-3
+		if math.Abs(got-p) > tol {
+			t.Errorf("state %d: sampled %v, exact %v (tol %v)", i, got, p, tol)
+		}
+	}
+}
+
+func TestExpectationZ(t *testing.T) {
+	s := New(2)
+	if got := s.ExpectationZ(0); math.Abs(got-1) > eps {
+		t.Errorf("<Z> on |0> = %v, want 1", got)
+	}
+	s.ApplyX(0)
+	if got := s.ExpectationZ(0); math.Abs(got+1) > eps {
+		t.Errorf("<Z> on |1> = %v, want -1", got)
+	}
+	s.ApplyHadamard(0)
+	if got := s.ExpectationZ(0); math.Abs(got) > eps {
+		t.Errorf("<Z> on |-> = %v, want 0", got)
+	}
+}
+
+func TestExactVsSampledExpectation(t *testing.T) {
+	// Section 3.4: the exact expectation must agree with the sampled
+	// estimate within a few standard errors, while needing no shots.
+	src := rng.New(123)
+	s := NewRandom(6, src)
+	obs := func(i uint64) float64 { return float64(i%5) - 2 }
+	exact := s.ExpectationDiagonal(obs)
+	mean, stderr := s.EstimateDiagonal(obs, 40000, src)
+	if math.Abs(mean-exact) > 5*stderr+1e-3 {
+		t.Errorf("sampled %v +- %v vs exact %v", mean, stderr, exact)
+	}
+}

@@ -1,0 +1,130 @@
+package statevec
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/bitops"
+)
+
+// Pauli labels a single-qubit Pauli operator in an observable string.
+type Pauli byte
+
+// Pauli operator labels.
+const (
+	PauliI Pauli = 'I'
+	PauliX Pauli = 'X'
+	PauliY Pauli = 'Y'
+	PauliZ Pauli = 'Z'
+)
+
+// PauliString is a tensor product of Pauli operators on selected qubits —
+// the standard observable language of quantum simulation (the TFIM energy
+// is a sum of ZZ and X strings). Qubits not listed act as identity.
+type PauliString struct {
+	Qubits []uint
+	Ops    []Pauli
+}
+
+// ParsePauliString builds a PauliString from a compact spec such as
+// "Z0 Z1" or "X3 Y5 Z0".
+func ParsePauliString(spec string) (PauliString, error) {
+	var ps PauliString
+	var op Pauli
+	var q uint
+	var haveOp bool
+	flush := func() {
+		if haveOp {
+			ps.Ops = append(ps.Ops, op)
+			ps.Qubits = append(ps.Qubits, q)
+		}
+		haveOp = false
+		q = 0
+	}
+	for i := 0; i < len(spec); i++ {
+		ch := spec[i]
+		switch {
+		case ch == ' ':
+			flush()
+		case ch == 'I' || ch == 'X' || ch == 'Y' || ch == 'Z':
+			flush()
+			op = Pauli(ch)
+			haveOp = true
+		case ch >= '0' && ch <= '9':
+			if !haveOp {
+				return PauliString{}, fmt.Errorf("statevec: digit before operator in %q", spec)
+			}
+			q = q*10 + uint(ch-'0')
+		default:
+			return PauliString{}, fmt.Errorf("statevec: bad character %q in Pauli string", ch)
+		}
+	}
+	flush()
+	if len(ps.Ops) == 0 {
+		return PauliString{}, fmt.Errorf("statevec: empty Pauli string %q", spec)
+	}
+	return ps, nil
+}
+
+// ExpectationPauli returns <s| P |s> for the Pauli string, computed in one
+// pass without materialising P: for each basis state, the X/Y parts flip
+// bits (pairing amplitudes) and the Y/Z parts contribute phases.
+// The result of a Hermitian observable is real; the real part is returned.
+func (s *State) ExpectationPauli(p PauliString) float64 {
+	var flipMask uint64 // X and Y flip the bit
+	var zMask uint64    // Z and Y read the bit as a sign
+	var yCount int
+	for i, op := range p.Ops {
+		q := p.Qubits[i]
+		if q >= s.n {
+			panic("statevec: Pauli string qubit out of range")
+		}
+		switch op {
+		case PauliI:
+		case PauliX:
+			flipMask |= 1 << q
+		case PauliY:
+			flipMask |= 1 << q
+			zMask |= 1 << q
+			yCount++
+		case PauliZ:
+			zMask |= 1 << q
+		default:
+			panic(fmt.Sprintf("statevec: unknown Pauli %q", op))
+		}
+	}
+	// P|j> = phase(j) |j ^ flipMask> with
+	// phase(j) = (+i)^{#Y} * (-1)^{popcount((j^flipMask) & zMask)}
+	// using the convention Y|0> = i|1>, Y|1> = -i|0>.
+	iPow := []complex128{1, 1i, -1, -1i}[yCount%4]
+	var acc complex128
+	for j, a := range s.amp {
+		if a == 0 {
+			continue
+		}
+		src := uint64(j) ^ flipMask // P maps |src> -> phase |j>
+		sign := complex128(1)
+		if bitops.PopCount(src&zMask)%2 == 1 {
+			sign = -1
+		}
+		// Y sign bookkeeping: each Y contributes i if the source bit is 0
+		// and -i if 1; combined: (+i)^{#Y} * (-1)^{#Y bits set in src}.
+		// The zMask popcount above already includes Y positions, so only
+		// the global iPow factor remains.
+		acc += cmplx.Conj(a) * iPow * sign * s.amp[src]
+	}
+	return real(acc)
+}
+
+// ExpectationPauliSum returns the expectation of a weighted sum of Pauli
+// strings — e.g. a full Hamiltonian.
+func (s *State) ExpectationPauliSum(coeffs []float64, terms []PauliString) float64 {
+	if len(coeffs) != len(terms) {
+		panic("statevec: coefficient/term length mismatch")
+	}
+	var acc float64
+	for i, t := range terms {
+		acc += coeffs[i] * s.ExpectationPauli(t)
+	}
+	return acc
+}

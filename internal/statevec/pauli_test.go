@@ -1,0 +1,136 @@
+package statevec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/rng"
+)
+
+func mustParse(t *testing.T, spec string) PauliString {
+	t.Helper()
+	ps, err := ParsePauliString(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+func TestParsePauliString(t *testing.T) {
+	ps := mustParse(t, "Z0 Z1")
+	if len(ps.Ops) != 2 || ps.Ops[0] != PauliZ || ps.Qubits[1] != 1 {
+		t.Fatalf("parsed %+v", ps)
+	}
+	ps = mustParse(t, "X12Y3")
+	if ps.Qubits[0] != 12 || ps.Ops[1] != PauliY || ps.Qubits[1] != 3 {
+		t.Fatalf("parsed %+v", ps)
+	}
+	for _, bad := range []string{"", "5", "Q0", "Z0 7Y"} {
+		if _, err := ParsePauliString(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestExpectationPauliBasisStates(t *testing.T) {
+	// <0|Z|0> = 1, <1|Z|1> = -1, <0|X|0> = 0.
+	s := New(2)
+	if got := s.ExpectationPauli(mustParse(t, "Z0")); math.Abs(got-1) > eps {
+		t.Errorf("<Z0> on |00> = %v", got)
+	}
+	if got := s.ExpectationPauli(mustParse(t, "X0")); math.Abs(got) > eps {
+		t.Errorf("<X0> on |00> = %v", got)
+	}
+	s.ApplyX(0)
+	if got := s.ExpectationPauli(mustParse(t, "Z0")); math.Abs(got+1) > eps {
+		t.Errorf("<Z0> on |01> = %v", got)
+	}
+}
+
+func TestExpectationPauliEigenstates(t *testing.T) {
+	// |+> is the +1 eigenstate of X; |i> (after S) of Y.
+	s := New(1)
+	s.ApplyHadamard(0)
+	if got := s.ExpectationPauli(mustParse(t, "X0")); math.Abs(got-1) > eps {
+		t.Errorf("<X> on |+> = %v", got)
+	}
+	s.ApplyGate(gates.S(0))
+	if got := s.ExpectationPauli(mustParse(t, "Y0")); math.Abs(got-1) > eps {
+		t.Errorf("<Y> on |i> = %v", got)
+	}
+	if got := s.ExpectationPauli(mustParse(t, "X0")); math.Abs(got) > eps {
+		t.Errorf("<X> on |i> = %v", got)
+	}
+}
+
+func TestExpectationPauliGHZCorrelations(t *testing.T) {
+	// GHZ: <Z0 Z1> = 1, <Z0> = 0, <X0 X1 X2> = 1, <X0 X1> = 0.
+	s := New(3)
+	s.ApplyHadamard(0)
+	s.ApplyControlledX(1, []uint{0})
+	s.ApplyControlledX(2, []uint{0})
+	checks := map[string]float64{
+		"Z0 Z1":    1,
+		"Z1 Z2":    1,
+		"Z0":       0,
+		"X0 X1 X2": 1,
+		"X0 X1":    0,
+		"Y0 Y1 X2": -1, // stabiliser identity: -Y Y X stabilises GHZ
+	}
+	for spec, want := range checks {
+		if got := s.ExpectationPauli(mustParse(t, spec)); math.Abs(got-want) > eps {
+			t.Errorf("<%s> = %v, want %v", spec, got, want)
+		}
+	}
+}
+
+func TestExpectationPauliAgainstGateConjugation(t *testing.T) {
+	// <psi|P|psi> must equal <psi|(P applied as gates)|psi> for random
+	// states: apply the string as X/Y/Z gates and take the inner product.
+	src := rng.New(51)
+	for trial := 0; trial < 10; trial++ {
+		n := uint(5)
+		s := NewRandom(n, src)
+		specs := []string{"Z2", "X0 Z3", "Y1 Y4", "X0 Y1 Z2 X3", "Z0 Z1 Z2 Z3 Z4"}
+		for _, spec := range specs {
+			ps := mustParse(t, spec)
+			applied := s.Clone()
+			for i, op := range ps.Ops {
+				q := ps.Qubits[i]
+				switch op {
+				case PauliX:
+					applied.ApplyGate(gates.X(q))
+				case PauliY:
+					applied.ApplyGate(gates.Y(q))
+				case PauliZ:
+					applied.ApplyGate(gates.Z(q))
+				}
+			}
+			want := real(s.Inner(applied))
+			if got := s.ExpectationPauli(ps); math.Abs(got-want) > 1e-10 {
+				t.Fatalf("<%s>: %v vs gate-conjugated %v", spec, got, want)
+			}
+		}
+	}
+}
+
+func TestExpectationPauliSumTFIMEnergy(t *testing.T) {
+	// The TFIM energy of |0...0>: -J sum <Z Z> - h sum <X> = -J (n-1).
+	n := uint(4)
+	s := New(n)
+	var coeffs []float64
+	var terms []PauliString
+	for q := uint(0); q+1 < n; q++ {
+		coeffs = append(coeffs, -1)
+		terms = append(terms, PauliString{Qubits: []uint{q, q + 1}, Ops: []Pauli{PauliZ, PauliZ}})
+	}
+	for q := uint(0); q < n; q++ {
+		coeffs = append(coeffs, -0.5)
+		terms = append(terms, PauliString{Qubits: []uint{q}, Ops: []Pauli{PauliX}})
+	}
+	got := s.ExpectationPauliSum(coeffs, terms)
+	if math.Abs(got-(-3)) > eps {
+		t.Errorf("TFIM energy of |0000> = %v, want -3", got)
+	}
+}

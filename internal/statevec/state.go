@@ -1,0 +1,219 @@
+// Package statevec implements the dense state-vector representation of an
+// n-qubit register: 2^n complex128 amplitudes, with shared-memory parallel
+// kernels for gate application, basis-state permutations (the emulator's
+// classical-function shortcut), diagonal phase functions, and measurement.
+//
+// The layout convention matches the paper: amplitude index i, read as an
+// n-bit integer, assigns bit k of i to qubit k, with qubit 0 the least
+// significant bit.
+package statevec
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// MaxQubits bounds the register size a single address space can hold; at 30
+// qubits the vector is already 16 GiB. The bound exists to turn an
+// accidental huge allocation into a clear error.
+const MaxQubits = 34
+
+// State is the wavefunction of an n-qubit register. The amplitude slice has
+// length exactly 2^n. Methods that mutate the state do so in place.
+type State struct {
+	n   uint
+	amp []complex128
+}
+
+// New returns an n-qubit register initialised to the computational basis
+// state |0...0>.
+func New(n uint) *State {
+	s := NewZero(n)
+	s.amp[0] = 1
+	return s
+}
+
+// NewZero returns an n-qubit register with all amplitudes zero. Callers
+// must fill it before using it as a quantum state; it exists so kernels can
+// allocate scratch output vectors.
+func NewZero(n uint) *State {
+	if n > MaxQubits {
+		panic(fmt.Sprintf("statevec: %d qubits exceeds MaxQubits=%d", n, MaxQubits))
+	}
+	return &State{n: n, amp: make([]complex128, uint64(1)<<n)}
+}
+
+// NewBasis returns an n-qubit register initialised to basis state |i>.
+func NewBasis(n uint, i uint64) *State {
+	s := NewZero(n)
+	if i >= s.Dim() {
+		panic(fmt.Sprintf("statevec: basis state %d out of range for %d qubits", i, n))
+	}
+	s.amp[i] = 1
+	return s
+}
+
+// FromAmplitudes wraps amps (whose length must be a power of two) as a
+// State without copying. The caller keeps ownership of the slice.
+func FromAmplitudes(amps []complex128) (*State, error) {
+	d := uint64(len(amps))
+	if d == 0 || d&(d-1) != 0 {
+		return nil, fmt.Errorf("statevec: length %d is not a power of two", d)
+	}
+	n := uint(0)
+	for (uint64(1) << n) < d {
+		n++
+	}
+	return &State{n: n, amp: amps}, nil
+}
+
+// NewRandom returns a normalised Haar-like random state drawn from src,
+// used as generic test input.
+func NewRandom(n uint, src *rng.Source) *State {
+	s := NewZero(n)
+	for i := range s.amp {
+		s.amp[i] = src.Complex()
+	}
+	s.Normalize()
+	return s
+}
+
+// NumQubits returns n.
+func (s *State) NumQubits() uint { return s.n }
+
+// Dim returns 2^n.
+func (s *State) Dim() uint64 { return uint64(len(s.amp)) }
+
+// Amplitudes exposes the backing slice. Mutating it mutates the state.
+func (s *State) Amplitudes() []complex128 { return s.amp }
+
+// Amplitude returns amplitude i.
+func (s *State) Amplitude(i uint64) complex128 { return s.amp[i] }
+
+// SetAmplitude overwrites amplitude i; the caller is responsible for
+// keeping the state normalised.
+func (s *State) SetAmplitude(i uint64, a complex128) { s.amp[i] = a }
+
+// Clone returns a deep copy of s.
+func (s *State) Clone() *State {
+	c := &State{n: s.n, amp: make([]complex128, len(s.amp))}
+	copy(c.amp, s.amp)
+	return c
+}
+
+// CopyFrom overwrites s with the contents of other (same qubit count).
+func (s *State) CopyFrom(other *State) {
+	if s.n != other.n {
+		panic("statevec: CopyFrom dimension mismatch")
+	}
+	copy(s.amp, other.amp)
+}
+
+// Norm returns the 2-norm of the amplitude vector (1 for a valid state).
+func (s *State) Norm() float64 {
+	var acc float64
+	for _, a := range s.amp {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(acc)
+}
+
+// Normalize rescales the state to unit norm. It panics on the zero vector.
+func (s *State) Normalize() {
+	nrm := s.Norm()
+	if nrm == 0 {
+		panic("statevec: cannot normalise the zero vector")
+	}
+	inv := complex(1/nrm, 0)
+	for i := range s.amp {
+		s.amp[i] *= inv
+	}
+}
+
+// Inner returns <s|other>.
+func (s *State) Inner(other *State) complex128 {
+	if s.n != other.n {
+		panic("statevec: Inner dimension mismatch")
+	}
+	var acc complex128
+	for i, a := range s.amp {
+		acc += cmplx.Conj(a) * other.amp[i]
+	}
+	return acc
+}
+
+// Fidelity returns |<s|other>|^2.
+func (s *State) Fidelity(other *State) float64 {
+	ip := s.Inner(other)
+	return real(ip)*real(ip) + imag(ip)*imag(ip)
+}
+
+// MaxDiff returns the largest absolute amplitude difference between s and
+// other, the metric the cross-validation tests use.
+func (s *State) MaxDiff(other *State) float64 {
+	if s.n != other.n {
+		panic("statevec: MaxDiff dimension mismatch")
+	}
+	var m float64
+	for i, a := range s.amp {
+		if d := cmplx.Abs(a - other.amp[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// ApproxEqual reports whether every amplitude of s is within eps of other,
+// ignoring any global phase difference is NOT done here: states must match
+// exactly up to eps. Use FidelityClose for phase-insensitive comparison.
+func (s *State) ApproxEqual(other *State, eps float64) bool {
+	return s.MaxDiff(other) <= eps
+}
+
+// parallelThreshold is the vector length below which kernels run serially;
+// goroutine fan-out costs more than it saves on tiny registers.
+const parallelThreshold = 1 << 12
+
+// workers returns the worker count for a loop over size items.
+func workers(size uint64) int {
+	w := runtime.GOMAXPROCS(0)
+	if size < parallelThreshold || w <= 1 {
+		return 1
+	}
+	if uint64(w) > size/1024 {
+		w = int(size / 1024)
+		if w < 1 {
+			w = 1
+		}
+	}
+	return w
+}
+
+// parallelRange invokes fn(start, end) over disjoint chunks of [0, size)
+// from multiple goroutines and waits for completion.
+func parallelRange(size uint64, fn func(start, end uint64)) {
+	w := uint64(workers(size))
+	if w <= 1 {
+		fn(0, size)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (size + w - 1) / w
+	for start := uint64(0); start < size; start += chunk {
+		end := start + chunk
+		if end > size {
+			end = size
+		}
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(start, end)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,122 @@
+package statevec
+
+import (
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/rng"
+)
+
+// cnotMatrix4 returns the 4x4 CNOT with control q0-slot, target q1-slot
+// under the (q1 << 1 | q0) basis convention.
+func cnotMatrix4() [16]complex128 {
+	// |q1 q0>: control = q0 (column bit 0), target = q1 (bit 1).
+	// 00 -> 00, 01 -> 11, 10 -> 10, 11 -> 01.
+	var m [16]complex128
+	m[0*4+0] = 1
+	m[3*4+1] = 1
+	m[2*4+2] = 1
+	m[1*4+3] = 1
+	return m
+}
+
+func TestApplyMatrix4CNOT(t *testing.T) {
+	src := rng.New(1)
+	for trial := 0; trial < 5; trial++ {
+		n := uint(4 + src.Intn(3))
+		q0 := uint(src.Intn(int(n)))
+		q1 := uint(src.Intn(int(n)))
+		if q0 == q1 {
+			continue
+		}
+		st := NewRandom(n, src)
+		want := st.Clone()
+		want.ApplyGate(gates.CNOT(q0, q1))
+		got := st.Clone()
+		m := cnotMatrix4()
+		got.ApplyMatrix4(&m, q0, q1)
+		if d := got.MaxDiff(want); d > eps {
+			t.Fatalf("n=%d q0=%d q1=%d: CNOT via Matrix4 differs by %g", n, q0, q1, d)
+		}
+	}
+}
+
+func TestApplyMatrix4KroneckerOfSingles(t *testing.T) {
+	// (A on q0) then (B on q1) == (B ⊗ A) as a 4x4.
+	src := rng.New(2)
+	a := gates.Rx(0, 0.7).Matrix
+	b := gates.Ry(0, 1.3).Matrix
+	var m [16]complex128
+	for i1 := 0; i1 < 2; i1++ {
+		for i0 := 0; i0 < 2; i0++ {
+			for j1 := 0; j1 < 2; j1++ {
+				for j0 := 0; j0 < 2; j0++ {
+					row := i1<<1 | i0
+					col := j1<<1 | j0
+					m[row*4+col] = b[i1*2+j1] * a[i0*2+j0]
+				}
+			}
+		}
+	}
+	n := uint(5)
+	q0, q1 := uint(1), uint(3)
+	st := NewRandom(n, src)
+	want := st.Clone()
+	want.ApplyMatrix2(a, q0)
+	want.ApplyMatrix2(b, q1)
+	got := st.Clone()
+	got.ApplyMatrix4(&m, q0, q1)
+	if d := got.MaxDiff(want); d > eps {
+		t.Fatalf("Kronecker two-qubit differs by %g", d)
+	}
+}
+
+func TestApplySwap(t *testing.T) {
+	src := rng.New(3)
+	n := uint(6)
+	st := NewRandom(n, src)
+	want := st.Clone()
+	for _, g := range gates.Swap(1, 4) {
+		want.ApplyGate(g)
+	}
+	got := st.Clone()
+	got.ApplySwap(1, 4)
+	if d := got.MaxDiff(want); d > eps {
+		t.Fatalf("ApplySwap differs from 3-CNOT swap by %g", d)
+	}
+	// Self-inverse, symmetric in arguments.
+	got.ApplySwap(4, 1)
+	if d := got.MaxDiff(st); d > eps {
+		t.Fatal("double swap not identity")
+	}
+}
+
+func TestApplyMatrix4NormPreserved(t *testing.T) {
+	// A random unitary 4x4 (built from single-qubit unitaries and CNOT)
+	// must preserve the norm.
+	src := rng.New(4)
+	st := NewRandom(6, src)
+	m := cnotMatrix4()
+	st.ApplyMatrix4(&m, 2, 5)
+	if d := st.Norm() - 1; d > 1e-10 || d < -1e-10 {
+		t.Fatalf("norm drifted by %g", d)
+	}
+}
+
+func TestApplyMatrix4Panics(t *testing.T) {
+	st := New(3)
+	var m [16]complex128
+	for _, f := range []func(){
+		func() { st.ApplyMatrix4(&m, 1, 1) },
+		func() { st.ApplyMatrix4(&m, 0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,61 @@
+// Package repro is a high-performance quantum-circuit simulator and
+// emulator in pure Go, reproducing Häner, Steiger, Smelyanskiy & Troyer,
+// "High Performance Emulation of Quantum Circuits" (SC 2016,
+// arXiv:1604.06460).
+//
+// Two execution models are provided over the same 2^n state vector:
+//
+//   - the Simulator executes every elementary gate of a circuit through
+//     structure-specialised kernels (what a quantum computer would do,
+//     gate by gate);
+//   - the Emulator replaces whole subroutines with classical shortcuts:
+//     arithmetic becomes a basis-state permutation, the quantum Fourier
+//     transform becomes a classical FFT, phase estimation becomes dense
+//     linear algebra, and measurement statistics are read off exactly.
+//
+// The facade re-exports the most commonly used constructors; the full API
+// lives in the internal packages (core, sim, statevec, circuit, gates,
+// qft, qpe, revlib, cluster, linalg, fft, perfmodel).
+package repro
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gates"
+	"repro/internal/sim"
+	"repro/internal/statevec"
+)
+
+// Emulator is the paper's primary contribution; see internal/core.
+type Emulator = core.Emulator
+
+// Simulator is the optimised gate-level simulator; see internal/sim.
+type Simulator = sim.Simulator
+
+// Circuit is an ordered gate sequence; see internal/circuit.
+type Circuit = circuit.Circuit
+
+// Gate is a (controlled) single-qubit gate; see internal/gates.
+type Gate = gates.Gate
+
+// State is the dense 2^n-amplitude wavefunction; see internal/statevec.
+type State = statevec.State
+
+// Cluster is the emulated distributed machine; see internal/cluster.
+type Cluster = cluster.Cluster
+
+// NewEmulator returns an emulator over a fresh |0...0> register of n
+// qubits.
+func NewEmulator(n uint) *Emulator { return core.New(n) }
+
+// NewSimulator returns the optimised gate-level simulator over a fresh
+// register of n qubits.
+func NewSimulator(n uint) *Simulator { return sim.New(n) }
+
+// NewCircuit returns an empty circuit over n qubits.
+func NewCircuit(n uint) *Circuit { return circuit.New(n) }
+
+// NewCluster returns a p-node emulated distributed machine holding an
+// n-qubit register.
+func NewCluster(n uint, p int) (*Cluster, error) { return cluster.New(n, p) }
