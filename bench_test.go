@@ -12,7 +12,9 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/fft"
+	"repro/internal/fuse"
 	"repro/internal/gates"
 	"repro/internal/ising"
 	"repro/internal/linalg"
@@ -366,6 +368,76 @@ func BenchmarkAblationCircuitLowering(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Multi-qubit gate fusion -------------------------------------------------
+//
+// The fusion benches compare, on deep >= 20-qubit circuits, gate-by-gate
+// execution (nofuse), the paper's same-target single-qubit fusion (fuse1)
+// and the internal/fuse block scheduler at widths 2..5. The acceptance
+// target is width >= 3 beating fuse1 on deep single/two-qubit circuits;
+// planning cost is included (Run plans on every call).
+
+// benchFusionModes runs circ under every fusion configuration.
+func benchFusionModes(b *testing.B, circ *circuit.Circuit, n uint) {
+	b.Helper()
+	init := statevec.NewRandom(n, rng.New(2016))
+	modes := []struct {
+		name string
+		opts sim.Options
+	}{
+		{"nofuse", sim.Options{Specialize: true}},
+		{"fuse1", sim.DefaultOptions()},
+		{"fuse-w2", sim.WideFusionOptions(2)},
+		{"fuse-w3", sim.WideFusionOptions(3)},
+		{"fuse-w4", sim.WideFusionOptions(4)},
+		{"fuse-w5", sim.WideFusionOptions(5)},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			work := init.Clone()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work.CopyFrom(init)
+				sim.Wrap(work, m.opts).Run(circ)
+			}
+		})
+	}
+}
+
+func BenchmarkFusionDeepQFT(b *testing.B) {
+	const n = 20
+	benchFusionModes(b, experiments.DeepQFT(n, 3), n) // 630 gates
+}
+
+func BenchmarkFusionBrickwork(b *testing.B) {
+	const n = 20
+	benchFusionModes(b, experiments.Brickwork(n, 16, 42), n) // ~950 gates
+}
+
+func BenchmarkFusionTiledAnsatz(b *testing.B) {
+	const n = 20
+	benchFusionModes(b, experiments.TiledAnsatz(n, 4, 3, 3, 44), n) // ~600 gates
+}
+
+func BenchmarkFusionRandom(b *testing.B) {
+	const n = 20
+	benchFusionModes(b, experiments.RandomCircuit(n, 600, 43), n)
+}
+
+func BenchmarkFusionGrover(b *testing.B) {
+	const n = 20
+	benchFusionModes(b, experiments.GroverGateLevel(n, 0xB2C5A, 6), n) // ~630 gates
+}
+
+// BenchmarkFusionPlanning isolates the scheduler cost Run pays per call.
+func BenchmarkFusionPlanning(b *testing.B) {
+	circ := experiments.Brickwork(24, 16, 42)
+	b.Run(fmt.Sprintf("gates=%d/w4", circ.Len()), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = fuse.New(circ, 4)
+		}
+	})
 }
 
 func BenchmarkMathFuncEmulation(b *testing.B) {

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "which experiment to run (all, fig1, fig2, fig3, fig4, fig5, fig6, table2, measure, mathfunc)")
+		experiment   = flag.String("experiment", "all", "which experiment to run (all, fig1, fig2, fig3, fig4, fig5, fig6, table2, measure, mathfunc, fusion)")
 		quick        = flag.Bool("quick", false, "shrink every sweep for a fast smoke run")
 		maxSimM      = flag.Uint("max-sim-m", 0, "override: largest simulated operand width for fig1/fig2")
 		maxEmuM      = flag.Uint("max-emu-m", 0, "override: largest emulated operand width for fig1/fig2")
@@ -32,6 +32,7 @@ func main() {
 		maxNodes     = flag.Int("max-nodes", 0, "override: largest emulated node count for fig3/fig4")
 		maxQubits    = flag.Uint("max-qubits", 0, "override: largest register for fig5/fig6")
 		maxMeasuredN = flag.Uint("max-measured-n", 0, "override: largest measured size for table2")
+		fuseWidth    = flag.Int("fuse-width", 0, "override: largest fusion width for the fusion sweep")
 	)
 	flag.Parse()
 
@@ -144,6 +145,17 @@ func main() {
 			maxM = 8
 		}
 		fmt.Println(experiments.FormatMathFunc(experiments.MathFunc(4, maxM)))
+	}
+	if run("fusion") {
+		ran = true
+		cfg := experiments.DefaultFusion()
+		if *quick {
+			cfg.Qubits, cfg.MaxWidth = 16, 4
+		}
+		if *fuseWidth > 0 {
+			cfg.MaxWidth = *fuseWidth
+		}
+		fmt.Println(experiments.FormatFusion(experiments.Fusion(cfg)))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)

@@ -4,8 +4,13 @@
 //
 // Usage:
 //
-//	qemu-run [-backend ours|generic|sparse|emulator] [-shots K]
-//	         [-top N] [-seed S] circuit.qc
+//	qemu-run [-backend ours|generic|sparse|emulator] [-fuse-width K]
+//	         [-shots K] [-top N] [-seed S] circuit.qc
+//
+// -fuse-width K (with the default "ours" back-end) enables multi-qubit
+// block fusion: consecutive gates whose combined support fits in K qubits
+// are merged into one dense 2^K block applied in a single sweep, and the
+// resulting schedule statistics are printed.
 //
 // With -shots 0 (default) the full amplitude listing of the -top most
 // probable basis states is printed — the emulator's "complete distribution
@@ -21,6 +26,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/fuse"
 	"repro/internal/qasm"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -29,10 +35,11 @@ import (
 
 func main() {
 	var (
-		backend = flag.String("backend", "ours", "back-end: ours, generic, sparse, emulator")
-		shots   = flag.Int("shots", 0, "number of measurement samples to draw (0 = none)")
-		top     = flag.Int("top", 16, "number of basis states to list")
-		seed    = flag.Uint64("seed", 1, "measurement RNG seed")
+		backend   = flag.String("backend", "ours", "back-end: ours, generic, sparse, emulator")
+		fuseWidth = flag.Int("fuse-width", 0, "multi-qubit fusion width for the ours back-end (0 = classic same-target fusion)")
+		shots     = flag.Int("shots", 0, "number of measurement samples to draw (0 = none)")
+		top       = flag.Int("top", 16, "number of basis states to list")
+		seed      = flag.Uint64("seed", 1, "measurement RNG seed")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -40,13 +47,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *backend, *shots, *top, *seed); err != nil {
+	if err := run(flag.Arg(0), *backend, *fuseWidth, *shots, *top, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "qemu-run:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, backend string, shots, top int, seed uint64) error {
+func run(path, backend string, fuseWidth, shots, top int, seed uint64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -59,7 +66,7 @@ func run(path, backend string, shots, top int, seed uint64) error {
 	fmt.Printf("circuit: %d qubits, %d gates, depth %d\n",
 		circ.NumQubits, circ.Len(), circ.Depth())
 	st := statevec.New(circ.NumQubits)
-	if err := execute(circ, st, backend); err != nil {
+	if err := execute(circ, st, backend, fuseWidth); err != nil {
 		return err
 	}
 
@@ -108,9 +115,18 @@ func run(path, backend string, shots, top int, seed uint64) error {
 	return nil
 }
 
-func execute(circ *circuit.Circuit, st *statevec.State, backend string) error {
+func execute(circ *circuit.Circuit, st *statevec.State, backend string, fuseWidth int) error {
+	if fuseWidth >= 2 && backend != "ours" && backend != "" {
+		return fmt.Errorf("-fuse-width applies to the ours back-end, not %q", backend)
+	}
 	switch backend {
 	case "ours", "":
+		if fuseWidth >= 2 {
+			plan := fuse.New(circ, fuseWidth)
+			fmt.Printf("fusion (width %d): %v\n", plan.Width, plan.Stats())
+			sim.Wrap(st, sim.WideFusionOptions(fuseWidth)).RunPlan(plan)
+			break
+		}
 		sim.Wrap(st, sim.DefaultOptions()).Run(circ)
 	case "generic":
 		sim.WrapGeneric(st).Run(circ)

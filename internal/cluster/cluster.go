@@ -1,14 +1,3 @@
-// Package cluster emulates a distributed-memory machine running a sharded
-// state-vector simulation — the substitute for the paper's 6400-node TACC
-// Stampede system. Each emulated node owns a contiguous shard of 2^L
-// amplitudes (the low L qubits are node-local; the high log2(P) qubits
-// select the node), executes its local work on its own goroutine, and
-// communicates through an accounted in-process network.
-//
-// The accounting (bytes on the wire, message count, exchange count) is the
-// quantity the paper's Eqs. 5-6 are written in terms of; the repository
-// reports both measured wall time of the emulated cluster and modeled time
-// at Stampede scale via package perfmodel.
 package cluster
 
 import (

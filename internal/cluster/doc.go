@@ -1,0 +1,23 @@
+// Package cluster emulates a distributed-memory machine running a sharded
+// state-vector simulation — the substitute for the paper's 6400-node TACC
+// Stampede system. Each emulated node owns a contiguous shard of 2^L
+// amplitudes (the low L qubits are node-local; the high log2(P) qubits
+// select the node), executes its local work on its own goroutine, and
+// communicates through an accounted in-process network.
+//
+// The accounting (bytes on the wire, message count, exchange count) is
+// the quantity the paper's Eqs. 5-6 are written in terms of; the
+// repository reports both measured wall time of the emulated cluster and
+// modeled time at Stampede scale via package perfmodel.
+//
+// New(n, p) builds a p-node machine holding an n-qubit register;
+// LoadState scatters an existing state across the shards. Run executes a
+// circuit gate by gate: gates on local qubits run in place, gates on
+// node-selecting qubits trigger the pairwise amplitude exchange of the
+// paper's Section 4.3 — unless DiagonalOptimization recognises the gate
+// as diagonal on the state, in which case no amplitudes move at all (the
+// communication-avoiding trick Figure 4 measures against the
+// qHiPSTER-class baseline). EmulateQFT replaces the whole QFT circuit
+// with the distributed four-step FFT of internal/fft, the Section 3.2
+// emulation path whose weak scaling Figure 3 compares.
+package cluster

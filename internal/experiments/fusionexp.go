@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/fuse"
+	"repro/internal/gates"
+	"repro/internal/qft"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/statevec"
+)
+
+// DeepQFT repeats the n-qubit QFT r times back to back — a deep circuit of
+// r*n(n+1)/2 gates dominated by the diagonal controlled-phase tail.
+func DeepQFT(n uint, r int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < r; i++ {
+		c.Extend(qft.Circuit(n))
+	}
+	return c
+}
+
+// Brickwork builds the standard hardware-efficient ansatz: layers of random
+// single-qubit rotations on every qubit followed by a brick pattern of
+// nearest-neighbour CNOTs. Dense, local and fusion-friendly — the shape
+// variational and supremacy-style circuits take.
+func Brickwork(n uint, layers int, seed uint64) *circuit.Circuit {
+	src := rng.New(seed)
+	c := circuit.New(n)
+	for l := 0; l < layers; l++ {
+		for q := uint(0); q < n; q++ {
+			c.Append(gates.Rx(q, src.Float64()*math.Pi))
+			c.Append(gates.Rz(q, src.Float64()*math.Pi))
+		}
+		start := uint(l % 2)
+		for q := start; q+1 < n; q += 2 {
+			c.Append(gates.CNOT(q, q+1))
+		}
+	}
+	return c
+}
+
+// TiledAnsatz builds a hardware-efficient variational ansatz processed
+// tile by tile, the EfficientSU2-with-block-entanglement shape: for each
+// window of `tile` adjacent qubits, `reps` rounds of per-qubit Ry/Rz
+// rotations followed by a CNOT chain across the window, the window then
+// advancing by tile-1 qubits so neighbouring tiles overlap by one and
+// entanglement spreads. Long runs on a small working set make this the
+// workload where wide fusion blocks pay off most.
+func TiledAnsatz(n, tile uint, reps, passes int, seed uint64) *circuit.Circuit {
+	if tile < 2 {
+		tile = 2
+	}
+	src := rng.New(seed)
+	c := circuit.New(n)
+	for p := 0; p < passes; p++ {
+		for lo := uint(0); lo+tile <= n; lo += tile - 1 {
+			for r := 0; r < reps; r++ {
+				for q := lo; q < lo+tile; q++ {
+					c.Append(gates.Ry(q, src.Float64()*math.Pi))
+					c.Append(gates.Rz(q, src.Float64()*math.Pi))
+				}
+				for q := lo; q+1 < lo+tile; q++ {
+					c.Append(gates.CNOT(q, q+1))
+				}
+			}
+		}
+	}
+	return c
+}
+
+// RandomCircuit draws count gates uniformly over dense rotations, phase
+// gates, CNOTs and controlled rotations on random qubits — no locality for
+// fusion to exploit beyond what commutation finds.
+func RandomCircuit(n uint, count int, seed uint64) *circuit.Circuit {
+	src := rng.New(seed)
+	c := circuit.New(n)
+	for i := 0; i < count; i++ {
+		q := uint(src.Intn(int(n)))
+		o := uint(src.Intn(int(n)))
+		switch src.Intn(6) {
+		case 0:
+			c.Append(gates.H(q))
+		case 1:
+			c.Append(gates.Rx(q, src.Float64()*3))
+		case 2:
+			c.Append(gates.Rz(q, src.Float64()*3))
+		case 3:
+			c.Append(gates.T(q))
+		case 4:
+			if o != q {
+				c.Append(gates.CNOT(o, q))
+			} else {
+				c.Append(gates.X(q))
+			}
+		default:
+			if o != q {
+				c.Append(gates.CR(o, q, src.Float64()*2))
+			} else {
+				c.Append(gates.S(q))
+			}
+		}
+	}
+	return c
+}
+
+// GroverGateLevel builds iters iterations of gate-level Grover search over
+// n qubits: an X-conjugated multi-controlled-Z oracle marking `marked`,
+// then the H/X-conjugated multi-controlled-Z diffusion. The (n-1)-control
+// gates exceed any reasonable fusion width, so this workload exercises the
+// passthrough path between fuseable Hadamard/X layers.
+func GroverGateLevel(n uint, marked uint64, iters int) *circuit.Circuit {
+	c := circuit.New(n)
+	controls := make([]uint, n-1)
+	for i := range controls {
+		controls[i] = uint(i) + 1
+	}
+	mcz := gates.Z(0).WithControls(controls...)
+	for q := uint(0); q < n; q++ {
+		c.Append(gates.H(q))
+	}
+	for it := 0; it < iters; it++ {
+		// Oracle: flip the phase of |marked>.
+		for q := uint(0); q < n; q++ {
+			if (marked>>q)&1 == 0 {
+				c.Append(gates.X(q))
+			}
+		}
+		c.Append(mcz)
+		for q := uint(0); q < n; q++ {
+			if (marked>>q)&1 == 0 {
+				c.Append(gates.X(q))
+			}
+		}
+		// Diffusion: 2|s><s| - I.
+		for q := uint(0); q < n; q++ {
+			c.Append(gates.H(q), gates.X(q))
+		}
+		c.Append(mcz)
+		for q := uint(0); q < n; q++ {
+			c.Append(gates.X(q), gates.H(q))
+		}
+	}
+	return c
+}
+
+// FusionRow is one workload of the fusion sweep: the unfused and
+// same-target-fused baselines against block fusion at widths 2..MaxWidth.
+type FusionRow struct {
+	Name   string
+	Qubits uint
+	Gates  int
+	// TNoFuse executes gate by gate, TFuse1 with the paper's same-target
+	// fusion; TWidth[i] is block fusion at width 2+i.
+	TNoFuse float64
+	TFuse1  float64
+	TWidth  []float64
+	// Plans[i] summarises the width-(2+i) schedule.
+	Plans []fuse.Stats
+}
+
+// FusionConfig bounds the fusion sweep.
+type FusionConfig struct {
+	Qubits   uint // register width for every workload
+	MaxWidth int  // largest fusion width to sweep (>= 2)
+}
+
+// DefaultFusion sweeps widths 2..5 on 20-qubit deep circuits.
+func DefaultFusion() FusionConfig { return FusionConfig{Qubits: 20, MaxWidth: 5} }
+
+// Fusion runs the block-fusion sweep on three deep workloads: repeated
+// QFT, a brickwork ansatz and an unstructured random circuit.
+func Fusion(cfg FusionConfig) []FusionRow {
+	if cfg.MaxWidth > fuse.MaxWidth {
+		cfg.MaxWidth = fuse.MaxWidth
+	}
+	n := cfg.Qubits
+	workloads := []struct {
+		name string
+		c    *circuit.Circuit
+	}{
+		{"deep QFT x3", DeepQFT(n, 3)},
+		{"brickwork", Brickwork(n, 16, 42)},
+		{"tiled ansatz", TiledAnsatz(n, 4, 3, 3, 44)},
+		{"random", RandomCircuit(n, 600, 43)},
+	}
+	src := rng.New(2020)
+	var rows []FusionRow
+	for _, w := range workloads {
+		init := statevec.NewRandom(n, src)
+		row := FusionRow{Name: w.name, Qubits: n, Gates: w.c.Len()}
+		var st *statevec.State
+		reset := func() { st = init.Clone() }
+		row.TNoFuse = timeIt(shortTime, reset, func() {
+			sim.Wrap(st, sim.Options{Specialize: true}).Run(w.c)
+		})
+		row.TFuse1 = timeIt(shortTime, reset, func() {
+			sim.Wrap(st, sim.DefaultOptions()).Run(w.c)
+		})
+		for width := 2; width <= cfg.MaxWidth; width++ {
+			row.Plans = append(row.Plans, fuse.New(w.c, width).Stats())
+			row.TWidth = append(row.TWidth, timeIt(shortTime, reset, func() {
+				sim.Wrap(st, sim.WideFusionOptions(width)).Run(w.c)
+			}))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatFusion renders the fusion sweep with per-width speedups over the
+// same-target fusion baseline and the block statistics of the best width.
+func FormatFusion(rows []FusionRow) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	header := []string{"circuit", "qubits", "gates", "t_nofuse", "t_fuse1"}
+	for i := range rows[0].TWidth {
+		header = append(header, fmt.Sprintf("t_w%d", i+2))
+	}
+	header = append(header, "best speedup vs fuse1")
+	var table [][]string
+	var notes string
+	for _, r := range rows {
+		cells := []string{r.Name, fmt.Sprintf("%d", r.Qubits), fmt.Sprintf("%d", r.Gates),
+			secs(r.TNoFuse), secs(r.TFuse1)}
+		best, bestW := r.TFuse1, 1
+		for i, t := range r.TWidth {
+			cells = append(cells, secs(t))
+			if t < best {
+				best, bestW = t, i+2
+			}
+		}
+		cells = append(cells, fmt.Sprintf("%.2fx (w=%d)", r.TFuse1/best, bestW))
+		table = append(table, cells)
+		if bestW >= 2 {
+			notes += fmt.Sprintf("  %-12s w=%d plan: %v\n", r.Name, bestW, r.Plans[bestW-2])
+		} else {
+			notes += fmt.Sprintf("  %-12s block fusion never beat same-target fusion here\n", r.Name)
+		}
+	}
+	return "Gate fusion: generic 2^k blocks vs the paper's same-target fusion\n" +
+		Table(header, table) + "\n" + notes
+}

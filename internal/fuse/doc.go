@@ -1,0 +1,54 @@
+// Package fuse schedules multi-qubit gate fusion: it rewrites a circuit
+// into a sequence of execution blocks, where each block is either a single
+// original gate or a dense 2^w x 2^w unitary absorbing a run of gates whose
+// combined support fits in w qubits (w = the fusion width, typically 4-5).
+//
+// The paper's simulator already fuses runs of single-qubit gates on the
+// same target so the 2^n-amplitude state vector is swept once per run
+// instead of once per gate (Section 3.2). At 20+ qubits the sweep is
+// memory-bound, so the same idea generalised to k-qubit neighbourhoods —
+// the cache-blocking technique qHiPSTER-class simulators use — trades a
+// few extra multiplies per amplitude for a large reduction in memory
+// traffic. A width-w block holding g gates costs one sweep at 2^w complex
+// multiplies per amplitude where the unfused run costs g sweeps; whenever
+// g exceeds a handful the fused sweep wins on any machine whose DRAM is
+// slower than its FMA units.
+//
+// The scheduler is greedy and commutation-aware. Scanning the gate list
+// left to right it grows the current block while the union of gate
+// supports stays within the width budget. A gate that does not fit is
+// deferred — moved after the block — when that reordering is provably
+// safe, using two sufficient commutation rules:
+//
+//   - gates on disjoint qubit sets commute;
+//   - gates whose full matrices (controls included) are diagonal commute.
+//
+// Deferral is what lets the scheduler see through the interleavings real
+// circuits produce: in a QFT the diagonal controlled-phase tails commute
+// past the Hadamards of later targets, and in a brickwork circuit the
+// rotations of far-away qubits commute past the current tile, so blocks
+// keep filling instead of closing at the first foreign gate. Gates fused
+// into a block after a deferral are checked to commute with every deferred
+// gate they jump over, which keeps the rewrite exactly equivalent — the
+// property test in fuse_test.go verifies amplitude-level agreement.
+//
+// Forming a block and executing it densely are separate decisions. Once a
+// run is closed the scheduler lowers it to the cheapest of three forms
+// under a calibrated cost model (see gateCost and denseBlockCost):
+//
+//   - a diagonal sweep, when the accumulated matrix is diagonal (runs of
+//     phase gates) — one multiply per amplitude via statevec.ApplyDiagN;
+//   - a dense 2^w sweep via statevec.ApplyMatrixN, when the absorbed run
+//     amortises the 2^w multiplies per amplitude the dense kernel costs;
+//   - a gate-by-gate replay with same-target runs pre-merged (the paper's
+//     classic fusion), recursively re-planned at width-1 first so a wide
+//     unprofitable region can still yield narrower profitable tiles.
+//
+// The fallback chain means a plan never regresses measurably below the
+// classic Fuse path: fusion only engages where the model predicts a win,
+// which matters on machines where the state still fits in cache and a
+// dense block must win on arithmetic rather than memory traffic.
+//
+// Execution lives in the sim package (Options.FuseWidth) on top of the
+// statevec.ApplyMatrixN / ApplyControlledMatrixN / ApplyDiagN kernels.
+package fuse

@@ -1,0 +1,412 @@
+package fuse
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/bitops"
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/statevec"
+)
+
+// MaxWidth caps the fusion width at what the generic state-vector kernel
+// accepts; see statevec.MaxMatrixNQubits for the rationale.
+const MaxWidth = statevec.MaxMatrixNQubits
+
+// maxDeferred bounds how many gates the scheduler may hoist past one block
+// before force-closing it, keeping planning linear in circuit length.
+const maxDeferred = 256
+
+// diagEps is the tolerance below which an off-diagonal entry of a fused
+// block is treated as exactly zero when classifying the block as diagonal.
+const diagEps = 1e-14
+
+// Cost model. All costs are in "sweep units": 1.0 is one full dense-2x2
+// sweep of the state vector (statevec.ApplyMatrix2), the unit the kernel
+// microbenchmarks in bench_test.go are normalised to. The constants were
+// calibrated on a single-core x86-64 box; they only need to be right in
+// ratio for the scheduler to pick the cheaper of replaying a run gate by
+// gate versus collapsing it into one dense or diagonal block sweep.
+var (
+	// denseBlockCost[w] is one 2^w-block sweep (w=2 runs the tuned
+	// ApplyMatrix4; wider runs the generic gather/scatter kernel, whose
+	// cost roughly doubles per extra qubit).
+	denseBlockCost = map[int]float64{2: 1.7, 3: 5.4, 4: 8.6, 5: 16.5, 6: 33, 7: 66, 8: 132}
+	// diagBlockCost is one statevec.ApplyDiagN sweep, width-independent.
+	diagBlockCost = 1.0
+)
+
+// gateCost estimates one gate-by-gate application through the specialised
+// kernels (statevec.ApplyGate). Controls cut the touched fraction of the
+// state, which the controlled kernels exploit.
+func gateCost(g gates.Gate) float64 {
+	nc := len(g.Controls)
+	ctrl := 1.0
+	switch {
+	case nc == 1:
+		ctrl = 0.6
+	case nc >= 2:
+		ctrl = 0.45
+	}
+	switch g.Kind() {
+	case gates.Identity:
+		if g.Matrix[0] == 1 {
+			return 0
+		}
+		return 0.8 * ctrl
+	case gates.Diagonal:
+		return 0.8 * ctrl
+	case gates.AntiDiagonal:
+		return 0.7 * ctrl
+	default:
+		if nc == 0 && g.Matrix == gates.MatH {
+			return 0.65
+		}
+		return 1.0 * ctrl
+	}
+}
+
+// Block is one execution unit of a fused schedule: a dense 2^w block, a
+// diagonal block, or an unfused run replayed gate by gate (when the cost
+// model says the specialised single-gate kernels are cheaper, or when a
+// gate's support exceeds the width budget).
+type Block struct {
+	// Qubits is the block's support in ascending order. Bit j of the local
+	// 2^w index of Matrix/Diag corresponds to Qubits[j], matching the
+	// convention of statevec.ApplyMatrixN. Nil for an unfused run.
+	Qubits []uint
+	// Matrix is the dense row-major 2^w x 2^w unitary of the fused run,
+	// nil for unfused runs and diagonal blocks.
+	Matrix []complex128
+	// Diag holds the 2^w diagonal when the fused run turned out diagonal
+	// (a run of phase/Rz/CR gates); the executor then applies it with one
+	// multiply per amplitude instead of the dense kernel.
+	Diag []complex128
+	// Gates lists the original gates of the block in execution order, for
+	// introspection and statistics.
+	Gates []gates.Gate
+	// replay is what the executor runs for an unfused block: the original
+	// gates with same-target single-qubit runs merged, so an unfused run
+	// still matches the paper's classic fusion.
+	replay []gates.Gate
+	// cost is the model's sweep-unit estimate of executing this block.
+	cost float64
+}
+
+// Fused reports whether the block is a merged multi-gate unitary rather
+// than a replayed run.
+func (b *Block) Fused() bool { return b.Matrix != nil || b.Diag != nil }
+
+// Plan is a fused execution schedule for one circuit. It is immutable
+// after construction and safe to reuse across runs and goroutines.
+type Plan struct {
+	// Width is the (clamped) fusion width the plan was built with.
+	Width int
+	// Blocks is the schedule, executed left to right.
+	Blocks []Block
+}
+
+// Stats summarises how much a plan compressed its circuit and what the
+// cost model expects the compression to buy.
+type Stats struct {
+	Gates    int // original gates across all blocks
+	Blocks   int // execution units in the plan
+	Dense    int // dense fused blocks
+	Diagonal int // diagonal fused blocks
+	Unfused  int // blocks replayed gate by gate (same-target runs merged)
+	MaxRun   int // largest number of gates folded into one fused block
+	// EstGateByGate and EstChosen are the model's sweep-unit costs of
+	// applying every original gate individually versus the chosen
+	// schedule; their ratio is the predicted fusion speedup.
+	EstGateByGate float64
+	EstChosen     float64
+}
+
+// Stats scans the plan and reports its compression profile.
+func (p *Plan) Stats() Stats {
+	var st Stats
+	st.Blocks = len(p.Blocks)
+	for i := range p.Blocks {
+		b := &p.Blocks[i]
+		st.Gates += len(b.Gates)
+		for _, g := range b.Gates {
+			st.EstGateByGate += gateCost(g)
+		}
+		st.EstChosen += b.cost
+		switch {
+		case b.Diag != nil:
+			st.Diagonal++
+		case b.Matrix != nil:
+			st.Dense++
+		default:
+			st.Unfused++
+		}
+		if b.Fused() && len(b.Gates) > st.MaxRun {
+			st.MaxRun = len(b.Gates)
+		}
+	}
+	return st
+}
+
+func (st Stats) String() string {
+	speedup := 1.0
+	if st.EstChosen > 0 {
+		speedup = st.EstGateByGate / st.EstChosen
+	}
+	return fmt.Sprintf("%d gates -> %d blocks (%d dense, %d diagonal, %d unfused, max run %d, est. %.2fx)",
+		st.Gates, st.Blocks, st.Dense, st.Diagonal, st.Unfused, st.MaxRun, speedup)
+}
+
+// item pairs a gate with its precomputed support mask.
+type item struct {
+	g    gates.Gate
+	mask uint64
+}
+
+// commutes is a sufficient (not necessary) commutation test: gates on
+// disjoint qubit sets always commute, and gates whose full matrices are
+// diagonal (controls included) commute regardless of support.
+func commutes(a, b item) bool {
+	return a.mask&b.mask == 0 ||
+		(a.g.IsDiagonalOnState() && b.g.IsDiagonalOnState())
+}
+
+// commutesWithAll reports whether g commutes with every deferred gate.
+func commutesWithAll(g item, deferred []item) bool {
+	for _, d := range deferred {
+		if !commutes(g, d) {
+			return false
+		}
+	}
+	return true
+}
+
+// New builds a fused schedule for c with the given fusion width. Width is
+// clamped to [1, MaxWidth]; width 1 degenerates to the paper's same-target
+// single-qubit fusion expressed as unfused runs.
+//
+// The scheduler scans gates in order, growing the current block while the
+// union of supports fits in width qubits. A gate that does not fit is
+// deferred past the block when it provably commutes with every gate the
+// block may still absorb (see the package comment); otherwise the block is
+// closed. Deferred gates re-enter the stream right after the block, so a
+// hoisted diagonal tail can seed or join the next block.
+//
+// Each closed block is then lowered to whatever the cost model says is
+// cheapest: a diagonal sweep when the accumulated matrix is diagonal, a
+// dense 2^w sweep when it absorbs enough work to amortise 2^w multiplies
+// per amplitude, or — when neither pays, e.g. a run of two cheap gates on
+// far-apart qubits — a gate-by-gate replay with same-target runs merged,
+// recursively re-planned at width-1 first so a 5-wide region can still
+// yield profitable 2- and 3-wide tiles. A plan therefore never does worse
+// than the classic fusion path by more than the model's estimation error.
+//
+// Planning is O(len(gates) * maxDeferred) worst case, linear in practice.
+func New(c *circuit.Circuit, width int) *Plan {
+	if width < 1 {
+		width = 1
+	}
+	if width > MaxWidth {
+		width = MaxWidth
+	}
+	queue := make([]item, len(c.Gates))
+	for i, g := range c.Gates {
+		queue[i] = item{g: g, mask: bitops.ControlMask(g.Qubits())}
+	}
+	return &Plan{Width: width, Blocks: schedule(queue, width)}
+}
+
+// schedule is the greedy block-forming scan over an item stream.
+func schedule(queue []item, width int) []Block {
+	var blocks []Block
+	for len(queue) > 0 {
+		head := queue[0]
+		if bitops.PopCount(head.mask) > width {
+			blocks = append(blocks, replayBlock([]item{head}))
+			queue = queue[1:]
+			continue
+		}
+		run := []item{head}
+		support := head.mask
+		var deferred []item
+		i := 1
+		for i < len(queue) && len(deferred) < maxDeferred {
+			it := queue[i]
+			if union := support | it.mask; bitops.PopCount(union) <= width && commutesWithAll(it, deferred) {
+				run = append(run, it)
+				support = union
+				i++
+				continue
+			}
+			// it cannot join the block. Hoisting it past the block is safe
+			// unconditionally (it already follows every gate currently in
+			// the block); the commutesWithAll check above protects it from
+			// later block additions jumping over it. Only defer gates with
+			// a chance of staying out of the block's way, so the scan
+			// doesn't stall collecting unfuseable gates.
+			if it.g.IsDiagonalOnState() || it.mask&support == 0 {
+				deferred = append(deferred, it)
+				i++
+				continue
+			}
+			break
+		}
+		blocks = append(blocks, lowerRun(run, support, width)...)
+		rest := queue[i:]
+		if len(deferred) == 0 {
+			queue = rest
+			continue
+		}
+		next := make([]item, 0, len(deferred)+len(rest))
+		next = append(next, deferred...)
+		next = append(next, rest...)
+		queue = next
+	}
+	return blocks
+}
+
+// lowerRun turns one scheduled run into execution blocks, choosing the
+// cheapest of diagonal sweep, dense sweep, narrower re-planning, or
+// gate-by-gate replay.
+func lowerRun(run []item, support uint64, width int) []Block {
+	w := bitops.PopCount(support)
+	if len(run) == 1 || w < 2 {
+		return []Block{replayBlock(run)}
+	}
+	rb := replayBlock(run)
+	qubits, m := accumulate(run, support, w)
+	if d, ok := diagonalOf(m, 1<<w); ok {
+		if diagBlockCost < rb.cost {
+			return []Block{{Qubits: qubits, Diag: d, Gates: rb.Gates, cost: diagBlockCost}}
+		}
+		return []Block{rb}
+	}
+	if denseBlockCost[w] < rb.cost {
+		return []Block{{Qubits: qubits, Matrix: m, Gates: rb.Gates, cost: denseBlockCost[w]}}
+	}
+	if w > 2 {
+		// The wide block does not pay; narrower tiles of the same run
+		// might (e.g. a 5-qubit region that splits into rich 2-qubit
+		// pairs). Each recursive level strictly shrinks the width, and
+		// every sub-block again falls back to replay at worst.
+		return schedule(run, w-1)
+	}
+	return []Block{rb}
+}
+
+// replayBlock builds the unfused form of a run: the original gates kept
+// for introspection, plus the executor's sequence with maximal same-target
+// uncontrolled single-qubit runs merged into single gates — the paper's
+// classic fusion, so an unfused block is never slower than the Fuse
+// option of the simulator. cost is the model estimate of the merged
+// sequence.
+func replayBlock(run []item) Block {
+	originals := make([]gates.Gate, len(run))
+	for i, it := range run {
+		originals[i] = it.g
+	}
+	merged := make([]gates.Gate, 0, len(run))
+	cost := 0.0
+	for i := 0; i < len(run); {
+		g := run[i].g
+		j := i + 1
+		if len(g.Controls) == 0 {
+			m := g.Matrix
+			for j < len(run) && len(run[j].g.Controls) == 0 && run[j].g.Target == g.Target {
+				m = run[j].g.Matrix.Mul(m)
+				j++
+			}
+			if j > i+1 {
+				g = gates.Gate{Name: "fused", Matrix: m, Target: g.Target}
+			}
+		}
+		merged = append(merged, g)
+		cost += gateCost(g)
+		i = j
+	}
+	return Block{Gates: originals, replay: merged, cost: cost}
+}
+
+// accumulate multiplies the run's gates into one dense 2^w matrix over the
+// ascending support qubits.
+func accumulate(run []item, support uint64, w int) ([]uint, []complex128) {
+	qubits := make([]uint, 0, w)
+	var pos [64]uint
+	for q := uint(0); q < 64; q++ {
+		if support&(1<<q) != 0 {
+			pos[q] = uint(len(qubits))
+			qubits = append(qubits, q)
+		}
+	}
+	dim := 1 << w
+	m := make([]complex128, dim*dim)
+	for i := 0; i < dim; i++ {
+		m[i*dim+i] = 1
+	}
+	for _, it := range run {
+		mulInto(m, dim, it.g, &pos)
+	}
+	return qubits, m
+}
+
+// mulInto left-multiplies the local embedding of gate g into the
+// accumulated block matrix m (dim x dim, row-major). Each column of m is
+// treated as a 2^w state vector and g is applied to it exactly as the
+// state kernels apply it to the global vector: rows whose control bits are
+// not all set are untouched, satisfied row pairs get the 2x2.
+func mulInto(m []complex128, dim int, g gates.Gate, pos *[64]uint) {
+	tb := 1 << pos[g.Target]
+	cm := 0
+	for _, c := range g.Controls {
+		cm |= 1 << pos[c]
+	}
+	for r0 := 0; r0 < dim; r0++ {
+		if r0&tb != 0 || r0&cm != cm {
+			continue
+		}
+		row0 := m[r0*dim : r0*dim+dim]
+		row1 := m[(r0|tb)*dim : (r0|tb)*dim+dim]
+		for c := range row0 {
+			a0, a1 := row0[c], row1[c]
+			row0[c] = g.Matrix[0]*a0 + g.Matrix[1]*a1
+			row1[c] = g.Matrix[2]*a0 + g.Matrix[3]*a1
+		}
+	}
+}
+
+// diagonalOf extracts the diagonal of m when every off-diagonal entry is
+// negligible, reporting ok=false otherwise.
+func diagonalOf(m []complex128, dim int) ([]complex128, bool) {
+	for r := 0; r < dim; r++ {
+		for c := 0; c < dim; c++ {
+			if r != c && cmplx.Abs(m[r*dim+c]) > diagEps {
+				return nil, false
+			}
+		}
+	}
+	d := make([]complex128, dim)
+	for i := 0; i < dim; i++ {
+		d[i] = m[i*dim+i]
+	}
+	return d, true
+}
+
+// Apply executes the plan against a state vector: fused blocks through the
+// generic (or diagonal) multi-qubit kernels, unfused runs through apply,
+// which the caller points at its preferred single-gate path.
+func (p *Plan) Apply(s *statevec.State, apply func(gates.Gate)) {
+	for i := range p.Blocks {
+		b := &p.Blocks[i]
+		switch {
+		case b.Diag != nil:
+			s.ApplyDiagN(b.Diag, b.Qubits)
+		case b.Matrix != nil:
+			s.ApplyMatrixN(b.Matrix, b.Qubits)
+		default:
+			for _, g := range b.replay {
+				apply(g)
+			}
+		}
+	}
+}

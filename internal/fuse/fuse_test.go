@@ -1,0 +1,233 @@
+package fuse
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/rng"
+	"repro/internal/statevec"
+)
+
+// randomCircuit draws a generic mixed circuit: dense single-qubit gates,
+// diagonal phases, CNOT/CR/Toffoli — including the controlled gates that
+// break fusion blocks.
+func randomCircuit(src *rng.Source, n uint, count int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < count; i++ {
+		q := uint(src.Intn(int(n)))
+		o := uint(src.Intn(int(n)))
+		p := uint(src.Intn(int(n)))
+		switch src.Intn(8) {
+		case 0:
+			c.Append(gates.H(q))
+		case 1:
+			c.Append(gates.Rx(q, src.Float64()*3))
+		case 2:
+			c.Append(gates.Rz(q, src.Float64()*3))
+		case 3:
+			c.Append(gates.T(q))
+		case 4:
+			if o != q {
+				c.Append(gates.CNOT(o, q))
+			} else {
+				c.Append(gates.X(q))
+			}
+		case 5:
+			if o != q {
+				c.Append(gates.CR(o, q, src.Float64()*2))
+			} else {
+				c.Append(gates.S(q))
+			}
+		case 6:
+			if o != q && p != q && o != p {
+				c.Append(gates.Toffoli(o, p, q))
+			} else {
+				c.Append(gates.Y(q))
+			}
+		default:
+			g := gates.Ry(q, src.Float64()*2)
+			if o != q {
+				g = g.WithControls(o)
+			}
+			c.Append(g)
+		}
+	}
+	return c
+}
+
+// runPlain applies the circuit gate by gate through the specialised
+// kernels — the unfused reference.
+func runPlain(c *circuit.Circuit, st *statevec.State) {
+	for _, g := range c.Gates {
+		st.ApplyGate(g)
+	}
+}
+
+// TestFusedMatchesUnfused is the fusion-correctness property test: for
+// random circuits and every width 2..5, the fused schedule must agree with
+// the unfused run amplitude by amplitude.
+func TestFusedMatchesUnfused(t *testing.T) {
+	src := rng.New(2016)
+	for trial := 0; trial < 12; trial++ {
+		n := uint(3 + src.Intn(6))
+		c := randomCircuit(src, n, 80)
+		init := statevec.NewRandom(n, src)
+		want := init.Clone()
+		runPlain(c, want)
+		for width := 2; width <= 5; width++ {
+			got := init.Clone()
+			New(c, width).Apply(got, got.ApplyGate)
+			if d := got.MaxDiff(want); d > 1e-10 {
+				t.Fatalf("trial %d (n=%d, width=%d): fused differs from unfused by %g",
+					trial, n, width, d)
+			}
+		}
+	}
+}
+
+// TestFusionWithWideControlledGates checks the passthrough path: gates
+// whose support exceeds the width budget (multi-controlled NOTs) must
+// break blocks without corrupting the schedule around them.
+func TestFusionWithWideControlledGates(t *testing.T) {
+	src := rng.New(77)
+	n := uint(7)
+	c := circuit.New(n)
+	for i := 0; i < 10; i++ {
+		for q := uint(0); q < n; q++ {
+			c.Append(gates.Ry(q, src.Float64()*2))
+		}
+		// 5-qubit support: passthrough at width <= 4.
+		c.Append(gates.X(0).WithControls(1, 2, 3, 4))
+		c.Append(gates.CR(5, 6, src.Float64()))
+	}
+	init := statevec.NewRandom(n, src)
+	want := init.Clone()
+	runPlain(c, want)
+	for width := 2; width <= 4; width++ {
+		got := init.Clone()
+		plan := New(c, width)
+		st := plan.Stats()
+		if st.Unfused == 0 {
+			t.Fatalf("width %d: expected unfused blocks for 5-qubit MCX", width)
+		}
+		plan.Apply(got, got.ApplyGate)
+		if d := got.MaxDiff(want); d > 1e-10 {
+			t.Fatalf("width %d: differs by %g", width, d)
+		}
+	}
+}
+
+// TestDeferralReordersDiagonalsSafely exercises the commutation rules: a
+// diagonal run on a pair is interrupted by a diagonal gate reaching a far
+// qubit, which must be hoisted past the block (both-diagonal rule) so the
+// rest of the pair's run still fuses into one diagonal block.
+func TestDeferralReordersDiagonalsSafely(t *testing.T) {
+	n := uint(8)
+	c := circuit.New(n)
+	for q := uint(0); q+1 < n/2; q++ {
+		c.Append(gates.T(q), gates.CR(q+1, q, 0.9))
+		// Interrupter: diagonal, overlaps the block support, exceeds width 2.
+		c.Append(gates.CR(q, n-1, 0.4))
+		c.Append(gates.Rz(q+1, 0.7), gates.CR(q, q+1, 1.1), gates.T(q+1))
+	}
+	init := statevec.NewRandom(n, rng.New(8))
+	want := init.Clone()
+	runPlain(c, want)
+
+	plan := New(c, 2)
+	st := plan.Stats()
+	if st.Diagonal == 0 || st.MaxRun < 4 {
+		t.Errorf("deferral failed to grow diagonal blocks: %v", st)
+	}
+	got := init.Clone()
+	plan.Apply(got, got.ApplyGate)
+	if d := got.MaxDiff(want); d > 1e-10 {
+		t.Fatalf("deferral-pattern fusion differs by %g", d)
+	}
+}
+
+// TestQFTPatternCorrect runs the full QFT gate pattern — the densest mix
+// of Hadamards and diagonal tails — through every width.
+func TestQFTPatternCorrect(t *testing.T) {
+	n := uint(8)
+	c := circuit.New(n)
+	for q := uint(0); q < n; q++ {
+		c.Append(gates.H(q))
+		for j := q + 1; j < n; j++ {
+			c.Append(gates.CR(j, q, 1.0/float64(uint(1)<<(j-q))))
+		}
+	}
+	init := statevec.NewRandom(n, rng.New(88))
+	want := init.Clone()
+	runPlain(c, want)
+	for width := 2; width <= 5; width++ {
+		got := init.Clone()
+		New(c, width).Apply(got, got.ApplyGate)
+		if d := got.MaxDiff(want); d > 1e-10 {
+			t.Fatalf("width %d: QFT-pattern fusion differs by %g", width, d)
+		}
+	}
+}
+
+// TestDiagonalBlocksUseDiagPath verifies that a pure phase-gate run fuses
+// into a Diag block, not a dense matrix.
+func TestDiagonalBlocksUseDiagPath(t *testing.T) {
+	n := uint(6)
+	c := circuit.New(n)
+	for q := uint(0); q < n-1; q++ {
+		c.Append(gates.T(q), gates.Rz(q, 0.3), gates.CR(q+1, q, 0.7))
+	}
+	plan := New(c, 4)
+	st := plan.Stats()
+	if st.Diagonal == 0 {
+		t.Fatalf("no diagonal blocks in an all-diagonal circuit: %v", st)
+	}
+	init := statevec.NewRandom(n, rng.New(9))
+	want := init.Clone()
+	runPlain(c, want)
+	got := init.Clone()
+	plan.Apply(got, got.ApplyGate)
+	if d := got.MaxDiff(want); d > 1e-10 {
+		t.Fatalf("diagonal fusion differs by %g", d)
+	}
+}
+
+// TestWidthClamping: out-of-range widths must clamp, not panic, and width 1
+// must reproduce same-target-run fusion semantics.
+func TestWidthClamping(t *testing.T) {
+	src := rng.New(10)
+	c := randomCircuit(src, 4, 40)
+	init := statevec.NewRandom(4, src)
+	want := init.Clone()
+	runPlain(c, want)
+	for _, width := range []int{-1, 0, 1, MaxWidth + 3} {
+		plan := New(c, width)
+		if plan.Width < 1 || plan.Width > MaxWidth {
+			t.Fatalf("width %d not clamped: %d", width, plan.Width)
+		}
+		got := init.Clone()
+		plan.Apply(got, got.ApplyGate)
+		if d := got.MaxDiff(want); d > 1e-10 {
+			t.Fatalf("width %d: differs by %g", width, d)
+		}
+	}
+}
+
+// TestStatsAccounting: every input gate must land in exactly one block.
+func TestStatsAccounting(t *testing.T) {
+	src := rng.New(11)
+	c := randomCircuit(src, 6, 120)
+	for width := 2; width <= 5; width++ {
+		st := New(c, width).Stats()
+		if st.Gates != c.Len() {
+			t.Fatalf("width %d: %d gates accounted, circuit has %d", width, st.Gates, c.Len())
+		}
+		if st.Blocks != st.Dense+st.Diagonal+st.Unfused {
+			t.Fatalf("width %d: inconsistent stats %+v", width, st)
+		}
+		if st.EstChosen > st.EstGateByGate+1e-9 {
+			t.Fatalf("width %d: chosen schedule estimated slower than gate-by-gate: %+v", width, st)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Package perfmodel implements the analytic performance models of the
+// paper: Eq. 5 (distributed FFT time), Eq. 6 (distributed QFT simulation
+// time), and the QPE emulation cross-over predictors of Section 3.3. The
+// models are evaluated at paper scale (Stampede-like parameters) so the
+// repository can reproduce Figure 3's trend at 28-36 qubits even though
+// the measured runs are scaled down.
+//
+// A Machine carries the hardware constants the equations take (per-node
+// memory bandwidth, network bandwidth, flop rate); Stampede() returns the
+// paper's TACC Stampede configuration. TQFT and TFFT evaluate Eqs. 6 and
+// 5 for an n-qubit register on p nodes, and WeakScaling sweeps them along
+// the paper's weak-scaling line, attaching the predicted
+// simulation-vs-emulation speedup the qemu-bench fig3 table prints next
+// to the measured (scaled-down) cluster numbers.
+package perfmodel

@@ -1,9 +1,3 @@
-// Package perfmodel implements the analytic performance models of the
-// paper: Eq. 5 (distributed FFT time), Eq. 6 (distributed QFT simulation
-// time), and the QPE emulation cross-over predictors of Section 3.3. The
-// models are evaluated at paper scale (Stampede-like parameters) so the
-// repository can reproduce Figure 3's trend at 28-36 qubits even though the
-// measured runs are scaled down.
 package perfmodel
 
 import "math"

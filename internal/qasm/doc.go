@@ -1,0 +1,23 @@
+// Package qasm implements a minimal text format for quantum circuits so
+// external tools (and the qemu-run command) can execute circuits against
+// any back-end. The grammar is line-oriented:
+//
+//	qubits 5          # register width, must appear first
+//	h 0               # gate name, then target qubit
+//	x 3
+//	rz 2 1.5708       # rotation gates take an angle (radians)
+//	cnot 0 1          # control, target
+//	cr 0 1 0.785      # control, target, angle
+//	toffoli 0 1 2     # control, control, target
+//	ctrl 3 4 : h 0    # arbitrary extra controls before any gate
+//	# comments and blank lines are ignored
+//
+// Angles accept plain floats or the forms pi, pi/N and -pi/N.
+//
+// Parse is the only entry point: it reads a description from an io.Reader
+// and returns a *circuit.Circuit ready for any Runner — the optimised
+// simulator, the baselines, or the emulator. Errors carry the offending
+// line number. The format is deliberately smaller than OpenQASM: just
+// enough to express the paper's Table 1 gate set plus multi-controls, so
+// test fixtures stay readable and hand-writable.
+package qasm

@@ -1,18 +1,3 @@
-// Package qasm implements a minimal text format for quantum circuits so
-// external tools (and the qemu-run command) can execute circuits against
-// any back-end. The grammar is line-oriented:
-//
-//	qubits 5          # register width, must appear first
-//	h 0               # gate name, then target qubit
-//	x 3
-//	rz 2 1.5708       # rotation gates take an angle (radians)
-//	cnot 0 1          # control, target
-//	cr 0 1 0.785      # control, target, angle
-//	toffoli 0 1 2     # control, control, target
-//	ctrl 3 4 : h 0    # arbitrary extra controls before any gate
-//	# comments and blank lines are ignored
-//
-// Angles accept plain floats or the forms pi, pi/N and -pi/N.
 package qasm
 
 import (

@@ -1,0 +1,20 @@
+// Package revlib builds reversible-arithmetic circuits: the Cuccaro
+// ripple-carry adder [Cuccaro et al., quant-ph/0410184], controlled
+// adders, a shift-and-add multiplier and a restoring divider.
+//
+// These are the Toffoli networks a gate-level simulator must execute to
+// perform arithmetic on superposed inputs (paper Section 3.1, Figures
+// 1-2). The emulator bypasses them entirely via a basis-state
+// permutation; the contrast between the two paths is the paper's
+// headline result.
+//
+// Each construction comes as a pair: a *Layout describing the register
+// map (where operand, result and work qubits live, how wide the register
+// must be) and a Build* function returning the circuit over that layout.
+// NewMultiplierLayout/BuildMultiplier and NewDividerLayout/BuildDivider
+// are the entry points the Figure 1/2 experiments sweep; the adders they
+// are assembled from are exported for reuse. Circuits use
+// multi-controlled gates natively — circuit.Lower rewrites them to the
+// 1-2 qubit universal set when the paper's Section 2 gate-set setting is
+// wanted.
+package revlib

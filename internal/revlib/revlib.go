@@ -1,11 +1,3 @@
-// Package revlib builds reversible-arithmetic circuits: the Cuccaro
-// ripple-carry adder [Cuccaro et al., quant-ph/0410184], controlled adders,
-// a shift-and-add multiplier and a restoring divider.
-//
-// These are the Toffoli networks a gate-level simulator must execute to
-// perform arithmetic on superposed inputs (paper Section 3.1, Figures 1-2).
-// The emulator bypasses them entirely via a basis-state permutation; the
-// contrast between the two paths is the paper's headline result.
 package revlib
 
 import (

@@ -1,10 +1,3 @@
-// Package rng implements a small, fast, deterministic pseudo-random number
-// generator (xoshiro256** seeded via splitmix64).
-//
-// Measurement sampling and the randomized test-input generators need streams
-// that are reproducible across runs and cheap to fork per goroutine; the
-// stdlib math/rand global source is neither. xoshiro256** passes BigCrush
-// and needs only four uint64 words of state.
 package rng
 
 import (
@@ -91,6 +84,20 @@ func (src *Source) NormFloat64() float64 {
 // quantum state, which the property tests use as generic input.
 func (src *Source) Complex() complex128 {
 	return complex(src.NormFloat64(), src.NormFloat64())
+}
+
+// Perm returns a uniform random permutation of [0, n) via Fisher-Yates.
+// Test generators use it to pick distinct random qubits.
+func (src *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := src.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
 }
 
 // Fork returns a new Source whose stream is statistically independent of

@@ -18,6 +18,7 @@ package sim
 
 import (
 	"repro/internal/circuit"
+	"repro/internal/fuse"
 	"repro/internal/gates"
 	"repro/internal/linalg"
 	"repro/internal/statevec"
@@ -44,10 +45,26 @@ type Options struct {
 	// Fuse merges runs of single-qubit gates acting on the same target
 	// qubit into one matrix before touching the state.
 	Fuse bool
+	// FuseWidth >= 2 enables multi-qubit block fusion: the commutation-aware
+	// scheduler of internal/fuse groups consecutive gates whose combined
+	// support fits in FuseWidth qubits into one dense 2^FuseWidth block,
+	// applied in a single sweep by statevec.ApplyMatrixN. 0 or 1 keeps the
+	// classic same-target fusion controlled by Fuse. Values above
+	// fuse.MaxWidth are clamped.
+	FuseWidth int
 }
 
-// DefaultOptions enables every optimisation.
+// DefaultOptions enables every optimisation at the paper's setting:
+// specialised kernels plus same-target single-qubit fusion. Multi-qubit
+// block fusion (FuseWidth) stays opt-in because its payoff depends on the
+// circuit shape; see WideFusionOptions.
 func DefaultOptions() Options { return Options{Specialize: true, Fuse: true} }
+
+// WideFusionOptions enables multi-qubit block fusion at the given width on
+// top of the default optimisations.
+func WideFusionOptions(width int) Options {
+	return Options{Specialize: true, Fuse: true, FuseWidth: width}
+}
 
 // Simulator is the paper's optimised gate-level simulator.
 type Simulator struct {
@@ -83,9 +100,14 @@ func (s *Simulator) ApplyGate(g gates.Gate) {
 	}
 }
 
-// Run executes the circuit, fusing same-target single-qubit runs when
-// enabled.
+// Run executes the circuit with the configured fusion strategy: multi-qubit
+// block fusion when FuseWidth >= 2, same-target single-qubit fusion when
+// Fuse is set, gate-by-gate otherwise.
 func (s *Simulator) Run(c *circuit.Circuit) {
+	if s.opts.FuseWidth >= 2 {
+		s.RunPlan(fuse.New(c, s.opts.FuseWidth))
+		return
+	}
 	if !s.opts.Fuse {
 		for _, g := range c.Gates {
 			s.ApplyGate(g)
@@ -114,6 +136,14 @@ func (s *Simulator) Run(c *circuit.Circuit) {
 		}
 		i = j
 	}
+}
+
+// RunPlan executes a prebuilt fusion schedule. Callers running the same
+// circuit many times (benchmark sweeps, repeated Grover/Trotter iterations)
+// can plan once with fuse.New and amortise the scheduling cost; Run with
+// Options.FuseWidth plans on every call.
+func (s *Simulator) RunPlan(p *fuse.Plan) {
+	p.Apply(s.state, s.ApplyGate)
 }
 
 // Generic is the qHiPSTER-class structure-blind baseline.

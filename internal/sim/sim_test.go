@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/circuit"
+	"repro/internal/fuse"
 	"repro/internal/gates"
 	"repro/internal/rng"
 	"repro/internal/statevec"
@@ -84,6 +85,41 @@ func TestFusionPreservesSemantics(t *testing.T) {
 	plain.Run(c)
 	if d := fused.State().MaxDiff(plain.State()); d > 1e-10 {
 		t.Fatalf("fusion changed semantics by %g", d)
+	}
+}
+
+// TestWideFusionPreservesSemantics is the simulator-level fusion property
+// test: for random circuits (controlled gates included) every FuseWidth in
+// 2..5 must agree with the unfused run amplitude by amplitude.
+func TestWideFusionPreservesSemantics(t *testing.T) {
+	src := rng.New(1604)
+	for trial := 0; trial < 6; trial++ {
+		n := uint(4 + src.Intn(4))
+		c := randomCircuit(src, n, 100)
+		plain := NewWithOptions(n, Options{Specialize: true})
+		plain.Run(c)
+		for width := 2; width <= 5; width++ {
+			fused := NewWithOptions(n, WideFusionOptions(width))
+			fused.Run(c)
+			if d := fused.State().MaxDiff(plain.State()); d > 1e-10 {
+				t.Fatalf("trial %d width %d: wide fusion diverges by %g", trial, width, d)
+			}
+		}
+	}
+}
+
+// TestRunPlanMatchesRun: a prebuilt plan must execute identically to Run
+// with the same width.
+func TestRunPlanMatchesRun(t *testing.T) {
+	src := rng.New(1605)
+	n := uint(6)
+	c := randomCircuit(src, n, 80)
+	viaRun := NewWithOptions(n, WideFusionOptions(4))
+	viaRun.Run(c)
+	viaPlan := NewWithOptions(n, WideFusionOptions(4))
+	viaPlan.RunPlan(fuse.New(c, 4))
+	if d := viaRun.State().MaxDiff(viaPlan.State()); d > 1e-12 {
+		t.Fatalf("RunPlan differs from Run by %g", d)
 	}
 }
 

@@ -1,0 +1,207 @@
+package statevec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitops"
+)
+
+// MaxMatrixNQubits bounds the width of a generic multi-qubit block. At
+// width 8 the dense block is 256x256 (one MiB of complex128) and each
+// amplitude costs 2^8 multiplies per sweep; beyond that a fused block can
+// no longer beat replaying the individual gates, so wider requests are
+// rejected early instead of silently thrashing.
+const MaxMatrixNQubits = 8
+
+// checkMatrixN validates a (matrix, qubits) pair for the generic kernels
+// and returns the block width. The matrix must be a dense row-major
+// 2^w x 2^w block over w distinct in-range qubits.
+func (s *State) checkMatrixN(m []complex128, qubits []uint) uint {
+	w := uint(len(qubits))
+	if w == 0 {
+		panic("statevec: ApplyMatrixN with no qubits")
+	}
+	if w > MaxMatrixNQubits {
+		panic(fmt.Sprintf("statevec: block width %d exceeds MaxMatrixNQubits=%d", w, MaxMatrixNQubits))
+	}
+	dim := 1 << w
+	if len(m) != dim*dim {
+		panic(fmt.Sprintf("statevec: matrix has %d entries, want %d for %d qubits", len(m), dim*dim, w))
+	}
+	var seen uint64
+	for _, q := range qubits {
+		if q >= s.n {
+			panic("statevec: qubit out of range")
+		}
+		if seen&(1<<q) != 0 {
+			panic("statevec: duplicate qubit in ApplyMatrixN")
+		}
+		seen |= 1 << q
+	}
+	return w
+}
+
+// ApplyMatrixN applies a dense 2^w x 2^w unitary m (row-major) to the w
+// qubits listed in qubits, in a single parallel sweep of the state vector.
+// Bit j of the local 2^w-dimensional index corresponds to qubits[j], so the
+// qubit order chooses the basis convention of the block; ApplyMatrix2 and
+// ApplyMatrix4 are the w=1,2 special cases of this kernel.
+//
+// This is the execution half of multi-qubit gate fusion (internal/fuse):
+// a run of gates whose combined support fits in w qubits is folded into one
+// such block, so the 2^n amplitudes are read and written once for the whole
+// run instead of once per gate — the sweep-minimising strategy the paper
+// applies to same-target single-qubit runs, generalised to k-qubit
+// neighbourhoods. Cost per amplitude is 2^w complex multiplies, so wider
+// blocks only pay off when they absorb enough gates; the scheduler makes
+// that call, the kernel just executes it.
+func (s *State) ApplyMatrixN(m []complex128, qubits []uint) {
+	w := s.checkMatrixN(m, qubits)
+	switch w {
+	case 1:
+		// Delegate to the tuned pair kernel.
+		s.ApplyMatrix2([4]complex128{m[0], m[1], m[2], m[3]}, qubits[0])
+		return
+	case 2:
+		// Delegate to the tuned two-qubit kernel, which is ~2x faster than
+		// the generic gather/scatter sweep at this width. Its local value
+		// convention (bit of q1 << 1 | bit of q0) matches bit j = qubits[j].
+		var m4 [16]complex128
+		copy(m4[:], m)
+		s.ApplyMatrix4(&m4, qubits[0], qubits[1])
+		return
+	}
+	s.applyMatrixN(m, qubits, nil)
+}
+
+// ApplyControlledMatrixN applies the 2^w x 2^w block m to qubits on the
+// subspace where every control qubit reads 1. Controls must be disjoint
+// from qubits. Groups whose controls are not satisfied are skipped without
+// touching their amplitudes, so a controlled block costs 1/2^c of the
+// uncontrolled sweep in memory traffic, exactly like the specialised
+// controlled single-qubit kernels.
+func (s *State) ApplyControlledMatrixN(m []complex128, qubits []uint, controls []uint) {
+	if len(controls) == 0 {
+		s.ApplyMatrixN(m, qubits)
+		return
+	}
+	if s.checkMatrixN(m, qubits) == 1 {
+		s.ApplyControlledMatrix2([4]complex128{m[0], m[1], m[2], m[3]}, qubits[0], controls)
+		return
+	}
+	var qmask uint64
+	for _, q := range qubits {
+		qmask |= 1 << q
+	}
+	for _, c := range controls {
+		if c >= s.n {
+			panic("statevec: control qubit out of range")
+		}
+		if qmask&(1<<c) != 0 {
+			panic("statevec: control overlaps block qubit")
+		}
+	}
+	s.applyMatrixN(m, qubits, controls)
+}
+
+// ApplyDiagN multiplies each amplitude by d[x], where x is the local
+// 2^w value read off the listed qubits (bit j of x is qubits[j]). This is
+// the diagonal special case of ApplyMatrixN: one multiply per amplitude in
+// a single sweep regardless of how many phase gates were folded into d, so
+// a fused run of CR/Rz/T gates costs what a single diagonal gate costs.
+func (s *State) ApplyDiagN(d []complex128, qubits []uint) {
+	w := uint(len(qubits))
+	if w == 0 || w > MaxMatrixNQubits {
+		panic("statevec: ApplyDiagN width out of range")
+	}
+	if len(d) != 1<<w {
+		panic(fmt.Sprintf("statevec: diagonal has %d entries, want %d", len(d), 1<<w))
+	}
+	var seen uint64
+	for _, q := range qubits {
+		if q >= s.n {
+			panic("statevec: qubit out of range")
+		}
+		if seen&(1<<q) != 0 {
+			panic("statevec: duplicate qubit in ApplyDiagN")
+		}
+		seen |= 1 << q
+	}
+	sorted, offs := localLayout(qubits)
+	dim := 1 << w
+	groups := s.Dim() >> w
+	parallelRange(groups, func(start, end uint64) {
+		for c := start; c < end; c++ {
+			base := bitops.InsertZeroBits(c, sorted...)
+			for x := 0; x < dim; x++ {
+				s.amp[base|offs[x]] *= d[x]
+			}
+		}
+	})
+}
+
+// localLayout returns the ascending copy of qubits (the InsertZeroBits
+// insertion points) and the offset table offs, where offs[x] is the
+// global-index offset of local basis state x: bit j of x maps to qubit
+// qubits[j]. Precomputing it turns the kernels' gather/scatter into
+// base|offs[x] with no per-amplitude bit fiddling.
+func localLayout(qubits []uint) (sorted []uint, offs []uint64) {
+	sorted = append([]uint(nil), qubits...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	offs = make([]uint64, 1<<uint(len(qubits)))
+	for x := 1; x < len(offs); x++ {
+		j := uint(0)
+		for (x>>j)&1 == 0 {
+			j++
+		}
+		offs[x] = offs[x&(x-1)] | 1<<qubits[j]
+	}
+	return sorted, offs
+}
+
+// applyMatrixN is the shared sweep. qubits is the caller's (validated)
+// local-bit order; controls may be nil.
+func (s *State) applyMatrixN(m []complex128, qubits []uint, controls []uint) {
+	w := uint(len(qubits))
+	dim := 1 << w
+	sorted, offs := localLayout(qubits)
+	cmask := bitops.ControlMask(controls)
+	groups := s.Dim() >> w
+	parallelRange(groups, func(start, end uint64) {
+		// Per-worker scratch: the gathered local vector and its indices.
+		vec := make([]complex128, dim)
+		idx := make([]uint64, dim)
+		for c := start; c < end; c++ {
+			base := bitops.InsertZeroBits(c, sorted...)
+			if base&cmask != cmask {
+				continue
+			}
+			for x := 0; x < dim; x++ {
+				idx[x] = base | offs[x]
+				vec[x] = s.amp[idx[x]]
+			}
+			// Four rows at a time: independent accumulators break the
+			// multiply-add dependency chain that otherwise serialises the
+			// mat-vec at complex-FMA latency (dim >= 4 always holds here:
+			// w=1 delegates to ApplyMatrix2).
+			for r := 0; r < dim; r += 4 {
+				r0 := m[(r+0)*dim : (r+1)*dim]
+				r1 := m[(r+1)*dim : (r+2)*dim]
+				r2 := m[(r+2)*dim : (r+3)*dim]
+				r3 := m[(r+3)*dim : (r+4)*dim]
+				var a0, a1, a2, a3 complex128
+				for x, v := range vec {
+					a0 += r0[x] * v
+					a1 += r1[x] * v
+					a2 += r2[x] * v
+					a3 += r3[x] * v
+				}
+				s.amp[idx[r+0]] = a0
+				s.amp[idx[r+1]] = a1
+				s.amp[idx[r+2]] = a2
+				s.amp[idx[r+3]] = a3
+			}
+		}
+	})
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fuse"
 	"repro/internal/gates"
 	"repro/internal/sim"
 	"repro/internal/statevec"
@@ -45,6 +46,14 @@ type State = statevec.State
 // Cluster is the emulated distributed machine; see internal/cluster.
 type Cluster = cluster.Cluster
 
+// SimOptions selects the simulator's optimisations (kernel specialisation,
+// same-target fusion, multi-qubit block fusion); see internal/sim.
+type SimOptions = sim.Options
+
+// FusionPlan is a fused execution schedule produced by the
+// commutation-aware gate-fusion scheduler; see internal/fuse.
+type FusionPlan = fuse.Plan
+
 // NewEmulator returns an emulator over a fresh |0...0> register of n
 // qubits.
 func NewEmulator(n uint) *Emulator { return core.New(n) }
@@ -52,6 +61,17 @@ func NewEmulator(n uint) *Emulator { return core.New(n) }
 // NewSimulator returns the optimised gate-level simulator over a fresh
 // register of n qubits.
 func NewSimulator(n uint) *Simulator { return sim.New(n) }
+
+// NewSimulatorWithOptions returns a simulator with explicit optimisation
+// settings, e.g. SimOptions{Specialize: true, FuseWidth: 4} for
+// multi-qubit block fusion.
+func NewSimulatorWithOptions(n uint, opts SimOptions) *Simulator {
+	return sim.NewWithOptions(n, opts)
+}
+
+// PlanFusion builds a width-k fused execution schedule for c, reusable
+// across runs via Simulator.RunPlan; see internal/fuse.
+func PlanFusion(c *Circuit, width int) *FusionPlan { return fuse.New(c, width) }
 
 // NewCircuit returns an empty circuit over n qubits.
 func NewCircuit(n uint) *Circuit { return circuit.New(n) }
