@@ -452,6 +452,68 @@ func BenchmarkMathFuncEmulation(b *testing.B) {
 	}
 }
 
+// --- Measurement / permutation engine ---------------------------------------
+//
+// The execution-engine benches exercise the non-gate hot paths: probability
+// reads, collapses and basis-state permutations, which Shor-style and Monte
+// Carlo workloads hit between every block of gates. ApplyPermutation must
+// report zero allocations per op (the state swaps with its scratch buffer).
+
+func BenchmarkMeasurePermutationPipeline(b *testing.B) {
+	const n = 22
+	st := statevec.NewRandom(n, rng.New(14))
+	// Make qubit 0 deterministic so the repeated collapse below stays valid.
+	st.Collapse(0, 1)
+	const mask = uint64(1)<<8 - 1
+	bump := func(field, rest uint64) uint64 { return (field + ((rest >> 16) & mask) + 1) & mask }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = st.Probability(0)
+		st.Collapse(0, 1)
+		st.MapRegister(8, 8, bump)
+	}
+}
+
+func BenchmarkApplyPermutation(b *testing.B) {
+	const n = 22
+	st := statevec.NewRandom(n, rng.New(15))
+	mask := st.Dim() - 1
+	rot := func(i uint64) uint64 { return (i + 12345) & mask }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.ApplyPermutation(rot)
+	}
+}
+
+func BenchmarkReductions(b *testing.B) {
+	const n = 22
+	st := statevec.NewRandom(n, rng.New(16))
+	other := statevec.NewRandom(n, rng.New(17))
+	b.Run("Norm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = st.Norm()
+		}
+	})
+	b.Run("Inner", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = st.Inner(other)
+		}
+	})
+	b.Run("ExpectationDiagonal", func(b *testing.B) {
+		obs := func(i uint64) float64 { return float64(i & 255) }
+		for i := 0; i < b.N; i++ {
+			_ = st.ExpectationDiagonal(obs)
+		}
+	})
+	b.Run("SampleMany", func(b *testing.B) {
+		src := rng.New(18)
+		for i := 0; i < b.N; i++ {
+			_ = st.SampleMany(1000, src)
+		}
+	})
+}
+
 // --- helpers -----------------------------------------------------------------
 
 // superposed returns an n-qubit state with Hadamards on the low h qubits.

@@ -10,9 +10,15 @@
 // Each experiment prints an aligned table with the same rows/series the
 // paper reports; absolute times are machine-dependent, the shape (who
 // wins, by what factor, where cross-overs fall) is the reproduction target.
+//
+// With -json FILE, every timed point is additionally written as a
+// machine-readable record (experiment, circuit, series, qubits, ns/op,
+// bytes/op) so CI can archive the run as a BENCH_*.json perf-trajectory
+// artifact and diff it across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +27,82 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/perfmodel"
 )
+
+// benchRecord is one timed point of one experiment series.
+type benchRecord struct {
+	Experiment string  `json:"experiment"`
+	Circuit    string  `json:"circuit"`
+	Series     string  `json:"series"`
+	Qubits     uint    `json:"qubits"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp uint64  `json:"bytes_per_op,omitempty"`
+}
+
+// collector accumulates benchRecords across the experiments that ran.
+type collector struct {
+	records []benchRecord
+}
+
+func (c *collector) add(experiment, circuit, series string, qubits uint, seconds float64, bytes uint64) {
+	if seconds == 0 {
+		return // skipped configuration (e.g. simulation beyond MaxSimM)
+	}
+	c.records = append(c.records, benchRecord{
+		Experiment: experiment,
+		Circuit:    circuit,
+		Series:     series,
+		Qubits:     qubits,
+		NsPerOp:    seconds * 1e9,
+		BytesPerOp: bytes,
+	})
+}
+
+func (c *collector) addArith(experiment, circuit string, rows []experiments.ArithRow) {
+	for _, r := range rows {
+		c.add(experiment, fmt.Sprintf("%s-m%d", circuit, r.M), "simulation", r.NQubits, r.TSim, 0)
+		c.add(experiment, fmt.Sprintf("%s-m%d", circuit, r.M), "emulation", r.NQubits, r.TEmu, 0)
+	}
+}
+
+func (c *collector) addWeakScaling(experiment, emuSeries string, rows []experiments.WeakScalingRow) {
+	for _, r := range rows {
+		circuit := fmt.Sprintf("qft-p%d", r.Nodes)
+		c.add(experiment, circuit, "simulation", r.Qubits, r.TSim, r.SimBytes)
+		c.add(experiment, circuit, emuSeries, r.Qubits, r.TEmu, r.EmuBytes)
+	}
+}
+
+func (c *collector) addSingleNode(experiment, circuit string, rows []experiments.SingleNodeRow) {
+	for _, r := range rows {
+		c.add(experiment, circuit, "ours", r.Qubits, r.TOurs, 0)
+		c.add(experiment, circuit, "qhipster-class", r.Qubits, r.TGeneric, 0)
+		c.add(experiment, circuit, "liquid-class", r.Qubits, r.TSparse, 0)
+	}
+}
+
+func (c *collector) addMeasure(rows []experiments.MeasureRow) {
+	for i, r := range rows {
+		if i == 0 {
+			// TExact is shared by every shots row; record it once.
+			c.add("measure", "diagonal-expectation", "exact", r.Qubits, r.TExact, 0)
+		}
+		c.add("measure", fmt.Sprintf("diagonal-expectation-shots%d", r.Shots), "sampled", r.Qubits, r.TSample, 0)
+	}
+}
+
+func (c *collector) write(path string) error {
+	records := c.records
+	if records == nil {
+		// Experiments without a collector mapping (table2, mathfunc,
+		// fusion) still produce a valid JSON array, not `null`.
+		records = []benchRecord{}
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
 
 func main() {
 	var (
@@ -33,8 +115,10 @@ func main() {
 		maxQubits    = flag.Uint("max-qubits", 0, "override: largest register for fig5/fig6")
 		maxMeasuredN = flag.Uint("max-measured-n", 0, "override: largest measured size for table2")
 		fuseWidth    = flag.Int("fuse-width", 0, "override: largest fusion width for the fusion sweep")
+		jsonPath     = flag.String("json", "", "also write machine-readable results (circuit, qubits, ns/op, bytes/op) to this file")
 	)
 	flag.Parse()
+	var col collector
 
 	fmt.Printf("qemu-bench: %d hardware threads (GOMAXPROCS)\n\n", runtime.GOMAXPROCS(0))
 
@@ -53,9 +137,10 @@ func main() {
 		if *maxEmuM > 0 {
 			cfg.MaxEmuM = *maxEmuM
 		}
+		rows := experiments.Fig1(cfg)
+		col.addArith("fig1", "multiplier", rows)
 		fmt.Println(experiments.FormatArith(
-			"Figure 1: multiplication of two m-bit numbers (n = 3m+1 qubits)",
-			experiments.Fig1(cfg)))
+			"Figure 1: multiplication of two m-bit numbers (n = 3m+1 qubits)", rows))
 	}
 	if run("fig2") {
 		ran = true
@@ -69,9 +154,10 @@ func main() {
 		if *maxEmuM > 0 {
 			cfg.MaxEmuM = *maxEmuM
 		}
+		rows := experiments.Fig2(cfg)
+		col.addArith("fig2", "divider", rows)
 		fmt.Println(experiments.FormatArith(
-			"Figure 2: division of two m-bit numbers (n = 4m+2 qubits incl. work)",
-			experiments.Fig2(cfg)))
+			"Figure 2: division of two m-bit numbers (n = 4m+2 qubits incl. work)", rows))
 	}
 	if run("fig3") {
 		ran = true
@@ -80,7 +166,9 @@ func main() {
 			cfg.LocalQubits, cfg.MaxNodes = 12, 8
 		}
 		applyWeak(&cfg, *localQubits, *maxNodes)
-		fmt.Println(experiments.FormatFig3(experiments.Fig3(cfg)))
+		rows := experiments.Fig3(cfg)
+		col.addWeakScaling("fig3", "fft-emulation", rows)
+		fmt.Println(experiments.FormatFig3(rows))
 		fmt.Println(modelTable())
 	}
 	if run("fig4") {
@@ -90,7 +178,9 @@ func main() {
 			cfg.LocalQubits, cfg.MaxNodes = 12, 8
 		}
 		applyWeak(&cfg, *localQubits, *maxNodes)
-		fmt.Println(experiments.FormatFig4(experiments.Fig4(cfg)))
+		rows := experiments.Fig4(cfg)
+		col.addWeakScaling("fig4", "qhipster-class", rows)
+		fmt.Println(experiments.FormatFig4(rows))
 	}
 	if run("fig5") {
 		ran = true
@@ -101,9 +191,10 @@ func main() {
 		if *maxQubits > 0 {
 			cfg.MaxQubits = *maxQubits
 		}
+		rows := experiments.Fig5(cfg)
+		col.addSingleNode("fig5", "qft", rows)
 		fmt.Println(experiments.FormatSingleNode(
-			"Figure 5: single-node QFT across simulator back-ends",
-			experiments.Fig5(cfg)))
+			"Figure 5: single-node QFT across simulator back-ends", rows))
 	}
 	if run("fig6") {
 		ran = true
@@ -114,9 +205,10 @@ func main() {
 		if *maxQubits > 0 {
 			cfg.MaxQubits = *maxQubits
 		}
+		rows := experiments.Fig6(cfg)
+		col.addSingleNode("fig6", "entangler", rows)
 		fmt.Println(experiments.FormatSingleNode(
-			"Figure 6: single-node entangling operation across back-ends",
-			experiments.Fig6(cfg)))
+			"Figure 6: single-node entangling operation across back-ends", rows))
 	}
 	if run("table2") {
 		ran = true
@@ -135,8 +227,9 @@ func main() {
 		if *quick {
 			n = 14
 		}
-		fmt.Println(experiments.FormatMeasure(
-			experiments.Measure34(n, []int{100, 10000, 1000000})))
+		rows := experiments.Measure34(n, []int{100, 10000, 1000000})
+		col.addMeasure(rows)
+		fmt.Println(experiments.FormatMeasure(rows))
 	}
 	if run("mathfunc") {
 		ran = true
@@ -161,6 +254,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		if err := col.write(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d bench records to %s\n", len(col.records), *jsonPath)
 	}
 }
 

@@ -59,6 +59,11 @@ type Cluster struct {
 	DiagonalOptimization bool
 
 	shards [][]complex128
+	// scratch is the retired shard set the all-to-all collectives write
+	// into and swap with the live shards, so a permutation or transpose
+	// reuses 16*2^n bytes instead of allocating them per call; nil until
+	// the first collective.
+	scratch [][]complex128
 	// Stats tracks communication; reset with ResetStats.
 	Stats Stats
 }
@@ -126,6 +131,31 @@ func (c *Cluster) Gather() *statevec.State {
 		copy(amps[uint64(p)*local:(uint64(p)+1)*local], c.shards[p])
 	}
 	return st
+}
+
+// grabScratch returns a full set of per-node destination buffers for a
+// collective, reusing the retired set when one exists. zero clears the
+// buffers first (writers that skip zero amplitudes need it); a fresh
+// allocation is already zero.
+func (c *Cluster) grabScratch(zero bool) [][]complex128 {
+	if c.scratch == nil {
+		c.scratch = make([][]complex128, c.P)
+		local := c.LocalSize()
+		for i := range c.scratch {
+			c.scratch[i] = make([]complex128, local)
+		}
+		return c.scratch
+	}
+	if zero {
+		c.eachNode(func(p int) { clear(c.scratch[p]) })
+	}
+	return c.scratch
+}
+
+// installShards makes next (obtained from grabScratch) the live shard set
+// and retires the old one as the next collective's scratch.
+func (c *Cluster) installShards(next [][]complex128) {
+	c.shards, c.scratch = next, c.shards
 }
 
 // eachNode runs fn(nodeID) on one goroutine per node and waits — the BSP

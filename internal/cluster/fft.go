@@ -125,14 +125,15 @@ func (c *Cluster) allToAllTranspose(rows, cols uint64) {
 	p64 := uint64(c.P)
 	rowsPerNode := rows / p64
 	colsPerNode := cols / p64
-	local := c.LocalSize()
 	// Build all destination shards, then swap them in: each destination
 	// element (r', c') of the transposed cols x rows matrix equals source
 	// (c', r'). Work is done per destination node, in parallel; bytes are
 	// charged for every element that crosses a node boundary.
-	next := make([][]complex128, c.P)
+	// Every destination element is assigned below, so the reused buffers
+	// need no clearing.
+	next := c.grabScratch(false)
 	c.eachNode(func(dst int) {
-		out := make([]complex128, local)
+		out := next[dst]
 		// Destination node dst owns transposed rows [dst*colsPerNode,
 		// (dst+1)*colsPerNode) — each of length `rows`.
 		base := uint64(dst) * colsPerNode
@@ -144,9 +145,8 @@ func (c *Cluster) allToAllTranspose(rows, cols uint64) {
 				out[tr*rows+srcRow] = c.shards[srcNode][srcOff]
 			}
 		}
-		next[dst] = out
 	})
-	copy(c.shards, next)
+	c.installShards(next)
 	// Accounting: each node keeps its diagonal rowsPerNode x colsPerNode
 	// block (size/P elements in total stay local); everything else crosses
 	// the network: size * (P-1)/P elements of 16 bytes.

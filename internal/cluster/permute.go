@@ -18,10 +18,9 @@ import (
 func (c *Cluster) ApplyPermutation(f func(uint64) uint64) {
 	local := c.LocalSize()
 	p64 := uint64(c.P)
-	next := make([][]complex128, c.P)
-	for i := range next {
-		next[i] = make([]complex128, local)
-	}
+	// The routing loop below skips zero amplitudes, so the reused
+	// destination buffers must start cleared.
+	next := c.grabScratch(true)
 	// Each source node routes its amplitudes to destination shards. The
 	// destination slices are disjointly owned per destination *element*,
 	// but two sources may target the same destination shard, so routing is
@@ -57,7 +56,7 @@ func (c *Cluster) ApplyPermutation(f func(uint64) uint64) {
 		crossing = append(crossing, myCross)
 		mu.Unlock()
 	})
-	copy(c.shards, next)
+	c.installShards(next)
 	var totalCross uint64
 	for _, x := range crossing {
 		totalCross += x

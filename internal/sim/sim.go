@@ -52,6 +52,11 @@ type Options struct {
 	// classic same-target fusion controlled by Fuse. Values above
 	// fuse.MaxWidth are clamped.
 	FuseWidth int
+	// Workers caps the shared-memory parallelism of the state-vector
+	// kernels: 1 forces the single-threaded variants (useful for
+	// deterministic baselines and serial-per-node setups), 0 uses the
+	// GOMAXPROCS default. See statevec.State.SetParallelism.
+	Workers int
 }
 
 // DefaultOptions enables every optimisation at the paper's setting:
@@ -77,11 +82,15 @@ func New(n uint) *Simulator { return NewWithOptions(n, DefaultOptions()) }
 
 // NewWithOptions returns a simulator with explicit optimisation settings.
 func NewWithOptions(n uint, opts Options) *Simulator {
-	return &Simulator{state: statevec.New(n), opts: opts}
+	return Wrap(statevec.New(n), opts)
 }
 
-// Wrap returns a simulator operating on an existing state.
+// Wrap returns a simulator operating on an existing state. A non-zero
+// Workers option is applied to the state's kernel parallelism.
 func Wrap(s *statevec.State, opts Options) *Simulator {
+	if opts.Workers > 0 {
+		s.SetParallelism(opts.Workers)
+	}
 	return &Simulator{state: s, opts: opts}
 }
 

@@ -5,6 +5,25 @@ import (
 	"repro/internal/gates"
 )
 
+// checkTargetControls validates a (target, controls) pair for the
+// single-qubit kernels: the target must be in range, every control must be
+// in range and distinct from the target. Every controlled kernel applies
+// the same contract, so an out-of-range control panics instead of silently
+// producing a mask bit that can never match.
+func (s *State) checkTargetControls(k uint, controls []uint) {
+	if k >= s.n {
+		panic("statevec: target qubit out of range")
+	}
+	for _, c := range controls {
+		if c == k {
+			panic("statevec: control equals target")
+		}
+		if c >= s.n {
+			panic("statevec: control qubit out of range")
+		}
+	}
+}
+
 // ApplyMatrix2 applies the dense 2x2 unitary m to qubit k. This is the
 // generic kernel a structure-blind simulator (the qHiPSTER-class baseline)
 // uses for every gate: two reads, two writes and a full complex 2x2
@@ -15,7 +34,7 @@ func (s *State) ApplyMatrix2(m gates.Matrix2, k uint) {
 	}
 	half := s.Dim() >> 1
 	stride := uint64(1) << k
-	parallelRange(half, func(start, end uint64) {
+	s.parallelRange(half, func(start, end uint64) {
 		for c := start; c < end; c++ {
 			i0 := bitops.InsertZeroBit(c, k)
 			i1 := i0 | stride
@@ -33,18 +52,11 @@ func (s *State) ApplyControlledMatrix2(m gates.Matrix2, k uint, controls []uint)
 		s.ApplyMatrix2(m, k)
 		return
 	}
-	for _, c := range controls {
-		if c == k {
-			panic("statevec: control equals target")
-		}
-		if c >= s.n {
-			panic("statevec: control qubit out of range")
-		}
-	}
+	s.checkTargetControls(k, controls)
 	cmask := bitops.ControlMask(controls)
 	half := s.Dim() >> 1
 	stride := uint64(1) << k
-	parallelRange(half, func(start, end uint64) {
+	s.parallelRange(half, func(start, end uint64) {
 		for c := start; c < end; c++ {
 			i0 := bitops.InsertZeroBit(c, k)
 			if i0&cmask != cmask {
@@ -67,7 +79,7 @@ func (s *State) ApplyX(k uint) {
 	}
 	half := s.Dim() >> 1
 	stride := uint64(1) << k
-	parallelRange(half, func(start, end uint64) {
+	s.parallelRange(half, func(start, end uint64) {
 		for c := start; c < end; c++ {
 			i0 := bitops.InsertZeroBit(c, k)
 			i1 := i0 | stride
@@ -92,7 +104,7 @@ func (s *State) ApplyDiag(d0, d1 complex128, k uint) {
 	if !scale0 && !scale1 {
 		return
 	}
-	parallelRange(half, func(start, end uint64) {
+	s.parallelRange(half, func(start, end uint64) {
 		for c := start; c < end; c++ {
 			i0 := bitops.InsertZeroBit(c, k)
 			if scale0 {
@@ -114,6 +126,7 @@ func (s *State) ApplyControlledDiag(d0, d1 complex128, k uint, controls []uint) 
 		s.ApplyDiag(d0, d1, k)
 		return
 	}
+	s.checkTargetControls(k, controls)
 	cmask := bitops.ControlMask(controls)
 	half := s.Dim() >> 1
 	stride := uint64(1) << k
@@ -122,7 +135,7 @@ func (s *State) ApplyControlledDiag(d0, d1 complex128, k uint, controls []uint) 
 	if !scale0 && !scale1 {
 		return
 	}
-	parallelRange(half, func(start, end uint64) {
+	s.parallelRange(half, func(start, end uint64) {
 		for c := start; c < end; c++ {
 			i0 := bitops.InsertZeroBit(c, k)
 			if i0&cmask != cmask {
@@ -147,10 +160,11 @@ func (s *State) ApplyControlledX(k uint, controls []uint) {
 		s.ApplyX(k)
 		return
 	}
+	s.checkTargetControls(k, controls)
 	cmask := bitops.ControlMask(controls)
 	half := s.Dim() >> 1
 	stride := uint64(1) << k
-	parallelRange(half, func(start, end uint64) {
+	s.parallelRange(half, func(start, end uint64) {
 		for c := start; c < end; c++ {
 			i0 := bitops.InsertZeroBit(c, k)
 			if i0&cmask != cmask {
@@ -171,7 +185,7 @@ func (s *State) ApplyHadamard(k uint) {
 	const invSqrt2 = 0.7071067811865476
 	half := s.Dim() >> 1
 	stride := uint64(1) << k
-	parallelRange(half, func(start, end uint64) {
+	s.parallelRange(half, func(start, end uint64) {
 		for c := start; c < end; c++ {
 			i0 := bitops.InsertZeroBit(c, k)
 			i1 := i0 | stride
@@ -215,25 +229,46 @@ func (s *State) ApplyGateGeneric(g gates.Gate) {
 	s.ApplyControlledMatrix2(g.Matrix, g.Target, g.Controls)
 }
 
+// scratchBuf returns the State's out-of-place buffer, allocating it on
+// first use. Its contents are unspecified.
+func (s *State) scratchBuf() []complex128 {
+	if uint64(len(s.scratch)) != s.Dim() {
+		s.scratch = make([]complex128, s.Dim())
+	}
+	return s.scratch
+}
+
 // ApplyPermutation relabels basis states: amplitude at index i moves to
 // index f(i). f must be a bijection on [0, 2^n); the classical-function
 // emulation of Section 3.1 reduces reversible circuits to exactly this.
-// The permutation is applied out of place into scratch storage.
+// The permutation is applied out of place into the State's scratch buffer,
+// which is then swapped with the live amplitude slice — no allocation
+// after the first call. Because every destination index is written exactly
+// once for a bijection, the scratch buffer is not cleared first; a
+// non-bijective f leaves unspecified stale values at unreached indices.
 func (s *State) ApplyPermutation(f func(uint64) uint64) {
 	dim := s.Dim()
-	out := make([]complex128, dim)
-	parallelRange(dim, func(start, end uint64) {
-		for i := start; i < end; i++ {
-			out[f(i)] = s.amp[i]
+	out := s.scratchBuf()
+	if s.parallelism(dim) <= 1 {
+		// Closure-free serial path: together with the buffer swap this
+		// makes a steady-state permutation allocation-free.
+		for i, a := range s.amp {
+			out[f(uint64(i))] = a
 		}
-	})
-	s.amp = out
+	} else {
+		s.parallelRange(dim, func(start, end uint64) {
+			for i := start; i < end; i++ {
+				out[f(i)] = s.amp[i]
+			}
+		})
+	}
+	s.amp, s.scratch = out, s.amp
 }
 
 // ApplyDiagonalFunc multiplies amplitude i by phase(i). Emulated diagonal
 // unitaries (e.g. e^{i f(x)} oracles) use it.
 func (s *State) ApplyDiagonalFunc(phase func(uint64) complex128) {
-	parallelRange(s.Dim(), func(start, end uint64) {
+	s.parallelRange(s.Dim(), func(start, end uint64) {
 		for i := start; i < end; i++ {
 			s.amp[i] *= phase(i)
 		}

@@ -118,6 +118,72 @@ func TestExpectationZ(t *testing.T) {
 	}
 }
 
+// TestEstimateDiagonalStderrUnbiased pins the standard error on a known
+// two-outcome distribution: for 0/1 draws with k ones out of N shots the
+// unbiased sample variance is k(N-k)/(N(N-1)) and the stderr its square
+// root over sqrt(N). Before the Bessel fix the denominator was N (the
+// biased population variance), off by a factor sqrt((N-1)/N).
+func TestEstimateDiagonalStderrUnbiased(t *testing.T) {
+	s := New(1)
+	s.ApplyGate(gates.H(0))
+	obs := func(i uint64) float64 { return float64(i) }
+	const shots = 1000
+	// Re-draw the exact sample EstimateDiagonal will see (same seed).
+	var k float64
+	for _, d := range s.SampleMany(shots, rng.New(77)) {
+		k += float64(d)
+	}
+	mean, stderr := s.EstimateDiagonal(obs, shots, rng.New(77))
+	const n = float64(shots)
+	wantMean := k / n
+	wantStderr := math.Sqrt(k * (n - k) / (n * (n - 1)) / n)
+	if math.Abs(mean-wantMean) > 1e-12 {
+		t.Errorf("mean = %v, want %v", mean, wantMean)
+	}
+	if math.Abs(stderr-wantStderr) > 1e-12 {
+		t.Errorf("stderr = %v, want unbiased %v", stderr, wantStderr)
+	}
+	biased := math.Sqrt(k * (n - k) / (n * n) / n)
+	if math.Abs(stderr-biased) < math.Abs(stderr-wantStderr) {
+		t.Errorf("stderr %v matches the biased estimator %v", stderr, biased)
+	}
+}
+
+func TestEstimateDiagonalSingleShot(t *testing.T) {
+	s := New(1)
+	s.ApplyGate(gates.H(0))
+	_, stderr := s.EstimateDiagonal(func(i uint64) float64 { return float64(i) }, 1, rng.New(5))
+	if stderr != 0 {
+		t.Errorf("single-shot stderr = %v, want 0 (no spread information)", stderr)
+	}
+}
+
+// TestSampleClampsDenormalizedState is the regression test for the
+// Dim()-1 fallthrough bug: when the state's norm drifts marginally below
+// 1, a uniform draw landing in the residual gap must clamp to a supported
+// outcome instead of returning the (zero-probability) top basis state.
+// Checked on both the serial early-exit walk and the chunk-parallel walk.
+func TestSampleClampsDenormalizedState(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for _, gap := range []float64{1e-12, 0.5} {
+			s := NewZero(13)
+			s.SetAmplitude(5, complex(math.Sqrt(1-gap), 0))
+			s.SetParallelism(workers)
+			src := rng.New(9001)
+			for i := 0; i < 300; i++ {
+				if got := s.Sample(src); got != 5 {
+					t.Fatalf("workers=%d gap=%g: Sample returned %d, want 5", workers, gap, got)
+				}
+			}
+			for _, x := range s.SampleMany(500, src) {
+				if x != 5 {
+					t.Fatalf("workers=%d gap=%g: SampleMany returned %d, want 5", workers, gap, x)
+				}
+			}
+		}
+	}
+}
+
 func TestExactVsSampledExpectation(t *testing.T) {
 	// Section 3.4: the exact expectation must agree with the sampled
 	// estimate within a few standard errors, while needing no shots.

@@ -131,7 +131,7 @@ func (s *State) ApplyDiagN(d []complex128, qubits []uint) {
 	sorted, offs := localLayout(qubits)
 	dim := 1 << w
 	groups := s.Dim() >> w
-	parallelRange(groups, func(start, end uint64) {
+	s.parallelRange(groups, func(start, end uint64) {
 		for c := start; c < end; c++ {
 			base := bitops.InsertZeroBits(c, sorted...)
 			for x := 0; x < dim; x++ {
@@ -168,7 +168,7 @@ func (s *State) applyMatrixN(m []complex128, qubits []uint, controls []uint) {
 	sorted, offs := localLayout(qubits)
 	cmask := bitops.ControlMask(controls)
 	groups := s.Dim() >> w
-	parallelRange(groups, func(start, end uint64) {
+	s.parallelRange(groups, func(start, end uint64) {
 		// Per-worker scratch: the gathered local vector and its indices.
 		vec := make([]complex128, dim)
 		idx := make([]uint64, dim)

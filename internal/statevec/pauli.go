@@ -97,22 +97,28 @@ func (s *State) ExpectationPauli(p PauliString) float64 {
 	// phase(j) = (+i)^{#Y} * (-1)^{popcount((j^flipMask) & zMask)}
 	// using the convention Y|0> = i|1>, Y|1> = -i|0>.
 	iPow := []complex128{1, 1i, -1, -1i}[yCount%4]
-	var acc complex128
-	for j, a := range s.amp {
-		if a == 0 {
-			continue
+	// Parallel reduction; workers read s.amp[src] across chunk boundaries,
+	// which is safe because the pass never writes.
+	acc := parallelReduce(s, s.Dim(), func(start, end uint64) complex128 {
+		var acc complex128
+		for j := start; j < end; j++ {
+			a := s.amp[j]
+			if a == 0 {
+				continue
+			}
+			src := j ^ flipMask // P maps |src> -> phase |j>
+			sign := complex128(1)
+			if bitops.PopCount(src&zMask)%2 == 1 {
+				sign = -1
+			}
+			// Y sign bookkeeping: each Y contributes i if the source bit
+			// is 0 and -i if 1; combined: (+i)^{#Y} * (-1)^{#Y bits set in
+			// src}. The zMask popcount above already includes Y positions,
+			// so only the global iPow factor remains.
+			acc += cmplx.Conj(a) * iPow * sign * s.amp[src]
 		}
-		src := uint64(j) ^ flipMask // P maps |src> -> phase |j>
-		sign := complex128(1)
-		if bitops.PopCount(src&zMask)%2 == 1 {
-			sign = -1
-		}
-		// Y sign bookkeeping: each Y contributes i if the source bit is 0
-		// and -i if 1; combined: (+i)^{#Y} * (-1)^{#Y bits set in src}.
-		// The zMask popcount above already includes Y positions, so only
-		// the global iPow factor remains.
-		acc += cmplx.Conj(a) * iPow * sign * s.amp[src]
-	}
+		return acc
+	}, addComplex)
 	return real(acc)
 }
 

@@ -6,14 +6,39 @@
 // The layout convention matches the paper: amplitude index i, read as an
 // n-bit integer, assigns bit k of i to qubit k, with qubit 0 the least
 // significant bit.
+//
+// # Execution engine
+//
+// Every kernel and reduction runs through one engine (parallel.go): a
+// persistent worker pool created lazily per State and sized from
+// GOMAXPROCS, fed cache-line-aligned chunks of the amplitude vector.
+// Gate kernels use parallelRange; Norm, Inner, MaxDiff, Probability,
+// ExpectationDiagonal, ExpectationPauli and the sampling prefix sums use
+// parallelReduce with per-worker partial accumulators folded in chunk
+// order (deterministic for a fixed parallelism setting). Collapse fuses
+// its zero + norm + rescale passes into a single sweep. SetParallelism(1)
+// forces the single-threaded variants; callers that shard work themselves
+// (one State per node, as internal/cluster does per shard) should use it.
+//
+// A State also carries a reusable scratch vector: ApplyPermutation and
+// MapRegister write into it and swap it with the live amplitude slice
+// instead of allocating 16*2^n bytes per call. The scratch buffer is owned
+// by the State; slices previously obtained from Amplitudes may therefore
+// be recycled as scratch storage after a permutation.
+//
+// # Validation contract
+//
+// Kernels panic on structurally invalid arguments — target or control
+// qubit out of range, control equal to target, duplicate block qubits,
+// malformed matrix sizes — before touching any amplitude. Numerical
+// preconditions (normalisation, unitarity, bijectivity of permutation
+// functions) are the caller's responsibility and are not checked.
 package statevec
 
 import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"runtime"
-	"sync"
 
 	"repro/internal/rng"
 )
@@ -25,9 +50,21 @@ const MaxQubits = 34
 
 // State is the wavefunction of an n-qubit register. The amplitude slice has
 // length exactly 2^n. Methods that mutate the state do so in place.
+//
+// A State is not safe for concurrent use; distinct States are independent
+// (each owns its worker pool and scratch buffer) and may be driven from
+// different goroutines freely.
 type State struct {
 	n   uint
 	amp []complex128
+	// scratch is the out-of-place buffer ApplyPermutation swaps with amp;
+	// nil until the first permutation.
+	scratch []complex128
+	// pool is the persistent worker pool; nil until the first kernel large
+	// enough to go parallel.
+	pool *workerPool
+	// maxWorkers caps kernel parallelism; 0 means GOMAXPROCS.
+	maxWorkers int
 }
 
 // New returns an n-qubit register initialised to the computational basis
@@ -59,7 +96,9 @@ func NewBasis(n uint, i uint64) *State {
 }
 
 // FromAmplitudes wraps amps (whose length must be a power of two) as a
-// State without copying. The caller keeps ownership of the slice.
+// State without copying. The State takes ownership of the slice: after a
+// permutation kernel runs, the slice may be retired to scratch storage and
+// overwritten by later operations.
 func FromAmplitudes(amps []complex128) (*State, error) {
 	d := uint64(len(amps))
 	if d == 0 || d&(d-1) != 0 {
@@ -89,7 +128,9 @@ func (s *State) NumQubits() uint { return s.n }
 // Dim returns 2^n.
 func (s *State) Dim() uint64 { return uint64(len(s.amp)) }
 
-// Amplitudes exposes the backing slice. Mutating it mutates the state.
+// Amplitudes exposes the backing slice. Mutating it mutates the state. The
+// slice header is only valid until the next permutation kernel, which
+// swaps the backing array with the State's scratch buffer.
 func (s *State) Amplitudes() []complex128 { return s.amp }
 
 // Amplitude returns amplitude i.
@@ -99,9 +140,11 @@ func (s *State) Amplitude(i uint64) complex128 { return s.amp[i] }
 // keeping the state normalised.
 func (s *State) SetAmplitude(i uint64, a complex128) { s.amp[i] = a }
 
-// Clone returns a deep copy of s.
+// Clone returns a deep copy of s. The copy starts with its own (lazily
+// created) worker pool and scratch buffer but inherits the parallelism
+// setting.
 func (s *State) Clone() *State {
-	c := &State{n: s.n, amp: make([]complex128, len(s.amp))}
+	c := &State{n: s.n, amp: make([]complex128, len(s.amp)), maxWorkers: s.maxWorkers}
 	copy(c.amp, s.amp)
 	return c
 }
@@ -116,11 +159,18 @@ func (s *State) CopyFrom(other *State) {
 
 // Norm returns the 2-norm of the amplitude vector (1 for a valid state).
 func (s *State) Norm() float64 {
-	var acc float64
-	for _, a := range s.amp {
-		acc += real(a)*real(a) + imag(a)*imag(a)
-	}
-	return math.Sqrt(acc)
+	return math.Sqrt(s.normSquared())
+}
+
+// normSquared returns the total probability mass, reduced in parallel.
+func (s *State) normSquared() float64 {
+	return parallelReduce(s, s.Dim(), func(start, end uint64) float64 {
+		var acc float64
+		for _, a := range s.amp[start:end] {
+			acc += real(a)*real(a) + imag(a)*imag(a)
+		}
+		return acc
+	}, addFloat)
 }
 
 // Normalize rescales the state to unit norm. It panics on the zero vector.
@@ -130,9 +180,11 @@ func (s *State) Normalize() {
 		panic("statevec: cannot normalise the zero vector")
 	}
 	inv := complex(1/nrm, 0)
-	for i := range s.amp {
-		s.amp[i] *= inv
-	}
+	s.parallelRange(s.Dim(), func(start, end uint64) {
+		for i := start; i < end; i++ {
+			s.amp[i] *= inv
+		}
+	})
 }
 
 // Inner returns <s|other>.
@@ -140,11 +192,15 @@ func (s *State) Inner(other *State) complex128 {
 	if s.n != other.n {
 		panic("statevec: Inner dimension mismatch")
 	}
-	var acc complex128
-	for i, a := range s.amp {
-		acc += cmplx.Conj(a) * other.amp[i]
-	}
-	return acc
+	amps, oamps := s.amp, other.amp
+	return parallelReduce(s, s.Dim(), func(start, end uint64) complex128 {
+		var acc complex128
+		o := oamps[start:end]
+		for i, a := range amps[start:end] {
+			acc += cmplx.Conj(a) * o[i]
+		}
+		return acc
+	}, addComplex)
 }
 
 // Fidelity returns |<s|other>|^2.
@@ -159,13 +215,16 @@ func (s *State) MaxDiff(other *State) float64 {
 	if s.n != other.n {
 		panic("statevec: MaxDiff dimension mismatch")
 	}
-	var m float64
-	for i, a := range s.amp {
-		if d := cmplx.Abs(a - other.amp[i]); d > m {
-			m = d
+	return parallelReduce(s, s.Dim(), func(start, end uint64) float64 {
+		var m float64
+		o := other.amp[start:end]
+		for i, a := range s.amp[start:end] {
+			if d := cmplx.Abs(a - o[i]); d > m {
+				m = d
+			}
 		}
-	}
-	return m
+		return m
+	}, maxFloat)
 }
 
 // ApproxEqual reports whether every amplitude of s is within eps of other,
@@ -173,47 +232,4 @@ func (s *State) MaxDiff(other *State) float64 {
 // exactly up to eps. Use FidelityClose for phase-insensitive comparison.
 func (s *State) ApproxEqual(other *State, eps float64) bool {
 	return s.MaxDiff(other) <= eps
-}
-
-// parallelThreshold is the vector length below which kernels run serially;
-// goroutine fan-out costs more than it saves on tiny registers.
-const parallelThreshold = 1 << 12
-
-// workers returns the worker count for a loop over size items.
-func workers(size uint64) int {
-	w := runtime.GOMAXPROCS(0)
-	if size < parallelThreshold || w <= 1 {
-		return 1
-	}
-	if uint64(w) > size/1024 {
-		w = int(size / 1024)
-		if w < 1 {
-			w = 1
-		}
-	}
-	return w
-}
-
-// parallelRange invokes fn(start, end) over disjoint chunks of [0, size)
-// from multiple goroutines and waits for completion.
-func parallelRange(size uint64, fn func(start, end uint64)) {
-	w := uint64(workers(size))
-	if w <= 1 {
-		fn(0, size)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (size + w - 1) / w
-	for start := uint64(0); start < size; start += chunk {
-		end := start + chunk
-		if end > size {
-			end = size
-		}
-		wg.Add(1)
-		go func(lo, hi uint64) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(start, end)
-	}
-	wg.Wait()
 }

@@ -23,7 +23,7 @@ func (s *State) ApplyMatrix4(m *[16]complex128, q0, q1 uint) {
 	quarter := s.Dim() >> 2
 	b0 := uint64(1) << q0
 	b1 := uint64(1) << q1
-	parallelRange(quarter, func(start, end uint64) {
+	s.parallelRange(quarter, func(start, end uint64) {
 		for c := start; c < end; c++ {
 			// Spread the counter around both qubit positions (ascending).
 			base := bitops.InsertZeroBit(bitops.InsertZeroBit(c, lo), hi)
@@ -57,7 +57,7 @@ func (s *State) ApplySwap(q0, q1 uint) {
 	quarter := s.Dim() >> 2
 	b0 := uint64(1) << q0
 	b1 := uint64(1) << q1
-	parallelRange(quarter, func(start, end uint64) {
+	s.parallelRange(quarter, func(start, end uint64) {
 		for c := start; c < end; c++ {
 			base := bitops.InsertZeroBit(bitops.InsertZeroBit(c, lo), hi)
 			i01 := base | b0
