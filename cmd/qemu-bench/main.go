@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	qemu-bench [-experiment all|fig1|fig2|fig3|fig4|fig5|fig6|table2|measure]
+//	qemu-bench [-experiment all|fig1|...|fig6|table2|measure|mathfunc|fusion|cluster]
 //	           [-quick] [-max-sim-m M] [-max-emu-m M] [-local-qubits L]
-//	           [-max-nodes P] [-max-qubits N] [-max-measured-n N]
+//	           [-max-nodes P] [-max-qubits N] [-max-measured-n N] [-fuse-width K]
 //
 // Each experiment prints an aligned table with the same rows/series the
 // paper reports; absolute times are machine-dependent, the shape (who
@@ -18,36 +18,26 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 
+	"repro/internal/benchjson"
 	"repro/internal/experiments"
 	"repro/internal/perfmodel"
 )
 
-// benchRecord is one timed point of one experiment series.
-type benchRecord struct {
-	Experiment string  `json:"experiment"`
-	Circuit    string  `json:"circuit"`
-	Series     string  `json:"series"`
-	Qubits     uint    `json:"qubits"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp uint64  `json:"bytes_per_op,omitempty"`
-}
-
-// collector accumulates benchRecords across the experiments that ran.
+// collector accumulates benchjson records across the experiments that ran.
 type collector struct {
-	records []benchRecord
+	records []benchjson.Record
 }
 
 func (c *collector) add(experiment, circuit, series string, qubits uint, seconds float64, bytes uint64) {
 	if seconds == 0 {
 		return // skipped configuration (e.g. simulation beyond MaxSimM)
 	}
-	c.records = append(c.records, benchRecord{
+	c.records = append(c.records, benchjson.Record{
 		Experiment: experiment,
 		Circuit:    circuit,
 		Series:     series,
@@ -80,6 +70,28 @@ func (c *collector) addSingleNode(experiment, circuit string, rows []experiments
 	}
 }
 
+func (c *collector) addFusion(rows []experiments.FusionRow) {
+	for _, r := range rows {
+		c.add("fusion", r.Name, "nofuse", r.Qubits, r.TNoFuse, 0)
+		c.add("fusion", r.Name, "fuse1", r.Qubits, r.TFuse1, 0)
+		for i, t := range r.TWidth {
+			c.add("fusion", r.Name, fmt.Sprintf("width%d", i+2), r.Qubits, t, 0)
+		}
+	}
+}
+
+func (c *collector) addCluster(rows []experiments.ClusterRow) {
+	for _, r := range rows {
+		circuit := fmt.Sprintf("%s-p%d", r.Circuit, r.Nodes)
+		c.records = append(c.records,
+			benchjson.Record{Experiment: "cluster", Circuit: circuit, Series: "naive",
+				Qubits: r.Qubits, NsPerOp: r.TNaive * 1e9, BytesPerOp: r.NaiveBytes, Rounds: r.NaiveRounds},
+			benchjson.Record{Experiment: "cluster", Circuit: circuit, Series: "scheduled",
+				Qubits: r.Qubits, NsPerOp: r.TSched * 1e9, BytesPerOp: r.SchedBytes, Rounds: r.SchedRounds},
+		)
+	}
+}
+
 func (c *collector) addMeasure(rows []experiments.MeasureRow) {
 	for i, r := range rows {
 		if i == 0 {
@@ -91,22 +103,14 @@ func (c *collector) addMeasure(rows []experiments.MeasureRow) {
 }
 
 func (c *collector) write(path string) error {
-	records := c.records
-	if records == nil {
-		// Experiments without a collector mapping (table2, mathfunc,
-		// fusion) still produce a valid JSON array, not `null`.
-		records = []benchRecord{}
-	}
-	data, err := json.MarshalIndent(records, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	// Experiments without a collector mapping (table2, mathfunc) still
+	// produce a valid JSON array, not `null` — benchjson.Write handles it.
+	return benchjson.Write(path, c.records)
 }
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "which experiment to run (all, fig1, fig2, fig3, fig4, fig5, fig6, table2, measure, mathfunc, fusion)")
+		experiment   = flag.String("experiment", "all", "which experiment to run (all, fig1, fig2, fig3, fig4, fig5, fig6, table2, measure, mathfunc, fusion, cluster)")
 		quick        = flag.Bool("quick", false, "shrink every sweep for a fast smoke run")
 		maxSimM      = flag.Uint("max-sim-m", 0, "override: largest simulated operand width for fig1/fig2")
 		maxEmuM      = flag.Uint("max-emu-m", 0, "override: largest emulated operand width for fig1/fig2")
@@ -248,7 +252,28 @@ func main() {
 		if *fuseWidth > 0 {
 			cfg.MaxWidth = *fuseWidth
 		}
-		fmt.Println(experiments.FormatFusion(experiments.Fusion(cfg)))
+		rows := experiments.Fusion(cfg)
+		col.addFusion(rows)
+		fmt.Println(experiments.FormatFusion(rows))
+	}
+	if run("cluster") {
+		ran = true
+		cfg := experiments.DefaultCluster()
+		if *quick {
+			cfg.LocalQubits = 12
+		}
+		if *localQubits > 0 {
+			cfg.LocalQubits = *localQubits
+		}
+		if *maxNodes > 0 {
+			cfg.MaxNodes = *maxNodes
+		}
+		if *fuseWidth > 0 {
+			cfg.FuseWidth = *fuseWidth
+		}
+		rows := experiments.Cluster(cfg)
+		col.addCluster(rows)
+		fmt.Println(experiments.FormatCluster(rows))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)

@@ -1,0 +1,151 @@
+// Command qemu-perfgate compares a fresh qemu-bench -json run against a
+// checked-in BENCH_*.json baseline and fails (exit 1) on ns/op
+// regressions, gating CI on the repository's perf trajectory.
+//
+// Usage:
+//
+//	qemu-perfgate [-tolerance 0.25] [-absolute] [-min-ns N] baseline.json current.json
+//
+// Records are matched by (experiment, circuit, series, qubits). Because
+// baseline and current runs generally execute on different hardware (a
+// developer box vs a CI runner), the default mode is *calibrated*: the
+// median ns/op ratio across all matched records is taken as the hardware
+// scale factor, and a record regresses only when its ratio exceeds
+// median * (1 + tolerance). A uniform slowdown (slower runner) passes; a
+// change that slows one experiment relative to the rest fails. -absolute
+// skips calibration for same-machine comparisons.
+//
+// Communication metrics are gated absolutely: a distributed record whose
+// rounds or bytes/op exceed the baseline fails regardless of timing noise
+// — the scheduler's round counts are deterministic, so any growth is a
+// real regression.
+//
+// Known limit of cross-hardware calibration: a single per-file median
+// cannot absorb *shape* differences (e.g. series that parallelise
+// differently on a many-core runner than on the baseline box). If a
+// record trips the gate on a commit that demonstrably did not touch its
+// code path, regenerate that baseline on the slower/newer hardware and
+// commit it — the tool prints every ratio so the judgement is auditable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/benchjson"
+)
+
+func main() {
+	var (
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression beyond the calibrated scale")
+		absolute  = flag.Bool("absolute", false, "compare raw ns/op (same-machine runs) instead of calibrating by the median ratio")
+		minNs     = flag.Float64("min-ns", 1e5, "ignore timing regressions on records faster than this (too noisy to gate)")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: qemu-perfgate [flags] baseline.json current.json")
+		flag.Usage()
+		os.Exit(2)
+	}
+	baseline, err := benchjson.Read(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qemu-perfgate:", err)
+		os.Exit(1)
+	}
+	current, err := benchjson.Read(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qemu-perfgate:", err)
+		os.Exit(1)
+	}
+
+	type match struct {
+		key        string
+		base, curr benchjson.Record
+		ratio      float64
+	}
+	var matches []match
+	var keys []string
+	for k := range baseline {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	missing := 0
+	for _, k := range keys {
+		b := baseline[k]
+		c, ok := current[k]
+		if !ok {
+			// A gated record that stopped being produced is itself a
+			// failure: coverage must not silently evaporate. Renaming a
+			// circuit or shrinking a sweep means regenerating the
+			// baseline in the same commit.
+			fmt.Printf("MISSING  %s (in baseline, absent from current run)\n", k)
+			missing++
+			continue
+		}
+		if b.NsPerOp <= 0 || c.NsPerOp <= 0 {
+			continue
+		}
+		matches = append(matches, match{key: k, base: b, curr: c, ratio: c.NsPerOp / b.NsPerOp})
+	}
+	var newKeys []string
+	for k := range current {
+		if _, ok := baseline[k]; !ok {
+			newKeys = append(newKeys, k)
+		}
+	}
+	sort.Strings(newKeys)
+	for _, k := range newKeys {
+		// New coverage is not a failure, but it is ungated until the
+		// baseline is regenerated — say so rather than staying silent.
+		fmt.Printf("NEW      %s (absent from baseline — regenerate it to gate this record)\n", k)
+	}
+	if len(matches) == 0 {
+		fmt.Fprintln(os.Stderr, "qemu-perfgate: no comparable records between the two runs")
+		os.Exit(1)
+	}
+
+	scale := 1.0
+	if !*absolute {
+		ratios := make([]float64, len(matches))
+		for i, m := range matches {
+			ratios[i] = m.ratio
+		}
+		sort.Float64s(ratios)
+		scale = ratios[len(ratios)/2]
+		fmt.Printf("calibration: median ns/op ratio %.3f over %d records (current/baseline hardware scale)\n",
+			scale, len(matches))
+	}
+
+	limit := scale * (1 + *tolerance)
+	failed := missing
+	for _, m := range matches {
+		status := "ok      "
+		switch {
+		case m.curr.Rounds > m.base.Rounds:
+			status = "ROUNDS  "
+			failed++
+		case m.curr.BytesPerOp > m.base.BytesPerOp:
+			// Communication volume is deterministic — any growth at all
+			// is a real regression, including from a zero baseline.
+			status = "BYTES   "
+			failed++
+		case m.ratio > limit && m.base.NsPerOp >= *minNs && m.curr.NsPerOp >= *minNs:
+			status = "REGRESS "
+			failed++
+		}
+		fmt.Printf("%s %-50s %12.0f -> %12.0f ns/op (x%.2f)", status, m.key, m.base.NsPerOp, m.curr.NsPerOp, m.ratio)
+		if m.base.Rounds > 0 || m.curr.Rounds > 0 {
+			fmt.Printf("  rounds %d -> %d", m.base.Rounds, m.curr.Rounds)
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		fmt.Printf("\nqemu-perfgate: %d of %d gated records failed (missing, communication growth, or >%.0f%% beyond the calibrated scale)\n",
+			failed, len(matches)+missing, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("\nqemu-perfgate: all %d records within %.0f%% of the calibrated scale\n",
+		len(matches), *tolerance*100)
+}

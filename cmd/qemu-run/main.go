@@ -5,12 +5,17 @@
 // Usage:
 //
 //	qemu-run [-backend ours|generic|sparse|emulator] [-fuse-width K]
-//	         [-shots K] [-top N] [-seed S] circuit.qc
+//	         [-nodes P] [-shots K] [-top N] [-seed S] circuit.qc
 //
 // -fuse-width K (with the default "ours" back-end) enables multi-qubit
 // block fusion: consecutive gates whose combined support fits in K qubits
 // are merged into one dense 2^K block applied in a single sweep, and the
 // resulting schedule statistics are printed.
+//
+// -nodes P shards the register across P emulated cluster nodes and runs
+// the circuit through the communication-avoiding scheduler of
+// internal/cluster, printing the planned remap rounds and the measured
+// communication (rounds, messages, bytes) afterwards.
 //
 // With -shots 0 (default) the full amplitude listing of the -top most
 // probable basis states is printed — the emulator's "complete distribution
@@ -24,7 +29,9 @@ import (
 	"os"
 	"sort"
 
+	"repro"
 	"repro/internal/circuit"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fuse"
 	"repro/internal/qasm"
@@ -37,6 +44,7 @@ func main() {
 	var (
 		backend   = flag.String("backend", "ours", "back-end: ours, generic, sparse, emulator")
 		fuseWidth = flag.Int("fuse-width", 0, "multi-qubit fusion width for the ours back-end (0 = classic same-target fusion)")
+		nodes     = flag.Int("nodes", 0, "shard the register across this many emulated cluster nodes (power of two; ours back-end only)")
 		shots     = flag.Int("shots", 0, "number of measurement samples to draw (0 = none)")
 		top       = flag.Int("top", 16, "number of basis states to list")
 		seed      = flag.Uint64("seed", 1, "measurement RNG seed")
@@ -47,13 +55,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *backend, *fuseWidth, *shots, *top, *seed); err != nil {
+	if err := run(flag.Arg(0), *backend, *fuseWidth, *nodes, *shots, *top, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "qemu-run:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, backend string, fuseWidth, shots, top int, seed uint64) error {
+func run(path, backend string, fuseWidth, nodes, shots, top int, seed uint64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -65,9 +73,34 @@ func run(path, backend string, fuseWidth, shots, top int, seed uint64) error {
 	}
 	fmt.Printf("circuit: %d qubits, %d gates, depth %d\n",
 		circ.NumQubits, circ.Len(), circ.Depth())
-	st := statevec.New(circ.NumQubits)
-	if err := execute(circ, st, backend, fuseWidth); err != nil {
-		return err
+	var st *statevec.State
+	if nodes > 1 {
+		if backend != "ours" && backend != "" {
+			return fmt.Errorf("-nodes applies to the ours back-end, not %q", backend)
+		}
+		d, err := sim.NewDistributed(circ.NumQubits, sim.Options{Nodes: nodes})
+		if err != nil {
+			return err
+		}
+		// Plan once, print the communication plan, execute the same
+		// schedule — the pipeline sim.Distributed.Run runs implicitly.
+		plan := fuse.New(circ, cluster.ClampFuseWidth(fuseWidth, d.Cluster().L))
+		sched, err := repro.PlanCluster(plan, circ.NumQubits, d.Cluster().L)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cluster: %d nodes x 2^%d amplitudes; schedule: %d rounds (%d remaps + %d exchange gates) for %d gates\n",
+			d.Cluster().P, d.Cluster().L, sched.Rounds, sched.Remaps, sched.ExchangeGates, sched.Gates)
+		d.Cluster().RunSchedule(sched)
+		cs := d.Cluster().Stats.Snapshot()
+		fmt.Printf("communication: %d rounds, %d messages, %.1f MB moved\n",
+			cs.Rounds, cs.Messages, float64(cs.BytesSent)/(1<<20))
+		st = d.State()
+	} else {
+		st = statevec.New(circ.NumQubits)
+		if err := execute(circ, st, backend, fuseWidth); err != nil {
+			return err
+		}
 	}
 
 	type entry struct {
@@ -103,7 +136,14 @@ func run(path, backend string, fuseWidth, shots, top int, seed uint64) error {
 		for k := range counts {
 			keys = append(keys, k)
 		}
-		sort.Slice(keys, func(i, j int) bool { return counts[keys[i]] > counts[keys[j]] })
+		sort.Slice(keys, func(i, j int) bool {
+			// Secondary key keeps the listing deterministic across runs
+			// (map iteration order would otherwise shuffle tied counts).
+			if counts[keys[i]] != counts[keys[j]] {
+				return counts[keys[i]] > counts[keys[j]]
+			}
+			return keys[i] < keys[j]
+		})
 		for i, k := range keys {
 			if i >= top {
 				fmt.Printf("  ... (%d more outcomes)\n", len(keys)-top)

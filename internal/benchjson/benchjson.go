@@ -1,0 +1,59 @@
+// Package benchjson defines the machine-readable benchmark record schema
+// shared by cmd/qemu-bench (producer) and cmd/qemu-perfgate (consumer).
+// Keeping the struct in one place means a new gated metric cannot be
+// emitted by the bench without the perf gate seeing it.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Record is one timed point of one experiment series.
+type Record struct {
+	Experiment string  `json:"experiment"`
+	Circuit    string  `json:"circuit"`
+	Series     string  `json:"series"`
+	Qubits     uint    `json:"qubits"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp uint64  `json:"bytes_per_op,omitempty"`
+	// Rounds counts communication rounds per op for the distributed
+	// experiments (the scheduler's objective function).
+	Rounds uint64 `json:"rounds,omitempty"`
+}
+
+// Key identifies a record across runs: same experiment, circuit, series
+// and register width.
+func (r Record) Key() string {
+	return fmt.Sprintf("%s/%s/%s/q%d", r.Experiment, r.Circuit, r.Series, r.Qubits)
+}
+
+// Write marshals records as an indented JSON array (never null) to path.
+func Write(path string, records []Record) error {
+	if records == nil {
+		records = []Record{}
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Read loads a JSON array of records keyed by Record.Key.
+func Read(path string) (map[string]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var records []Record
+	if err := json.Unmarshal(data, &records); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]Record, len(records))
+	for _, r := range records {
+		m[r.Key()] = r
+	}
+	return m, nil
+}

@@ -1,9 +1,10 @@
-package cluster
+package cluster_test
 
 import (
 	"math"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/gates"
 	"repro/internal/qft"
 	"repro/internal/rng"
@@ -11,7 +12,7 @@ import (
 	"repro/internal/statevec"
 )
 
-func loadRandom(t *testing.T, c *Cluster, src *rng.Source) *statevec.State {
+func loadRandom(t *testing.T, c *cluster.Cluster, src *rng.Source) *statevec.State {
 	t.Helper()
 	st := statevec.NewRandom(c.NumQubits(), src)
 	if err := c.LoadState(st); err != nil {
@@ -21,13 +22,13 @@ func loadRandom(t *testing.T, c *Cluster, src *rng.Source) *statevec.State {
 }
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(4, 3); err == nil {
+	if _, err := cluster.New(4, 3); err == nil {
 		t.Error("non-power-of-two node count accepted")
 	}
-	if _, err := New(2, 8); err == nil {
+	if _, err := cluster.New(2, 8); err == nil {
 		t.Error("more node bits than qubits accepted")
 	}
-	c, err := New(10, 4)
+	c, err := cluster.New(10, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestNewValidation(t *testing.T) {
 
 func TestGatherLoadRoundTrip(t *testing.T) {
 	src := rng.New(1)
-	c, _ := New(8, 4)
+	c, _ := cluster.New(8, 4)
 	st := loadRandom(t, c, src)
 	if d := c.Gather().MaxDiff(st); d > 0 {
 		t.Errorf("gather/load round trip differs by %g", d)
@@ -51,7 +52,7 @@ func TestDistributedMatchesLocal(t *testing.T) {
 	src := rng.New(2)
 	for _, p := range []int{1, 2, 4, 8} {
 		n := uint(8)
-		c, err := New(n, p)
+		c, err := cluster.New(n, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,7 +80,7 @@ func TestDiagonalGatesAvoidCommunication(t *testing.T) {
 	// with it off (qHiPSTER-class), every node-qubit gate pays an exchange.
 	src := rng.New(3)
 	n := uint(8)
-	c, _ := New(n, 4) // node qubits: 6, 7
+	c, _ := cluster.New(n, 4) // node qubits: 6, 7
 	loadRandom(t, c, src)
 
 	c.ResetStats()
@@ -102,7 +103,7 @@ func TestDiagonalGatesAvoidCommunication(t *testing.T) {
 func TestGenericModeStillCorrect(t *testing.T) {
 	src := rng.New(4)
 	n := uint(7)
-	c, _ := New(n, 4)
+	c, _ := cluster.New(n, 4)
 	c.DiagonalOptimization = false
 	st := loadRandom(t, c, src)
 	local := sim.Wrap(st.Clone(), sim.DefaultOptions())
@@ -119,7 +120,7 @@ func TestHadamardOnNodeQubitCommunicates(t *testing.T) {
 	// Eq. 6's claim: one full-state exchange per Hadamard on a node qubit.
 	src := rng.New(5)
 	n := uint(8)
-	c, _ := New(n, 4)
+	c, _ := cluster.New(n, 4)
 	loadRandom(t, c, src)
 	c.ResetStats()
 	c.ApplyGate(gates.H(7))
@@ -140,7 +141,7 @@ func TestEmulatedQFTMatchesCircuitQFT(t *testing.T) {
 	src := rng.New(6)
 	for _, p := range []int{1, 2, 4} {
 		n := uint(8)
-		c, err := New(n, p)
+		c, err := cluster.New(n, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -164,7 +165,7 @@ func TestEmulatedQFTMatchesCircuitQFT(t *testing.T) {
 
 func TestEmulatedQFTInverseRoundTrip(t *testing.T) {
 	src := rng.New(7)
-	c, _ := New(9, 4)
+	c, _ := cluster.New(9, 4)
 	st := loadRandom(t, c, src)
 	if err := c.EmulateQFT(); err != nil {
 		t.Fatal(err)
@@ -179,7 +180,7 @@ func TestEmulatedQFTInverseRoundTrip(t *testing.T) {
 
 func TestFFTCountsThreeAllToAlls(t *testing.T) {
 	src := rng.New(8)
-	c, _ := New(10, 4)
+	c, _ := cluster.New(10, 4)
 	loadRandom(t, c, src)
 	c.ResetStats()
 	if err := c.EmulateQFT(); err != nil {
@@ -197,7 +198,7 @@ func TestQFTCircuitCommunicationScalesAsLogP(t *testing.T) {
 	src := rng.New(9)
 	for _, p := range []int{2, 4, 8} {
 		n := uint(9)
-		c, _ := New(n, p)
+		c, _ := cluster.New(n, p)
 		loadRandom(t, c, src)
 		c.ResetStats()
 		c.Run(qft.CircuitNoSwap(n))
@@ -211,7 +212,7 @@ func TestQFTCircuitCommunicationScalesAsLogP(t *testing.T) {
 
 func TestNormPreservedAcrossCluster(t *testing.T) {
 	src := rng.New(10)
-	c, _ := New(8, 8)
+	c, _ := cluster.New(8, 8)
 	loadRandom(t, c, src)
 	c.Run(qft.Circuit(8))
 	if err := c.EmulateInverseQFT(); err != nil {

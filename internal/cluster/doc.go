@@ -1,23 +1,66 @@
 // Package cluster emulates a distributed-memory machine running a sharded
 // state-vector simulation — the substitute for the paper's 6400-node TACC
-// Stampede system. Each emulated node owns a contiguous shard of 2^L
-// amplitudes (the low L qubits are node-local; the high log2(P) qubits
-// select the node), executes its local work on its own goroutine, and
-// communicates through an accounted in-process network.
+// Stampede system — with a communication-avoiding execution engine on top.
+// Each emulated node owns an L-qubit statevec.State shard (2^L contiguous
+// amplitudes), executes its local work through the structure-specialised,
+// pool-parallel statevec kernels, and communicates through an accounted
+// in-process network.
 //
-// The accounting (bytes on the wire, message count, exchange count) is
-// the quantity the paper's Eqs. 5-6 are written in terms of; the
-// repository reports both measured wall time of the emulated cluster and
-// modeled time at Stampede scale via package perfmodel.
+// # Qubit placement and the scheduler
 //
-// New(n, p) builds a p-node machine holding an n-qubit register;
-// LoadState scatters an existing state across the shards. Run executes a
-// circuit gate by gate: gates on local qubits run in place, gates on
-// node-selecting qubits trigger the pairwise amplitude exchange of the
-// paper's Section 4.3 — unless DiagonalOptimization recognises the gate
-// as diagonal on the state, in which case no amplitudes move at all (the
-// communication-avoiding trick Figure 4 measures against the
-// qHiPSTER-class baseline). EmulateQFT replaces the whole QFT circuit
-// with the distributed four-step FFT of internal/fft, the Section 3.2
-// emulation path whose weak scaling Figure 3 compares.
+// The engine separates logical qubits from physical positions: positions
+// 0..L-1 address bits inside a shard, positions L..n-1 select the node.
+// Gates whose (physical) target is node-local never communicate; diagonal
+// gates never communicate anywhere (every node owns its amplitudes' phase
+// factors whatever the placement — the paper's Figure 4 optimisation,
+// toggled by DiagonalOptimization). Only a non-diagonal gate whose target
+// sits in a node-selecting position needs amplitudes from another node.
+//
+// The naive engine (ApplyGate / Run) pays for each such gate immediately
+// with one pairwise shard-exchange round — the qHiPSTER-class behaviour.
+// The scheduled engine (BuildSchedule / RunSchedule / RunScheduled)
+// instead walks the circuit post-fusion (consuming internal/fuse plans:
+// fused blocks whole, unfused runs gate by gate), and whenever the stream
+// blocks on remote qubits it plans ONE all-to-all placement remap whose
+// incoming local set unblocks as many upcoming ops as fit in L positions,
+// filling spare slots Belady-style with the qubits needed soonest. The
+// circuit thus executes as long communication-free stretches separated by
+// a minimal number of batched remap rounds — Stats.Rounds counts them,
+// and the qemu-bench cluster experiment compares both engines.
+//
+// # Exchange contracts
+//
+// All collectives gather into a retired scratch buffer set and swap it
+// with the live shards (statevec.AdoptAmplitudes), so steady-state
+// communication allocates nothing. A remap moves each amplitude exactly
+// once, coalesced into one message per communicating (src, dst) pair;
+// accounting charges BytesSent for every amplitude that changes nodes,
+// Messages per coalesced pair, AllToAlls per collective and Rounds per
+// communication superstep. The pairwise exchange of the naive engine
+// charges both shards' bytes, two messages and one Exchange per pair, and
+// one Round per gate.
+//
+// # Measurement, sampling, expectation
+//
+// Norm, Probability, Measure, Collapse, Sample, SampleMany and
+// ExpectationDiagonal run cluster-wide without gathering: every node
+// reduces its shard on its own worker pool (the statevec parallelReduce
+// machinery), and only the P partial scalars cross node boundaries.
+// Sampling canonicalises the placement so outcomes are logical basis
+// indices resolved in the same CDF order as the single-node sampler.
+//
+// # Validation contract
+//
+// Gate application enforces the statevec kernel validation contract on
+// logical indices before any routing: out-of-range targets or controls
+// and control-equals-target panic with the identical kernel messages,
+// whether the offending qubit would have been shard-local or
+// node-selecting, and before any amplitude is touched.
+//
+// EmulateQFT replaces the whole QFT circuit with the distributed
+// four-step FFT of internal/fft (three all-to-all transposition rounds —
+// Eq. 5's "3"); ApplyPermutation performs the Section 4.2 arithmetic
+// shortcut as a single all-to-all. Both speak the canonical layout and
+// restore it (one extra remap round at most) when the gate engine left
+// the placement rotated.
 package cluster

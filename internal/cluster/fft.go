@@ -20,7 +20,10 @@ func (c *Cluster) EmulateInverseQFT() error { return c.distributedFFT(-1, true) 
 
 // distributedFFT runs the four-step factorisation N = N1 * N2 with the
 // state viewed as an N1 x N2 row-major matrix distributed by row blocks.
+// The emulation speaks the canonical (identity) layout, so a drifted
+// placement is restored first.
 func (c *Cluster) distributedFFT(sign int, unitary bool) error {
+	c.Canonicalize()
 	n := c.NumQubits()
 	n1 := n / 2
 	n2 := n - n1
@@ -44,7 +47,7 @@ func (c *Cluster) distributedFFT(sign int, unitary bool) error {
 	c.allToAllTranspose(rows, cols)
 	// Step 2: local FFTs of length N1 over the rows each node now owns.
 	c.eachNode(func(p int) {
-		shard := c.shards[p]
+		shard := c.shard(p)
 		for off := uint64(0); off+rows <= uint64(len(shard)); off += rows {
 			row := shard[off : off+rows]
 			if sign >= 0 {
@@ -62,7 +65,7 @@ func (c *Cluster) distributedFFT(sign int, unitary bool) error {
 	// it is re-anchored periodically to stop roundoff drift.
 	local := c.LocalSize()
 	c.eachNode(func(p int) {
-		shard := c.shards[p]
+		shard := c.shard(p)
 		base := uint64(p) * local
 		i := uint64(0)
 		for i < uint64(len(shard)) {
@@ -93,7 +96,7 @@ func (c *Cluster) distributedFFT(sign int, unitary bool) error {
 	c.allToAllTranspose(cols, rows)
 	// Step 5: local FFTs of length N2.
 	c.eachNode(func(p int) {
-		shard := c.shards[p]
+		shard := c.shard(p)
 		for off := uint64(0); off+cols <= uint64(len(shard)); off += cols {
 			row := shard[off : off+cols]
 			if sign >= 0 {
@@ -108,7 +111,7 @@ func (c *Cluster) distributedFFT(sign int, unitary bool) error {
 	if unitary {
 		scale := complex(1/math.Sqrt(float64(size)), 0)
 		c.eachNode(func(p int) {
-			shard := c.shards[p]
+			shard := c.shard(p)
 			for i := range shard {
 				shard[i] *= scale
 			}
@@ -142,7 +145,7 @@ func (c *Cluster) allToAllTranspose(rows, cols uint64) {
 			for srcRow := uint64(0); srcRow < rows; srcRow++ {
 				srcNode := srcRow / rowsPerNode
 				srcOff := (srcRow%rowsPerNode)*cols + srcCol
-				out[tr*rows+srcRow] = c.shards[srcNode][srcOff]
+				out[tr*rows+srcRow] = c.shard(int(srcNode))[srcOff]
 			}
 		}
 	})
@@ -155,4 +158,5 @@ func (c *Cluster) allToAllTranspose(rows, cols uint64) {
 	c.Stats.BytesSent.Add(cross * 16)
 	c.Stats.Messages.Add(p64 * (p64 - 1))
 	c.Stats.AllToAlls.Add(1)
+	c.Stats.Rounds.Add(1)
 }

@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/bitops"
+	"repro/internal/rng"
+)
+
+// nodeReduce runs fn on every node concurrently and returns the per-node
+// results in node order — the cluster-wide reduction superstep. Each
+// node's work runs through its shard's statevec engine, so large shards
+// use the per-node worker pools (parallelReduce) underneath.
+func nodeReduce(c *Cluster, fn func(p int) float64) []float64 {
+	res := make([]float64, c.P)
+	c.eachNode(func(p int) { res[p] = fn(p) })
+	return res
+}
+
+// Norm returns the 2-norm of the distributed amplitude vector, reduced
+// node-locally in parallel and folded in node order.
+func (c *Cluster) Norm() float64 {
+	var total float64
+	for _, m := range nodeReduce(c, func(p int) float64 { return c.nodes[p].Mass() }) {
+		total += m
+	}
+	return math.Sqrt(total)
+}
+
+// Probability returns the probability that measuring logical qubit q
+// yields 1. A node-local qubit reduces within every shard; a
+// node-selecting qubit just sums the masses of the shards whose node bit
+// reads 1 — no amplitude is touched twice either way, and nothing
+// communicates beyond the P partial sums.
+func (c *Cluster) Probability(q uint) float64 {
+	if q >= c.NumQubits() {
+		panic("statevec: qubit out of range")
+	}
+	return c.conditionalMass(q, 1)
+}
+
+// conditionalMass returns the probability mass of the branch where logical
+// qubit q reads outcome, as one cluster-wide reduction: local qubits sum
+// the branch directly inside every shard (statevec.BranchMass), node-
+// selecting qubits sum the masses of the shards on the outcome's side.
+func (c *Cluster) conditionalMass(q uint, outcome uint64) float64 {
+	outcome &= 1
+	t := c.pos[q]
+	var parts []float64
+	if t < c.L {
+		parts = nodeReduce(c, func(p int) float64 { return c.nodes[p].BranchMass(t, outcome) })
+	} else {
+		tb := t - c.L
+		parts = nodeReduce(c, func(p int) float64 {
+			if bitops.Bit(uint64(p), tb) != outcome {
+				return 0
+			}
+			return c.nodes[p].Mass()
+		})
+	}
+	var total float64
+	for _, m := range parts {
+		total += m
+	}
+	return total
+}
+
+// Collapse projects logical qubit q onto the given outcome (0 or 1) and
+// renormalises across the whole cluster. It panics if the outcome has zero
+// probability, with the statevec kernel message.
+func (c *Cluster) Collapse(q uint, outcome uint64) {
+	if q >= c.NumQubits() {
+		panic("statevec: qubit out of range")
+	}
+	keep := c.conditionalMass(q, outcome&1)
+	if keep == 0 {
+		panic("statevec: collapse onto zero-probability outcome")
+	}
+	c.collapseScaled(q, outcome&1, keep)
+}
+
+// Measure performs a projective measurement of logical qubit q, collapsing
+// the distributed state and renormalising. It returns the observed bit.
+// Like the single-node path, the branch mass already computed for the draw
+// is reused for the rescale, so the collapse is one sweep per shard.
+func (c *Cluster) Measure(q uint, src *rng.Source) uint64 {
+	p1 := c.Probability(q)
+	if src.Float64() < p1 {
+		c.collapseScaled(q, 1, p1)
+		return 1
+	}
+	keep := c.conditionalMass(q, 0)
+	if keep == 0 {
+		panic("statevec: collapse onto zero-probability outcome")
+	}
+	c.collapseScaled(q, 0, keep)
+	return 0
+}
+
+// collapseScaled zeroes the branch where logical qubit q differs from
+// outcome and rescales the kept branch by 1/sqrt(keep). A node-local qubit
+// collapses inside every shard (statevec.CollapseScaled, one fused sweep);
+// a node-selecting qubit zeroes whole shards on the discarded side and
+// rescales the others — no communication in either case.
+func (c *Cluster) collapseScaled(q uint, outcome uint64, keep float64) {
+	t := c.pos[q]
+	if t < c.L {
+		c.eachNode(func(p int) { c.nodes[p].CollapseScaled(t, outcome, keep) })
+		return
+	}
+	tb := t - c.L
+	inv := complex(1/math.Sqrt(keep), 0)
+	c.eachNode(func(p int) {
+		if bitops.Bit(uint64(p), tb) == outcome {
+			c.nodes[p].Scale(inv)
+		} else {
+			clear(c.shard(p))
+		}
+	})
+}
+
+// lastSupported returns the highest logical basis index with nonzero
+// probability — the clamp target for float-drift sampling fallthrough.
+// Only called on the canonical placement.
+func (c *Cluster) lastSupported() uint64 {
+	for p := c.P - 1; p >= 0; p-- {
+		shard := c.shard(p)
+		for i := len(shard) - 1; i >= 0; i-- {
+			if shard[i] != 0 {
+				return uint64(p)<<c.L | uint64(i)
+			}
+		}
+	}
+	panic("statevec: sampling from the zero vector")
+}
+
+// Sample draws one full-register measurement outcome without collapsing
+// the state: the per-node masses locate the owning shard, which resolves
+// the draw against its local CDF on its own worker pool. The placement is
+// canonicalised first so outcomes are logical basis indices and the walk
+// order matches the single-node sampler.
+func (c *Cluster) Sample(src *rng.Source) uint64 {
+	out := make([]uint64, 1)
+	c.sampleSorted([]float64{src.Float64()}, out)
+	return out[0]
+}
+
+// SampleMany draws k independent outcomes, mirroring the single-node
+// statevec.SampleMany contract (same RNG consumption, same clamp
+// semantics): uniforms are sorted against the distributed CDF, each shard
+// resolves the draws landing in its mass range concurrently, and the
+// results are restored to random order.
+func (c *Cluster) SampleMany(k int, src *rng.Source) []uint64 {
+	rs := make([]float64, k)
+	for i := range rs {
+		rs[i] = src.Float64()
+	}
+	sort.Float64s(rs)
+	out := make([]uint64, k)
+	c.sampleSorted(rs, out)
+	// Restore random order so callers see i.i.d. draws.
+	for i := k - 1; i > 0; i-- {
+		j := src.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// sampleSorted resolves sorted cumulative targets rs into out: per-node
+// masses form the node-level prefix sum, each node resolves its slice of
+// targets through statevec.ResolveCDF, and fallthrough targets (norm
+// drift past the total mass) clamp to the highest supported outcome.
+func (c *Cluster) sampleSorted(rs []float64, out []uint64) {
+	c.Canonicalize()
+	masses := nodeReduce(c, func(p int) float64 { return c.nodes[p].Mass() })
+	prefix := make([]float64, c.P+1)
+	for p, m := range masses {
+		prefix[p+1] = prefix[p] + m
+	}
+	if prefix[c.P] == 0 {
+		panic("statevec: sampling from the zero vector")
+	}
+	c.eachNode(func(p int) {
+		lo := sort.SearchFloat64s(rs, prefix[p])
+		hi := sort.SearchFloat64s(rs, prefix[p+1])
+		if lo == hi {
+			return
+		}
+		ts := make([]float64, hi-lo)
+		for i := range ts {
+			ts[i] = rs[lo+i] - prefix[p]
+		}
+		sub := make([]uint64, len(ts))
+		c.nodes[p].ResolveCDF(ts, sub)
+		base := uint64(p) << c.L
+		for i, v := range sub {
+			out[lo+i] = base | v
+		}
+	})
+	if tail := sort.SearchFloat64s(rs, prefix[c.P]); tail < len(rs) {
+		last := c.lastSupported()
+		for i := tail; i < len(rs); i++ {
+			out[i] = last
+		}
+	}
+}
+
+// ExpectationDiagonal returns the exact expectation of a diagonal
+// observable with eigenvalue obs(i) on logical basis state i, reduced
+// shard-locally (each shard's pass runs on its worker pool via
+// statevec.ExpectationDiagonal) and folded in node order. Like the
+// samplers, it canonicalises a drifted placement first (one remap round
+// at most) so the hot reduction translates indices with a shift instead
+// of an O(n) bit gather per amplitude. obs must be safe for concurrent
+// calls.
+func (c *Cluster) ExpectationDiagonal(obs func(uint64) float64) float64 {
+	c.Canonicalize()
+	parts := nodeReduce(c, func(p int) float64 {
+		base := uint64(p) << c.L
+		return c.nodes[p].ExpectationDiagonal(func(i uint64) float64 { return obs(base | i) })
+	})
+	var total float64
+	for _, v := range parts {
+		total += v
+	}
+	return total
+}

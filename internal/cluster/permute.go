@@ -16,6 +16,8 @@ import (
 //
 // f must be a bijection on [0, 2^n).
 func (c *Cluster) ApplyPermutation(f func(uint64) uint64) {
+	// f speaks logical basis indices; restore the canonical layout first.
+	c.Canonicalize()
 	local := c.LocalSize()
 	p64 := uint64(c.P)
 	// The routing loop below skips zero amplitudes, so the reused
@@ -38,7 +40,7 @@ func (c *Cluster) ApplyPermutation(f func(uint64) uint64) {
 		var myCross uint64
 		for src := 0; src < c.P; src++ {
 			base := uint64(src) * local
-			shard := c.shards[src]
+			shard := c.shard(src)
 			for i, a := range shard {
 				if a == 0 {
 					continue
@@ -64,6 +66,7 @@ func (c *Cluster) ApplyPermutation(f func(uint64) uint64) {
 	c.Stats.BytesSent.Add(totalCross * 16)
 	c.Stats.Messages.Add(p64 * (p64 - 1))
 	c.Stats.AllToAlls.Add(1)
+	c.Stats.Rounds.Add(1)
 }
 
 // EmulateMultiply performs the Figure 1 arithmetic shortcut on the

@@ -1,8 +1,9 @@
-package cluster
+package cluster_test
 
 import (
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gates"
 	"repro/internal/rng"
@@ -11,7 +12,7 @@ import (
 func TestDistributedPermutationMatchesLocal(t *testing.T) {
 	src := rng.New(21)
 	for _, p := range []int{1, 2, 8} {
-		c, err := New(9, p)
+		c, err := cluster.New(9, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -28,7 +29,7 @@ func TestDistributedPermutationMatchesLocal(t *testing.T) {
 
 func TestDistributedPermutationOneAllToAll(t *testing.T) {
 	src := rng.New(22)
-	c, _ := New(10, 4)
+	c, _ := cluster.New(10, 4)
 	loadRandom(t, c, src)
 	c.ResetStats()
 	// Bit-reversal: a communication-heavy global permutation.
@@ -53,7 +54,7 @@ func TestDistributedMultiplyMatchesEmulator(t *testing.T) {
 	const m = uint(3)
 	n := 3 * m
 	src := rng.New(23)
-	c, err := New(n, 4)
+	c, err := cluster.New(n, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestDistributedMultiplyAfterGates(t *testing.T) {
 	// same register.
 	const m = uint(2)
 	n := 3 * m
-	c, _ := New(n, 2)
+	c, _ := cluster.New(n, 2)
 	for q := uint(0); q < 2*m; q++ {
 		c.ApplyGate(gates.H(q))
 	}

@@ -18,9 +18,14 @@ import (
 
 // timeIt measures the wall time of one execution of fn, repeating the
 // setup+run pair until minDuration has elapsed so short operations are
-// resolved accurately. setup (which may be nil) is excluded from timing.
+// resolved accurately, and reports the BEST (minimum) run. The minimum is
+// the standard robust estimator for benchmark gating: a GC pause or
+// scheduler spike inflates the mean of a handful of runs by tens of
+// percent, but the fastest run reflects what the code actually costs —
+// the perf-trajectory gate (cmd/qemu-perfgate) depends on this
+// stability. setup (which may be nil) is excluded from timing.
 func timeIt(minDuration time.Duration, setup func(), fn func()) float64 {
-	var total time.Duration
+	var total, best time.Duration
 	runs := 0
 	for total < minDuration || runs < 1 {
 		if setup != nil {
@@ -28,7 +33,11 @@ func timeIt(minDuration time.Duration, setup func(), fn func()) float64 {
 		}
 		start := time.Now()
 		fn()
-		total += time.Since(start)
+		elapsed := time.Since(start)
+		total += elapsed
+		if runs == 0 || elapsed < best {
+			best = elapsed
+		}
 		runs++
 		if runs >= 1 && total >= minDuration {
 			break
@@ -37,7 +46,7 @@ func timeIt(minDuration time.Duration, setup func(), fn func()) float64 {
 			break
 		}
 	}
-	return total.Seconds() / float64(runs)
+	return best.Seconds()
 }
 
 // shortTime is the default resolution floor for per-operation timings.

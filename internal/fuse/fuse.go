@@ -98,6 +98,13 @@ type Block struct {
 // than a replayed run.
 func (b *Block) Fused() bool { return b.Matrix != nil || b.Diag != nil }
 
+// Replay returns the executor's gate sequence for an unfused block: the
+// original gates with maximal same-target single-qubit runs merged. It is
+// nil for fused blocks. Executors other than Plan.Apply (the distributed
+// engine of internal/cluster) walk it to schedule unfused work gate by
+// gate without losing the classic same-target fusion.
+func (b *Block) Replay() []gates.Gate { return b.replay }
+
 // Plan is a fused execution schedule for one circuit. It is immutable
 // after construction and safe to reuse across runs and goroutines.
 type Plan struct {

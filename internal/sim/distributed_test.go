@@ -1,0 +1,230 @@
+package sim_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// randomCircuit draws a circuit mixing dense rotations, Hadamards,
+// diagonal gates, CNOTs, controlled rotations and Toffolis — the circuit
+// family of the distributed-agreement property tests, deliberately heavy
+// on controlled and multi-controlled gates.
+func randomCircuit(n uint, count int, seed uint64) *circuit.Circuit {
+	src := rng.New(seed)
+	c := circuit.New(n)
+	distinct := func(q uint) uint {
+		o := uint(src.Intn(int(n)))
+		for o == q {
+			o = uint(src.Intn(int(n)))
+		}
+		return o
+	}
+	for i := 0; i < count; i++ {
+		q := uint(src.Intn(int(n)))
+		switch src.Intn(8) {
+		case 0:
+			c.Append(gates.H(q))
+		case 1:
+			c.Append(gates.Rx(q, src.Float64()*3))
+		case 2:
+			c.Append(gates.Ry(q, src.Float64()*3))
+		case 3:
+			c.Append(gates.Rz(q, src.Float64()*3))
+		case 4:
+			c.Append(gates.T(q))
+		case 5:
+			c.Append(gates.CNOT(distinct(q), q))
+		case 6:
+			c.Append(gates.CR(distinct(q), q, src.Float64()*2))
+		default:
+			a := distinct(q)
+			b := distinct(q)
+			if a != b {
+				c.Append(gates.Toffoli(a, b, q))
+			} else {
+				c.Append(gates.X(q))
+			}
+		}
+	}
+	return c
+}
+
+// TestDistributedMatchesSingleNode is the acceptance property: over P in
+// {2, 4, 8} simulated nodes, random circuits (controlled gates included)
+// run through the communication-avoiding engine — with and without fused
+// blocks — must match the single-node statevec simulation to 1e-10.
+func TestDistributedMatchesSingleNode(t *testing.T) {
+	const n = uint(9)
+	for _, p := range []int{2, 4, 8} {
+		for _, width := range []int{0, 3, 4} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				circ := randomCircuit(n, 250, seed*31+uint64(p))
+				opts := sim.Options{Specialize: true, Fuse: true, FuseWidth: width, Nodes: p}
+				d, err := sim.NewDistributed(n, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d.Run(circ)
+
+				ref := sim.NewWithOptions(n, sim.Options{Specialize: true, Fuse: true, FuseWidth: width})
+				ref.Run(circ)
+
+				if d := d.State().MaxDiff(ref.State()); d > 1e-10 {
+					t.Errorf("p=%d width=%d seed=%d: distributed differs from single-node by %g",
+						p, width, seed, d)
+				}
+			}
+		}
+	}
+}
+
+// TestDistributedMeasurementMatchesSingleNode drives measurement through
+// the cluster: probabilities, measured bits (same RNG stream) and the
+// collapsed post-measurement states must agree with the single-node path.
+func TestDistributedMeasurementMatchesSingleNode(t *testing.T) {
+	const n = uint(9)
+	for _, p := range []int{2, 4, 8} {
+		circ := randomCircuit(n, 200, 5+uint64(p))
+		d, err := sim.NewDistributed(n, sim.Options{Nodes: p, FuseWidth: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Run(circ)
+		ref := sim.NewWithOptions(n, sim.WideFusionOptions(3))
+		ref.Run(circ)
+
+		cl := d.Cluster()
+		for q := uint(0); q < n; q++ {
+			got, want := cl.Probability(q), ref.State().Probability(q)
+			if math.Abs(got-want) > 1e-10 {
+				t.Errorf("p=%d: P(q%d=1) = %g distributed, %g single-node", p, q, got, want)
+			}
+		}
+
+		// Measure qubits across the local/node-selecting boundary with
+		// identical RNG streams; outcomes and collapsed states must track.
+		srcD, srcR := rng.New(99), rng.New(99)
+		for _, q := range []uint{0, n - 1, 3, n - 2} {
+			gotBit := cl.Measure(q, srcD)
+			wantBit := ref.State().Measure(q, srcR)
+			if gotBit != wantBit {
+				t.Fatalf("p=%d: measuring q%d gave %d distributed, %d single-node", p, q, gotBit, wantBit)
+			}
+		}
+		if diff := cl.Gather().MaxDiff(ref.State()); diff > 1e-10 {
+			t.Errorf("p=%d: post-measurement states differ by %g", p, diff)
+		}
+		if nrm := cl.Norm(); math.Abs(nrm-1) > 1e-10 {
+			t.Errorf("p=%d: post-measurement norm %g", p, nrm)
+		}
+	}
+}
+
+// TestDistributedSamplingMatchesSingleNode: with identical RNG streams the
+// distributed sampler must reproduce the single-node SampleMany draws
+// outcome for outcome (same CDF walk, shard-partitioned).
+func TestDistributedSamplingMatchesSingleNode(t *testing.T) {
+	const n = uint(9)
+	for _, p := range []int{2, 4, 8} {
+		circ := randomCircuit(n, 180, 17+uint64(p))
+		d, err := sim.NewDistributed(n, sim.Options{Nodes: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Run(circ)
+		ref := sim.NewWithOptions(n, sim.DefaultOptions())
+		ref.Run(circ)
+
+		got := d.Cluster().SampleMany(300, rng.New(7))
+		want := ref.State().SampleMany(300, rng.New(7))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("p=%d: sample %d is |%d> distributed, |%d> single-node", p, i, got[i], want[i])
+			}
+		}
+
+		if g, w := d.Cluster().Sample(rng.New(41)), ref.State().Sample(rng.New(41)); g != w {
+			t.Errorf("p=%d: single draw |%d> distributed, |%d> single-node", p, g, w)
+		}
+	}
+}
+
+// TestDistributedExpectationMatchesSingleNode checks the cluster-wide
+// diagonal-observable reduction against the single-node pass.
+func TestDistributedExpectationMatchesSingleNode(t *testing.T) {
+	const n = uint(8)
+	obs := func(i uint64) float64 { return float64(i%17) - 8 }
+	for _, p := range []int{2, 8} {
+		circ := randomCircuit(n, 150, 23+uint64(p))
+		d, err := sim.NewDistributed(n, sim.Options{Nodes: p, FuseWidth: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Run(circ)
+		ref := sim.NewWithOptions(n, sim.WideFusionOptions(2))
+		ref.Run(circ)
+
+		got := d.Cluster().ExpectationDiagonal(obs)
+		want := ref.State().ExpectationDiagonal(obs)
+		if math.Abs(got-want) > 1e-10 {
+			t.Errorf("p=%d: <obs> = %g distributed, %g single-node", p, got, want)
+		}
+	}
+}
+
+// TestDistributedValidationContract: the distributed backend must enforce
+// the statevec kernel validation contract with identical messages, for
+// offenders that would land on shard-local and node-selecting positions
+// alike, before touching any amplitude.
+func TestDistributedValidationContract(t *testing.T) {
+	mustPanic := func(name, want string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s: no panic, want %q", name, want)
+				return
+			}
+			if msg, ok := r.(string); !ok || msg != want {
+				t.Errorf("%s: panicked with %v, want %q", name, r, want)
+			}
+		}()
+		fn()
+	}
+	d, err := sim.NewDistributed(8, sim.Options{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.State()
+	mustPanic("target out of range", "statevec: target qubit out of range",
+		func() { d.ApplyGate(gates.H(8)) })
+	mustPanic("remote control out of range", "statevec: control qubit out of range",
+		func() { d.ApplyGate(gates.X(0).WithControls(9)) })
+	mustPanic("control equals remote target", "statevec: control equals target",
+		func() { d.ApplyGate(gates.X(7).WithControls(7)) })
+	mustPanic("diagonal gate out of range", "statevec: target qubit out of range",
+		func() { d.ApplyGate(gates.Rz(11, 0.5)) })
+	if diff := d.State().MaxDiff(before); diff != 0 {
+		t.Errorf("rejected gates mutated the state by %g", diff)
+	}
+}
+
+// TestMaxLocalQubitsSizesNodeCount: the MaxLocalQubits option must raise
+// the node count until shards fit.
+func TestMaxLocalQubitsSizesNodeCount(t *testing.T) {
+	d, err := sim.NewDistributed(10, sim.Options{Nodes: 2, MaxLocalQubits: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cluster().P != 8 || d.Cluster().L != 7 {
+		t.Fatalf("got P=%d L=%d, want P=8 L=7", d.Cluster().P, d.Cluster().L)
+	}
+	if _, err := sim.NewDistributed(10, sim.Options{Nodes: 3}); err == nil {
+		t.Error("non-power-of-two node count accepted")
+	}
+}

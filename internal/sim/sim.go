@@ -55,8 +55,21 @@ type Options struct {
 	// Workers caps the shared-memory parallelism of the state-vector
 	// kernels: 1 forces the single-threaded variants (useful for
 	// deterministic baselines and serial-per-node setups), 0 uses the
-	// GOMAXPROCS default. See statevec.State.SetParallelism.
+	// GOMAXPROCS default. See statevec.State.SetParallelism. On the
+	// distributed backend it caps each node's shard parallelism.
 	Workers int
+	// Nodes > 1 shards the register across this many emulated cluster
+	// nodes (power of two) running the communication-avoiding scheduler
+	// of internal/cluster. It is read by NewDistributed only; the
+	// single-address-space constructors reject it rather than silently
+	// running single-node.
+	Nodes int
+	// MaxLocalQubits, when non-zero, caps the per-node shard size of the
+	// distributed backend: the node count is raised (beyond Nodes if
+	// needed) until each node holds at most 2^MaxLocalQubits amplitudes —
+	// the way a real deployment sizes P from per-node memory. Like
+	// Nodes, it is only meaningful to NewDistributed.
+	MaxLocalQubits uint
 }
 
 // DefaultOptions enables every optimisation at the paper's setting:
@@ -86,8 +99,14 @@ func NewWithOptions(n uint, opts Options) *Simulator {
 }
 
 // Wrap returns a simulator operating on an existing state. A non-zero
-// Workers option is applied to the state's kernel parallelism.
+// Workers option is applied to the state's kernel parallelism. Options
+// asking for the distributed backend (Nodes > 1) are a programming error
+// here — a single state vector cannot be sharded — and panic instead of
+// silently running single-node.
 func Wrap(s *statevec.State, opts Options) *Simulator {
+	if opts.Nodes > 1 {
+		panic("sim: Options.Nodes > 1 requires NewDistributed, not the single-node simulator")
+	}
 	if opts.Workers > 0 {
 		s.SetParallelism(opts.Workers)
 	}

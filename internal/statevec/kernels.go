@@ -5,23 +5,32 @@ import (
 	"repro/internal/gates"
 )
 
-// checkTargetControls validates a (target, controls) pair for the
-// single-qubit kernels: the target must be in range, every control must be
-// in range and distinct from the target. Every controlled kernel applies
-// the same contract, so an out-of-range control panics instead of silently
-// producing a mask bit that can never match.
-func (s *State) checkTargetControls(k uint, controls []uint) {
-	if k >= s.n {
+// CheckTargetControls validates a (target, controls) pair against an
+// n-qubit register exactly as the single-qubit kernels do: the target must
+// be in range, every control must be in range and distinct from the
+// target. It is exported so sharded owners of the state (internal/cluster)
+// can enforce the identical contract — same panics, same messages — on
+// qubits the per-shard kernels never see (node-selecting qubits).
+func CheckTargetControls(n uint, k uint, controls []uint) {
+	if k >= n {
 		panic("statevec: target qubit out of range")
 	}
 	for _, c := range controls {
 		if c == k {
 			panic("statevec: control equals target")
 		}
-		if c >= s.n {
+		if c >= n {
 			panic("statevec: control qubit out of range")
 		}
 	}
+}
+
+// checkTargetControls validates a (target, controls) pair for the
+// single-qubit kernels. Every controlled kernel applies the same contract,
+// so an out-of-range control panics instead of silently producing a mask
+// bit that can never match.
+func (s *State) checkTargetControls(k uint, controls []uint) {
+	CheckTargetControls(s.n, k, controls)
 }
 
 // ApplyMatrix2 applies the dense 2x2 unitary m to qubit k. This is the

@@ -36,6 +36,17 @@ func (s *State) Probability(k uint) float64 {
 	return s.conditionalMass(k, 1)
 }
 
+// BranchMass returns the probability mass of the branch where qubit k
+// reads the given outcome bit, as one half-vector reduction. Unlike
+// 1 - Probability(k), the outcome-0 branch is summed directly, so shard
+// owners get a non-negative mass in a single pass.
+func (s *State) BranchMass(k uint, outcome uint64) float64 {
+	if k >= s.n {
+		panic("statevec: qubit out of range")
+	}
+	return s.conditionalMass(k, outcome&1)
+}
+
 // Probabilities returns |amp_i|^2 for every basis state — the complete
 // measurement distribution the paper's Section 3.4 says an emulator can
 // hand out in one shot, removing the need for repeated sampling.
@@ -79,7 +90,23 @@ func (s *State) Collapse(k uint, outcome uint64) {
 	if keep == 0 {
 		panic("statevec: collapse onto zero-probability outcome")
 	}
-	s.collapseScaled(k, outcome, keep)
+	s.collapseScaled(k, outcome&1, keep)
+}
+
+// CollapseScaled projects qubit k onto the given outcome like Collapse,
+// but rescales by an externally supplied branch mass instead of the
+// shard's own: the kept branch is multiplied by 1/sqrt(keep). Sharded
+// owners (internal/cluster) need this because a single shard's local
+// branch mass is not the global one — the caller reduces masses across
+// shards first and hands every shard the same keep.
+func (s *State) CollapseScaled(k uint, outcome uint64, keep float64) {
+	if k >= s.n {
+		panic("statevec: qubit out of range")
+	}
+	if keep == 0 {
+		panic("statevec: collapse onto zero-probability outcome")
+	}
+	s.collapseScaled(k, outcome&1, keep)
 }
 
 // collapseScaled zeroes the branch where qubit k differs from outcome and
@@ -143,6 +170,9 @@ func (s *State) lastNonzero() uint64 {
 // is compared against the actually accumulated mass, so an almost-but-not-
 // quite normalised state can never spuriously return Dim()-1 — the
 // fallthrough lands on the highest nonzero-probability outcome instead.
+// Serial and chunk-parallel paths share these semantics (raw uniform
+// against raw accumulated mass), as do ResolveCDF and the distributed
+// sampler of internal/cluster built on it.
 func (s *State) Sample(src *rng.Source) uint64 {
 	r := src.Float64()
 	if s.parallelism(s.Dim()) <= 1 {
@@ -152,7 +182,7 @@ func (s *State) Sample(src *rng.Source) uint64 {
 	if total == 0 {
 		panic("statevec: sampling from the zero vector")
 	}
-	target := r * total
+	target := r
 	var acc float64
 	for i := 0; i < ck.n; i++ {
 		if target < acc+masses[i] {
@@ -210,9 +240,10 @@ func (s *State) sampleSerial(r float64) uint64 {
 
 // SampleMany draws k independent outcomes by sorting uniforms against the
 // cumulative distribution, costing O(2^n + k log k) instead of O(k 2^n).
-// The CDF walk is chunk-parallel: per-chunk masses form a prefix sum, each
-// worker then resolves the uniforms that land in its chunk. Like Sample,
-// it clamps fallthrough draws (norm drift) to supported outcomes.
+// The CDF walk is chunk-parallel via ResolveCDF: per-chunk masses form a
+// prefix sum, each worker then resolves the uniforms that land in its
+// chunk. Like Sample, it clamps fallthrough draws (norm drift) to
+// supported outcomes.
 func (s *State) SampleMany(k int, src *rng.Source) []uint64 {
 	rs := make([]float64, k)
 	for i := range rs {
@@ -220,11 +251,7 @@ func (s *State) SampleMany(k int, src *rng.Source) []uint64 {
 	}
 	sort.Float64s(rs)
 	out := make([]uint64, k)
-	if s.parallelism(s.Dim()) <= 1 {
-		s.sampleManySerial(rs, out)
-	} else {
-		s.sampleManyChunked(rs, out)
-	}
+	s.ResolveCDF(rs, out)
 	// Restore random order so callers see i.i.d. draws.
 	for i := k - 1; i > 0; i-- {
 		j := src.Intn(i + 1)
@@ -266,10 +293,30 @@ func (s *State) sampleManySerial(rs []float64, out []uint64) {
 // unresolved marks a draw no chunk resolved (pure rounding fallthrough).
 const unresolved = ^uint64(0)
 
-// sampleManyChunked resolves the sorted uniforms with the parallel
-// prefix-sum walk: uniforms are rescaled by the total mass, partitioned by
-// the chunk prefix sums, and each chunk's slice is resolved concurrently.
-func (s *State) sampleManyChunked(rs []float64, out []uint64) {
+// ResolveCDF resolves sorted ascending cumulative-mass targets ts against
+// the amplitude-weight CDF, writing the matched basis indices to out
+// (len(out) must equal len(ts)). A target t selects the first index whose
+// running mass sum exceeds t; targets at or beyond the total mass clamp to
+// the highest supported outcome (float-drift tolerance). Sharded owners
+// (internal/cluster) use it to sample a distributed register: the global
+// uniforms are partitioned by per-shard masses and each shard resolves its
+// targets locally, on its own worker pool.
+func (s *State) ResolveCDF(ts []float64, out []uint64) {
+	if len(ts) == 0 {
+		return
+	}
+	if s.parallelism(s.Dim()) <= 1 {
+		s.sampleManySerial(ts, out)
+		return
+	}
+	s.sampleManyChunked(ts, out)
+}
+
+// sampleManyChunked resolves the sorted cumulative targets with the
+// parallel prefix-sum walk: per-chunk masses form a prefix sum, the
+// targets are partitioned by it, and each chunk's slice is resolved
+// concurrently.
+func (s *State) sampleManyChunked(ts []float64, out []uint64) {
 	ck, masses, total := s.massChunks()
 	if total == 0 {
 		panic("statevec: sampling from the zero vector")
@@ -277,10 +324,6 @@ func (s *State) sampleManyChunked(rs []float64, out []uint64) {
 	prefix := make([]float64, ck.n+1)
 	for i, m := range masses {
 		prefix[i+1] = prefix[i] + m
-	}
-	ts := make([]float64, len(rs))
-	for i, r := range rs {
-		ts[i] = r * total
 	}
 	for i := range out {
 		out[i] = unresolved

@@ -49,7 +49,11 @@ func (s *State) ensurePool() *workerPool {
 			w = 2 // runChunks only dispatches when there is >1 chunk
 		}
 		s.pool = newWorkerPool(w - 1)
-		runtime.AddCleanup(s, func(p *workerPool) { close(p.tasks) }, s.pool)
+		// SetFinalizer rather than runtime.AddCleanup keeps the module
+		// buildable on Go 1.23 (AddCleanup is 1.24-only). The finalizer
+		// closes the task channel so the pool's goroutines exit when the
+		// State becomes unreachable.
+		runtime.SetFinalizer(s, func(st *State) { close(st.pool.tasks) })
 	}
 	return s.pool
 }

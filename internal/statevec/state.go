@@ -162,6 +162,40 @@ func (s *State) Norm() float64 {
 	return math.Sqrt(s.normSquared())
 }
 
+// Mass returns the total probability mass sum |amp_i|^2 (the squared
+// norm), reduced in parallel. Shard owners holding a slice of a larger
+// register use it to combine per-shard masses without the precision loss
+// of squaring Norm.
+func (s *State) Mass() float64 { return s.normSquared() }
+
+// Scale multiplies every amplitude by v in one parallel sweep. Sharded
+// owners use it for node-local rescaling (collapse renormalisation,
+// diagonal gates on node-selecting qubits).
+func (s *State) Scale(v complex128) {
+	if v == 1 {
+		return
+	}
+	s.parallelRange(s.Dim(), func(start, end uint64) {
+		for i := start; i < end; i++ {
+			s.amp[i] *= v
+		}
+	})
+}
+
+// AdoptAmplitudes replaces the backing amplitude slice with amps (which
+// must have length Dim) and returns the retired slice. It lets an owner of
+// many shard-States (internal/cluster) run collectives that gather into
+// recycled buffers and swap them in without copying — the State-level
+// analogue of the scratch swap ApplyPermutation does internally.
+func (s *State) AdoptAmplitudes(amps []complex128) []complex128 {
+	if uint64(len(amps)) != s.Dim() {
+		panic(fmt.Sprintf("statevec: AdoptAmplitudes slice has %d entries, want %d", len(amps), s.Dim()))
+	}
+	old := s.amp
+	s.amp = amps
+	return old
+}
+
 // normSquared returns the total probability mass, reduced in parallel.
 func (s *State) normSquared() float64 {
 	return parallelReduce(s, s.Dim(), func(start, end uint64) float64 {

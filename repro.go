@@ -46,6 +46,19 @@ type State = statevec.State
 // Cluster is the emulated distributed machine; see internal/cluster.
 type Cluster = cluster.Cluster
 
+// ClusterStats is a point-in-time copy of a cluster's communication
+// counters (bytes, messages, exchange and remap rounds).
+type ClusterStats = cluster.StatsSnapshot
+
+// DistributedSimulator runs circuits sharded across emulated cluster
+// nodes through the communication-avoiding placement scheduler; see
+// internal/sim and internal/cluster.
+type DistributedSimulator = sim.Distributed
+
+// ClusterSchedule is a communication plan batching remote-qubit work into
+// all-to-all remap rounds; see internal/cluster.
+type ClusterSchedule = cluster.Schedule
+
 // SimOptions selects the simulator's optimisations (kernel specialisation,
 // same-target fusion, multi-qubit block fusion); see internal/sim.
 type SimOptions = sim.Options
@@ -79,3 +92,20 @@ func NewCircuit(n uint) *Circuit { return circuit.New(n) }
 // NewCluster returns a p-node emulated distributed machine holding an
 // n-qubit register.
 func NewCluster(n uint, p int) (*Cluster, error) { return cluster.New(n, p) }
+
+// NewDistributedSimulator returns a simulator whose register is sharded
+// across emulated cluster nodes, e.g. SimOptions{Nodes: 8, FuseWidth: 4}.
+// Circuits run through the communication-avoiding scheduler: remote-qubit
+// gates are batched into all-to-all placement-remap rounds instead of
+// exchanging shards gate by gate.
+func NewDistributedSimulator(n uint, opts SimOptions) (*DistributedSimulator, error) {
+	return sim.NewDistributed(n, opts)
+}
+
+// PlanCluster builds the distributed communication schedule for a fusion
+// plan on a (n, localQubits) cluster shape without executing it — the way
+// to inspect how many remap rounds a circuit needs before committing to a
+// node count.
+func PlanCluster(p *FusionPlan, n, localQubits uint) (*ClusterSchedule, error) {
+	return cluster.BuildSchedule(p, n, localQubits, true)
+}

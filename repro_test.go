@@ -80,6 +80,34 @@ func TestClusterFacade(t *testing.T) {
 	}
 }
 
+// TestDistributedFacade drives the distributed simulator and schedule
+// planner through the facade.
+func TestDistributedFacade(t *testing.T) {
+	circ := qft.Circuit(9)
+	d, err := repro.NewDistributedSimulator(9, repro.SimOptions{Nodes: 4, FuseWidth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(circ)
+
+	ref := repro.NewSimulator(9)
+	ref.Run(circ)
+	if diff := d.State().MaxDiff(ref.State()); diff > 1e-10 {
+		t.Fatalf("distributed facade diverges from simulator by %g", diff)
+	}
+
+	sched, err := repro.PlanCluster(repro.PlanFusion(circ, 3), 9, d.Cluster().L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Rounds == 0 {
+		t.Fatal("QFT on 4 nodes scheduled with zero communication rounds")
+	}
+	if got := d.Cluster().Stats.Rounds.Load(); got != uint64(sched.Rounds) {
+		t.Fatalf("run used %d rounds, schedule planned %d", got, sched.Rounds)
+	}
+}
+
 // TestCircuitFacade builds and runs a circuit through the facade types.
 func TestCircuitFacade(t *testing.T) {
 	c := repro.NewCircuit(3)
