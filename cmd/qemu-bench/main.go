@@ -92,6 +92,13 @@ func (c *collector) addCluster(rows []experiments.ClusterRow) {
 	}
 }
 
+func (c *collector) addEmulate(rows []experiments.EmulateRow) {
+	for _, r := range rows {
+		c.add("emulate", r.Name, "simulation", r.Qubits, r.TSim, 0)
+		c.add("emulate", r.Name, "emulation", r.Qubits, r.TEmu, 0)
+	}
+}
+
 func (c *collector) addMeasure(rows []experiments.MeasureRow) {
 	for i, r := range rows {
 		if i == 0 {
@@ -110,7 +117,7 @@ func (c *collector) write(path string) error {
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "which experiment to run (all, fig1, fig2, fig3, fig4, fig5, fig6, table2, measure, mathfunc, fusion, cluster)")
+		experiment   = flag.String("experiment", "all", "which experiment to run (all, fig1, fig2, fig3, fig4, fig5, fig6, table2, measure, mathfunc, fusion, emulate, cluster)")
 		quick        = flag.Bool("quick", false, "shrink every sweep for a fast smoke run")
 		maxSimM      = flag.Uint("max-sim-m", 0, "override: largest simulated operand width for fig1/fig2")
 		maxEmuM      = flag.Uint("max-emu-m", 0, "override: largest emulated operand width for fig1/fig2")
@@ -255,6 +262,19 @@ func main() {
 		rows := experiments.Fusion(cfg)
 		col.addFusion(rows)
 		fmt.Println(experiments.FormatFusion(rows))
+	}
+	if run("emulate") {
+		ran = true
+		cfg := experiments.DefaultEmulate()
+		if *quick {
+			cfg = experiments.QuickEmulate()
+		}
+		if *fuseWidth > 0 {
+			cfg.FuseWidth = *fuseWidth
+		}
+		rows := experiments.Emulate(cfg)
+		col.addEmulate(rows)
+		fmt.Println(experiments.FormatEmulate(rows))
 	}
 	if run("cluster") {
 		ran = true

@@ -5,12 +5,21 @@
 // Usage:
 //
 //	qemu-run [-backend ours|generic|sparse|emulator] [-fuse-width K]
-//	         [-nodes P] [-shots K] [-top N] [-seed S] circuit.qc
+//	         [-emulate off|annotated|auto] [-nodes P] [-shots K] [-top N]
+//	         [-seed S] circuit.qc
 //
 // -fuse-width K (with the default "ours" back-end) enables multi-qubit
 // block fusion: consecutive gates whose combined support fits in K qubits
 // are merged into one dense 2^K block applied in a single sweep, and the
 // resulting schedule statistics are printed.
+//
+// -emulate annotated|auto (with the default "ours" back-end) turns on
+// emulation dispatch: the circuit is analysed by internal/recognize and
+// recognised subroutines (region-annotated or pattern-matched QFTs,
+// reversible arithmetic, phase oracles) execute as classical shortcuts,
+// with everything else on the fused gate path. The recognition report —
+// every lowered region, its source (annotated/matched) and whether its
+// unitary was verified — is printed before the run.
 //
 // -nodes P shards the register across P emulated cluster nodes and runs
 // the circuit through the communication-avoiding scheduler of
@@ -44,6 +53,7 @@ func main() {
 	var (
 		backend   = flag.String("backend", "ours", "back-end: ours, generic, sparse, emulator")
 		fuseWidth = flag.Int("fuse-width", 0, "multi-qubit fusion width for the ours back-end (0 = classic same-target fusion)")
+		emulate   = flag.String("emulate", "off", "emulation dispatch for the ours back-end: off, annotated, auto")
 		nodes     = flag.Int("nodes", 0, "shard the register across this many emulated cluster nodes (power of two; ours back-end only)")
 		shots     = flag.Int("shots", 0, "number of measurement samples to draw (0 = none)")
 		top       = flag.Int("top", 16, "number of basis states to list")
@@ -55,13 +65,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *backend, *fuseWidth, *nodes, *shots, *top, *seed); err != nil {
+	if err := run(flag.Arg(0), *backend, *fuseWidth, *emulate, *nodes, *shots, *top, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "qemu-run:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, backend string, fuseWidth, nodes, shots, top int, seed uint64) error {
+func run(path, backend string, fuseWidth int, emulate string, nodes, shots, top int, seed uint64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -71,12 +81,19 @@ func run(path, backend string, fuseWidth, nodes, shots, top int, seed uint64) er
 	if err != nil {
 		return err
 	}
+	if circ.NumQubits > statevec.MaxQubits {
+		return fmt.Errorf("circuit needs %d qubits; a single address space holds at most %d",
+			circ.NumQubits, statevec.MaxQubits)
+	}
 	fmt.Printf("circuit: %d qubits, %d gates, depth %d\n",
 		circ.NumQubits, circ.Len(), circ.Depth())
 	var st *statevec.State
 	if nodes > 1 {
 		if backend != "ours" && backend != "" {
 			return fmt.Errorf("-nodes applies to the ours back-end, not %q", backend)
+		}
+		if emulate != "off" && emulate != "" {
+			return fmt.Errorf("-emulate is single-node only")
 		}
 		d, err := sim.NewDistributed(circ.NumQubits, sim.Options{Nodes: nodes})
 		if err != nil {
@@ -98,7 +115,7 @@ func run(path, backend string, fuseWidth, nodes, shots, top int, seed uint64) er
 		st = d.State()
 	} else {
 		st = statevec.New(circ.NumQubits)
-		if err := execute(circ, st, backend, fuseWidth); err != nil {
+		if err := execute(circ, st, backend, fuseWidth, emulate); err != nil {
 			return err
 		}
 	}
@@ -155,12 +172,36 @@ func run(path, backend string, fuseWidth, nodes, shots, top int, seed uint64) er
 	return nil
 }
 
-func execute(circ *circuit.Circuit, st *statevec.State, backend string, fuseWidth int) error {
+func execute(circ *circuit.Circuit, st *statevec.State, backend string, fuseWidth int, emulate string) error {
 	if fuseWidth >= 2 && backend != "ours" && backend != "" {
 		return fmt.Errorf("-fuse-width applies to the ours back-end, not %q", backend)
 	}
+	var mode sim.EmulateMode
+	switch emulate {
+	case "off", "":
+		mode = sim.EmulateOff
+	case "annotated":
+		mode = sim.EmulateAnnotated
+	case "auto":
+		mode = sim.EmulateAuto
+	default:
+		return fmt.Errorf("unknown -emulate mode %q (off, annotated, auto)", emulate)
+	}
+	if mode != sim.EmulateOff && backend != "ours" && backend != "" {
+		return fmt.Errorf("-emulate applies to the ours back-end, not %q", backend)
+	}
 	switch backend {
 	case "ours", "":
+		if mode != sim.EmulateOff {
+			plan := sim.PlanEmulation(circ, mode)
+			fmt.Printf("emulation (%s): %v\n", emulate, plan.Stats())
+			if rep := plan.Describe(); rep != "" {
+				fmt.Print(rep)
+			}
+			s := sim.Wrap(st, sim.Options{Specialize: true, Fuse: true, FuseWidth: fuseWidth})
+			s.RunEmulationPlan(circ, plan)
+			break
+		}
 		if fuseWidth >= 2 {
 			plan := fuse.New(circ, fuseWidth)
 			fmt.Printf("fusion (width %d): %v\n", plan.Width, plan.Stats())

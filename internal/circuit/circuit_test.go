@@ -214,3 +214,64 @@ func TestExtendAndLen(t *testing.T) {
 		t.Errorf("Len = %d", a.Len())
 	}
 }
+
+func TestRegionAnnotateInvariants(t *testing.T) {
+	c := New(3)
+	for i := 0; i < 6; i++ {
+		c.Append(gates.H(0))
+	}
+	c.Annotate(Region{Name: "inner", Lo: 1, Hi: 3})
+	// A containing region absorbs the inner one.
+	c.Annotate(Region{Name: "outer", Args: []uint64{7}, Lo: 0, Hi: 4})
+	if len(c.Regions) != 1 || c.Regions[0].Name != "outer" {
+		t.Fatalf("containment did not absorb: %+v", c.Regions)
+	}
+	// Disjoint regions coexist, sorted by Lo.
+	c.Annotate(Region{Name: "tail", Lo: 4, Hi: 6})
+	if len(c.Regions) != 2 || c.Regions[0].Name != "outer" || c.Regions[1].Name != "tail" {
+		t.Fatalf("disjoint annotation wrong: %+v", c.Regions)
+	}
+	// Partial overlap panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("partial overlap did not panic")
+			}
+		}()
+		c.Annotate(Region{Name: "overlap", Lo: 3, Hi: 5})
+	}()
+	// Out-of-range panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range region did not panic")
+			}
+		}()
+		c.Annotate(Region{Name: "oob", Lo: 5, Hi: 9})
+	}()
+}
+
+func TestRegionExtendOffsetsAndDaggerMaps(t *testing.T) {
+	a := New(2)
+	a.Append(gates.H(0), gates.CNOT(0, 1))
+	a.Annotate(Region{Name: "qft", Args: []uint64{0, 2}, Lo: 0, Hi: 2})
+	b := New(2)
+	b.Append(gates.X(1))
+	b.Extend(a)
+	if len(b.Regions) != 1 || b.Regions[0].Lo != 1 || b.Regions[0].Hi != 3 {
+		t.Fatalf("Extend did not offset the region: %+v", b.Regions)
+	}
+	inv := b.Dagger()
+	if len(inv.Regions) != 1 || inv.Regions[0].Name != "iqft" ||
+		inv.Regions[0].Lo != 0 || inv.Regions[0].Hi != 2 {
+		t.Fatalf("Dagger did not remap the region: %+v", inv.Regions)
+	}
+	// Unknown names are dropped by Dagger; Controlled drops everything.
+	b.Regions[0].Name = "mystery"
+	if got := b.Dagger().Regions; len(got) != 0 {
+		t.Fatalf("unknown region survived Dagger: %+v", got)
+	}
+	if got := a.Controlled(1).Regions; len(got) != 0 {
+		t.Fatalf("region survived Controlled: %+v", got)
+	}
+}

@@ -193,43 +193,7 @@ func (e *Emulator) qftRange(pos, width uint, inverse bool) {
 	if width == 0 {
 		return
 	}
-	size := uint64(1) << width
-	plan := e.plan(size)
-	amps := e.state.Amplitudes()
-	if pos == 0 && width == e.NumQubits() {
-		if inverse {
-			plan.UnitaryInverse(amps)
-		} else {
-			plan.Unitary(amps)
-		}
-		return
-	}
-	// Gather/transform/scatter each fibre along the field axis.
-	outer := e.state.Dim() >> width
-	stride := uint64(1) << pos
-	buf := make([]complex128, size)
-	for o := uint64(0); o < outer; o++ {
-		rest := expandOuter(o, pos, width)
-		for k := uint64(0); k < size; k++ {
-			buf[k] = amps[rest|k*stride]
-		}
-		if inverse {
-			plan.UnitaryInverse(buf)
-		} else {
-			plan.Unitary(buf)
-		}
-		for k := uint64(0); k < size; k++ {
-			amps[rest|k*stride] = buf[k]
-		}
-	}
-}
-
-// expandOuter maps a counter over the qubits outside the field
-// [pos, pos+width) to the corresponding state index with the field zeroed.
-func expandOuter(o uint64, pos, width uint) uint64 {
-	low := o & bitops.Mask(pos)
-	high := (o >> pos) << (pos + width)
-	return high | low
+	e.plan(uint64(1)<<width).TransformField(e.state.Amplitudes(), pos, inverse)
 }
 
 func (e *Emulator) plan(size uint64) *fft.Plan {

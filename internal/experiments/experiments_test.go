@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -184,5 +185,32 @@ func TestSecsFormatting(t *testing.T) {
 		if got := secs(in); got != want {
 			t.Errorf("secs(%v) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func TestEmulateShape(t *testing.T) {
+	rows := Emulate(EmulateConfig{QFTQubits: []uint{8}, MulBits: []uint{3},
+		GroverQubits: 8, GroverIters: 2, FuseWidth: 3})
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.TSim <= 0 || r.TEmu <= 0 {
+			t.Fatalf("%s: missing timings: %+v", r.Name, r)
+		}
+		if r.Recognized == "" {
+			t.Fatalf("%s: no recognition summary", r.Name)
+		}
+	}
+	// The QFT and multiplier rows must be fully emulated (one shortcut
+	// covering every gate of the structured circuit).
+	for _, i := range []int{0, 1} {
+		if rows[i].EmuGates == 0 || !strings.Contains(rows[i].Recognized,
+			fmt.Sprintf("%d/%d gates emulated", rows[i].EmuGates, rows[i].EmuGates)) {
+			t.Fatalf("%s: not fully emulated: %s", rows[i].Name, rows[i].Recognized)
+		}
+	}
+	if out := FormatEmulate(rows); !strings.Contains(out, "Emulation dispatch") {
+		t.Fatalf("formatter output wrong:\n%s", out)
 	}
 }

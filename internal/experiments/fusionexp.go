@@ -111,12 +111,21 @@ func RandomCircuit(n uint, count int, seed uint64) *circuit.Circuit {
 // n qubits: an X-conjugated multi-controlled-Z oracle marking `marked`,
 // then the H/X-conjugated multi-controlled-Z diffusion. The (n-1)-control
 // gates exceed any reasonable fusion width, so this workload exercises the
-// passthrough path between fuseable Hadamard/X layers.
+// passthrough path between fuseable Hadamard/X layers. The oracle and the
+// diffusion's phase flip are annotated as "phaseflip" regions so the
+// emulation dispatcher can lower them to single diagonal passes.
 func GroverGateLevel(n uint, marked uint64, iters int) *circuit.Circuit {
 	c := circuit.New(n)
 	controls := make([]uint, n-1)
 	for i := range controls {
 		controls[i] = uint(i) + 1
+	}
+	allQubits := func() []uint64 {
+		args := []uint64{uint64(n)}
+		for q := uint(0); q < n; q++ {
+			args = append(args, uint64(q))
+		}
+		return args
 	}
 	mcz := gates.Z(0).WithControls(controls...)
 	for q := uint(0); q < n; q++ {
@@ -124,6 +133,7 @@ func GroverGateLevel(n uint, marked uint64, iters int) *circuit.Circuit {
 	}
 	for it := 0; it < iters; it++ {
 		// Oracle: flip the phase of |marked>.
+		lo := c.Len()
 		for q := uint(0); q < n; q++ {
 			if (marked>>q)&1 == 0 {
 				c.Append(gates.X(q))
@@ -135,14 +145,24 @@ func GroverGateLevel(n uint, marked uint64, iters int) *circuit.Circuit {
 				c.Append(gates.X(q))
 			}
 		}
-		// Diffusion: 2|s><s| - I.
+		c.Annotate(circuit.Region{Name: "phaseflip", Args: append(allQubits(), marked),
+			Lo: lo, Hi: c.Len()})
+		// Diffusion: 2|s><s| - I. The whole H/X-conjugated block is a
+		// Householder reflection about the uniform state, annotated as
+		// such (absorbing the inner phase flip) so the dispatcher can run
+		// it as two linear passes.
+		lo = c.Len()
 		for q := uint(0); q < n; q++ {
 			c.Append(gates.H(q), gates.X(q))
 		}
+		mid := c.Len()
 		c.Append(mcz)
+		c.Annotate(circuit.Region{Name: "phaseflip", Args: append(allQubits(), (uint64(1)<<n)-1),
+			Lo: mid, Hi: c.Len()})
 		for q := uint(0); q < n; q++ {
 			c.Append(gates.X(q), gates.H(q))
 		}
+		c.Annotate(circuit.Region{Name: "reflect-uniform", Args: allQubits(), Lo: lo, Hi: c.Len()})
 	}
 	return c
 }

@@ -58,96 +58,454 @@ func (p *Plan) Size() uint64 { return p.size }
 
 // Forward computes the unnormalised transform with the +i sign convention,
 // in place. len(data) must equal the plan size.
-func (p *Plan) Forward(data []complex128) { p.transform(data, p.forward, true) }
+func (p *Plan) Forward(data []complex128) { p.transform(data, p.forward, true, 1) }
 
 // Inverse computes the unnormalised transform with the -i sign convention,
 // in place. Inverse(Forward(x)) == N*x.
-func (p *Plan) Inverse(data []complex128) { p.transform(data, p.inverse, true) }
+func (p *Plan) Inverse(data []complex128) { p.transform(data, p.inverse, true, 1) }
 
 // ForwardSerial is Forward restricted to the calling goroutine. The
 // cluster back-end uses it so each emulated node stays single-threaded.
-func (p *Plan) ForwardSerial(data []complex128) { p.transform(data, p.forward, false) }
+func (p *Plan) ForwardSerial(data []complex128) { p.transform(data, p.forward, false, 1) }
 
 // InverseSerial is Inverse restricted to the calling goroutine.
-func (p *Plan) InverseSerial(data []complex128) { p.transform(data, p.inverse, false) }
+func (p *Plan) InverseSerial(data []complex128) { p.transform(data, p.inverse, false, 1) }
 
 // Unitary computes the unitary (QFT) transform: Forward scaled by
 // 1/sqrt(N). Applying it to a state vector performs the paper's Eq. 4.
+// The scaling is folded into the final butterfly stage, not a separate
+// pass over the data.
 func (p *Plan) Unitary(data []complex128) {
-	p.Forward(data)
-	p.scale(data)
+	p.transform(data, p.forward, true, complex(1/math.Sqrt(float64(p.size)), 0))
 }
 
 // UnitaryInverse computes the inverse QFT: Inverse scaled by 1/sqrt(N).
 func (p *Plan) UnitaryInverse(data []complex128) {
-	p.Inverse(data)
-	p.scale(data)
+	p.transform(data, p.inverse, true, complex(1/math.Sqrt(float64(p.size)), 0))
 }
 
-func (p *Plan) scale(data []complex128) {
-	s := complex(1/math.Sqrt(float64(p.size)), 0)
-	parallelFor(uint64(len(data)), func(lo, hi uint64) {
-		for i := lo; i < hi; i++ {
-			data[i] *= s
-		}
-	})
+// UnitaryBitReversed computes the unitary transform composed with the
+// bit-reversal permutation S: data <- S·F·data, with no reordering pass
+// at all — it is the decimation-in-frequency network, whose naturally
+// bit-reversed output is exactly what the composition asks for. This is
+// the operator of the QFT circuit without its final reversal swaps
+// (qft.CircuitNoSwap), which is why the emulation dispatcher wants it as
+// a primitive.
+func (p *Plan) UnitaryBitReversed(data []complex128) {
+	p.transformDIF(data, p.forward, true, complex(1/math.Sqrt(float64(p.size)), 0))
 }
 
-func (p *Plan) transform(data []complex128, tw []complex128, parallel bool) {
+// UnitaryInverseFromBitReversed computes F⁻¹·S: the inverse unitary
+// transform consuming bit-reversed input — the decimation-in-time stages
+// with the reordering pass elided. It is the exact inverse of
+// UnitaryBitReversed and the operator of qft.CircuitNoSwap.Dagger().
+func (p *Plan) UnitaryInverseFromBitReversed(data []complex128) {
+	p.transformDIT(data, p.inverse, true, complex(1/math.Sqrt(float64(p.size)), 0))
+}
+
+// transform runs the decimation-in-time butterfly network. Stages are
+// executed in radix-4 pairs — two radix-2 stages fused so the 16·N bytes
+// of amplitudes are read and written once per pair instead of once per
+// stage, which is what the memory-bound large transforms are limited by —
+// with a lone radix-2 stage first when the stage count is odd. The output
+// scale factor (1/sqrt(N) for the unitary transforms) is applied by the
+// final stage's butterflies for the same reason.
+func (p *Plan) transform(data []complex128, tw []complex128, parallel bool, scale complex128) {
 	if uint64(len(data)) != p.size {
 		panic(fmt.Sprintf("fft: data length %d does not match plan size %d", len(data), p.size))
 	}
 	if p.size == 1 {
+		if scale != 1 {
+			data[0] *= scale
+		}
 		return
 	}
 	bitReverse(data, p.n)
-	// Butterfly stages. At stage s the butterflies span 2^(s+1) elements;
-	// the twiddle for offset j within a half-block is tw[j << (n-1-s)].
-	for s := uint(0); s < p.n; s++ {
-		blockSize := uint64(1) << (s + 1)
-		half := blockSize >> 1
-		wstep := p.size >> (s + 1) // stride into the twiddle table
-		nBlocks := p.size / blockSize
-		switch {
-		case !parallel:
-			for b := uint64(0); b < nBlocks; b++ {
-				butterflyRange(data, tw, b*blockSize, half, 0, half, wstep)
-			}
-		case p.size >= minParallel && nBlocks >= uint64(runtime.GOMAXPROCS(0)):
-			// Many small blocks: parallelise across blocks.
-			parallelFor(nBlocks, func(lo, hi uint64) {
-				for b := lo; b < hi; b++ {
-					butterflyRange(data, tw, b*blockSize, half, 0, half, wstep)
-				}
-			})
-		case p.size >= minParallel:
-			// Few large blocks: parallelise within each block.
-			for b := uint64(0); b < nBlocks; b++ {
-				base := b * blockSize
-				parallelFor(half, func(lo, hi uint64) {
-					butterflyRange(data, tw, base, half, lo, hi, wstep)
-				})
-			}
-		default:
-			for b := uint64(0); b < nBlocks; b++ {
-				butterflyRange(data, tw, b*blockSize, half, 0, half, wstep)
-			}
-		}
+	p.transformDIT(data, tw, parallel, scale)
+}
+
+// stageGroup is one fused execution unit of the butterfly network: radix
+// 2, 4 or 8, consuming log2(radix) consecutive radix-2 stages starting at
+// stage s.
+type stageGroup struct {
+	s     uint
+	radix int
+}
+
+// stageGroups tiles the n stages into the fewest full-vector passes: a
+// radix-2 or radix-4 head to fix the residue, then radix-8 groups.
+func (p *Plan) stageGroups() []stageGroup {
+	var gs []stageGroup
+	s := uint(0)
+	switch p.n % 3 {
+	case 1:
+		gs = append(gs, stageGroup{0, 2})
+		s = 1
+	case 2:
+		gs = append(gs, stageGroup{0, 4})
+		s = 2
+	}
+	for ; s < p.n; s += 3 {
+		gs = append(gs, stageGroup{s, 8})
+	}
+	return gs
+}
+
+func (p *Plan) runGroupDIT(data, tw []complex128, g stageGroup, parallel bool, scale complex128) {
+	switch g.radix {
+	case 2:
+		p.runStage2(data, tw, g.s, parallel, scale)
+	case 4:
+		p.runStage4(data, tw, g.s, parallel, scale)
+	default:
+		p.runStage8(data, tw, g.s, parallel, scale)
 	}
 }
 
-// butterflyRange performs the butterflies j in [lo, hi) of one block:
-// (data[base+j], data[base+j+half]) <- (u + w t, u - w t) with
-// w = tw[j*wstep].
-func butterflyRange(data, tw []complex128, base, half, lo, hi, wstep uint64) {
-	for j := lo; j < hi; j++ {
+func (p *Plan) runGroupDIF(data, tw []complex128, g stageGroup, parallel bool, scale complex128) {
+	switch g.radix {
+	case 2:
+		p.runStage2DIF(data, tw, g.s, parallel, scale)
+	case 4:
+		p.runStage4DIF(data, tw, g.s, parallel, scale)
+	default:
+		p.runStage8DIF(data, tw, g.s, parallel, scale)
+	}
+}
+
+// transformDIT runs the DIT stage network over already bit-reversed
+// input, producing natural-order output.
+func (p *Plan) transformDIT(data []complex128, tw []complex128, parallel bool, scale complex128) {
+	if uint64(len(data)) != p.size {
+		panic(fmt.Sprintf("fft: data length %d does not match plan size %d", len(data), p.size))
+	}
+	if p.size == 1 {
+		if scale != 1 {
+			data[0] *= scale
+		}
+		return
+	}
+	groups := p.stageGroups()
+	for i, g := range groups {
+		sc := complex128(1)
+		if i == len(groups)-1 {
+			sc = scale
+		}
+		p.runGroupDIT(data, tw, g, parallel, sc)
+	}
+}
+
+// transformDIF runs the decimation-in-frequency network: the transpose of
+// the DIT flow graph, consuming natural-order input and producing
+// bit-reversed output — the same fused groups with transposed butterflies
+// in reverse order, the scale again folded into the final pass.
+func (p *Plan) transformDIF(data []complex128, tw []complex128, parallel bool, scale complex128) {
+	if uint64(len(data)) != p.size {
+		panic(fmt.Sprintf("fft: data length %d does not match plan size %d", len(data), p.size))
+	}
+	if p.size == 1 {
+		if scale != 1 {
+			data[0] *= scale
+		}
+		return
+	}
+	groups := p.stageGroups()
+	for i := len(groups) - 1; i >= 0; i-- {
+		sc := complex128(1)
+		if i == 0 {
+			sc = scale
+		}
+		p.runGroupDIF(data, tw, groups[i], parallel, sc)
+	}
+}
+
+// runFlat schedules a butterfly kernel over the flat butterfly index
+// space of one stage group (size/radix butterflies): one call when
+// serial, contiguous chunks under parallelFor otherwise. Kernels decode
+// (block, offset) from the flat index with a shift and a mask, so there
+// is no per-block call overhead even when blocks are tiny.
+func (p *Plan) runFlat(total uint64, parallel bool, kernel func(lo, hi uint64)) {
+	if !parallel || p.size < minParallel {
+		kernel(0, total)
+		return
+	}
+	parallelFor(total, kernel)
+}
+
+// runStage2 executes one radix-2 DIT stage s over the whole vector.
+func (p *Plan) runStage2(data, tw []complex128, s uint, parallel bool, scale complex128) {
+	wstep := p.size >> (s + 1)
+	p.runFlat(p.size/2, parallel, func(lo, hi uint64) {
+		butterfly2Flat(data, tw, s, lo, hi, wstep, scale, false)
+	})
+}
+
+// runStage2DIF executes one radix-2 DIF stage s over the whole vector.
+func (p *Plan) runStage2DIF(data, tw []complex128, s uint, parallel bool, scale complex128) {
+	wstep := p.size >> (s + 1)
+	p.runFlat(p.size/2, parallel, func(lo, hi uint64) {
+		butterfly2Flat(data, tw, s, lo, hi, wstep, scale, true)
+	})
+}
+
+// runStage4 executes the fused DIT pair of stages (s, s+1).
+func (p *Plan) runStage4(data, tw []complex128, s uint, parallel bool, scale complex128) {
+	w1step := p.size >> (s + 1)
+	w2step := p.size >> (s + 2)
+	p.runFlat(p.size/4, parallel, func(lo, hi uint64) {
+		butterfly4Flat(data, tw, s, lo, hi, w1step, w2step, scale)
+	})
+}
+
+// runStage4DIF executes the fused DIF pair of stages (s+1, s) — the
+// transpose of runStage4.
+func (p *Plan) runStage4DIF(data, tw []complex128, s uint, parallel bool, scale complex128) {
+	w1step := p.size >> (s + 1)
+	w2step := p.size >> (s + 2)
+	p.runFlat(p.size/4, parallel, func(lo, hi uint64) {
+		butterfly4DIFFlat(data, tw, s, lo, hi, w1step, w2step, scale)
+	})
+}
+
+// runStage8 executes the fused DIT triple of stages (s, s+1, s+2).
+func (p *Plan) runStage8(data, tw []complex128, s uint, parallel bool, scale complex128) {
+	w1step := p.size >> (s + 1)
+	w2step := p.size >> (s + 2)
+	w3step := p.size >> (s + 3)
+	p.runFlat(p.size/8, parallel, func(lo, hi uint64) {
+		butterfly8Flat(data, tw, s, lo, hi, w1step, w2step, w3step, scale)
+	})
+}
+
+// runStage8DIF executes the fused DIF triple of stages (s+2, s+1, s).
+func (p *Plan) runStage8DIF(data, tw []complex128, s uint, parallel bool, scale complex128) {
+	w1step := p.size >> (s + 1)
+	w2step := p.size >> (s + 2)
+	w3step := p.size >> (s + 3)
+	p.runFlat(p.size/8, parallel, func(lo, hi uint64) {
+		butterfly8DIFFlat(data, tw, s, lo, hi, w1step, w2step, w3step, scale)
+	})
+}
+
+// butterfly2Flat performs the radix-2 butterflies with flat index t in
+// [lo, hi): block t>>s, offset j = t&(2^s-1). DIT:
+// (x0, x1) <- (u + w t1, u - w t1); DIF (the transpose):
+// (x0, x1) <- (x0 + x1, (x0 - x1)·w), with w = tw[j*wstep] and both
+// outputs scaled by `scale` (1 outside the final stage).
+func butterfly2Flat(data, tw []complex128, s uint, lo, hi, wstep uint64, scale complex128, dif bool) {
+	h := uint64(1) << s
+	hm := h - 1
+	for t := lo; t < hi; t++ {
+		j := t & hm
+		i0 := (t&^hm)<<1 | j
+		i1 := i0 + h
 		w := tw[j*wstep]
-		i0 := base + j
-		i1 := i0 + half
-		t := w * data[i1]
+		var o0, o1 complex128
+		if dif {
+			u0 := data[i0]
+			u1 := data[i1]
+			o0 = u0 + u1
+			o1 = (u0 - u1) * w
+		} else {
+			tt := w * data[i1]
+			u := data[i0]
+			o0 = u + tt
+			o1 = u - tt
+		}
+		if scale != 1 {
+			o0, o1 = scale*o0, scale*o1
+		}
+		data[i0], data[i1] = o0, o1
+	}
+}
+
+// butterfly4Flat fuses two DIT stages (spans h, 2h) within one 4h block:
+// the span-h stage on the pairs (0,1) and (2,3), then the span-2h stage
+// on (0,2) and (1,3), every element read and written once. The inner
+// stage uses tw[j*w1step] for both pairs, the outer tw[j*w2step] and
+// tw[(j+h)*w2step].
+func butterfly4Flat(data, tw []complex128, s uint, lo, hi, w1step, w2step uint64, scale complex128) {
+	h := uint64(1) << s
+	hm := h - 1
+	for t := lo; t < hi; t++ {
+		j := t & hm
+		i0 := (t&^hm)<<2 | j
+		i1 := i0 + h
+		i2 := i1 + h
+		i3 := i2 + h
+		w1 := tw[j*w1step]
+		w2a := tw[j*w2step]
+		w2b := tw[(j+h)*w2step]
+		t1 := w1 * data[i1]
+		u0 := data[i0]
+		a := u0 + t1
+		b := u0 - t1
+		t2 := w1 * data[i3]
+		u2 := data[i2]
+		c := u2 + t2
+		d := u2 - t2
+		t3 := w2a * c
+		t4 := w2b * d
+		o0 := a + t3
+		o2 := a - t3
+		o1 := b + t4
+		o3 := b - t4
+		if scale != 1 {
+			o0, o1, o2, o3 = scale*o0, scale*o1, scale*o2, scale*o3
+		}
+		data[i0], data[i1], data[i2], data[i3] = o0, o1, o2, o3
+	}
+}
+
+// butterfly4DIFFlat is the transpose of butterfly4Flat: the DIF pair of
+// stages spanning 2h then h, with the same twiddle indexing.
+func butterfly4DIFFlat(data, tw []complex128, s uint, lo, hi, w1step, w2step uint64, scale complex128) {
+	h := uint64(1) << s
+	hm := h - 1
+	for t := lo; t < hi; t++ {
+		j := t & hm
+		i0 := (t&^hm)<<2 | j
+		i1 := i0 + h
+		i2 := i1 + h
+		i3 := i2 + h
+		w1 := tw[j*w1step]
+		w2a := tw[j*w2step]
+		w2b := tw[(j+h)*w2step]
+		x0, x1, x2, x3 := data[i0], data[i1], data[i2], data[i3]
+		a := x0 + x2
+		c := (x0 - x2) * w2a
+		b := x1 + x3
+		d := (x1 - x3) * w2b
+		o0 := a + b
+		o1 := (a - b) * w1
+		o2 := c + d
+		o3 := (c - d) * w1
+		if scale != 1 {
+			o0, o1, o2, o3 = scale*o0, scale*o1, scale*o2, scale*o3
+		}
+		data[i0], data[i1], data[i2], data[i3] = o0, o1, o2, o3
+	}
+}
+
+// butterfly8Flat fuses three DIT stages (spans h, 2h, 4h) within one 8h
+// block; twiddle indexing follows butterfly4Flat one level deeper.
+func butterfly8Flat(data, tw []complex128, s uint, lo, hi, w1step, w2step, w3step uint64, scale complex128) {
+	h := uint64(1) << s
+	hm := h - 1
+	for t := lo; t < hi; t++ {
+		j := t & hm
+		i0 := (t&^hm)<<3 | j
+		i1 := i0 + h
+		i2 := i1 + h
+		i3 := i2 + h
+		i4 := i3 + h
+		i5 := i4 + h
+		i6 := i5 + h
+		i7 := i6 + h
+		w1 := tw[j*w1step]
+		w2a := tw[j*w2step]
+		w2b := tw[(j+h)*w2step]
+		w3a := tw[j*w3step]
+		w3b := tw[(j+h)*w3step]
+		w3c := tw[(j+2*h)*w3step]
+		w3d := tw[(j+3*h)*w3step]
+		// Span-h stage on pairs (0,1) (2,3) (4,5) (6,7).
+		tt := w1 * data[i1]
 		u := data[i0]
-		data[i0] = u + t
-		data[i1] = u - t
+		a0, a1 := u+tt, u-tt
+		tt = w1 * data[i3]
+		u = data[i2]
+		a2, a3 := u+tt, u-tt
+		tt = w1 * data[i5]
+		u = data[i4]
+		a4, a5 := u+tt, u-tt
+		tt = w1 * data[i7]
+		u = data[i6]
+		a6, a7 := u+tt, u-tt
+		// Span-2h stage on (0,2) (1,3) (4,6) (5,7).
+		tt = w2a * a2
+		b0, b2 := a0+tt, a0-tt
+		tt = w2b * a3
+		b1, b3 := a1+tt, a1-tt
+		tt = w2a * a6
+		b4, b6 := a4+tt, a4-tt
+		tt = w2b * a7
+		b5, b7 := a5+tt, a5-tt
+		// Span-4h stage on (0,4) (1,5) (2,6) (3,7).
+		tt = w3a * b4
+		c0, c4 := b0+tt, b0-tt
+		tt = w3b * b5
+		c1, c5 := b1+tt, b1-tt
+		tt = w3c * b6
+		c2, c6 := b2+tt, b2-tt
+		tt = w3d * b7
+		c3, c7 := b3+tt, b3-tt
+		if scale != 1 {
+			c0, c1, c2, c3 = scale*c0, scale*c1, scale*c2, scale*c3
+			c4, c5, c6, c7 = scale*c4, scale*c5, scale*c6, scale*c7
+		}
+		data[i0], data[i1], data[i2], data[i3] = c0, c1, c2, c3
+		data[i4], data[i5], data[i6], data[i7] = c4, c5, c6, c7
+	}
+}
+
+// butterfly8DIFFlat is the transpose of butterfly8Flat: the three DIF
+// stages spanning 4h, 2h then h within one 8h block.
+func butterfly8DIFFlat(data, tw []complex128, s uint, lo, hi, w1step, w2step, w3step uint64, scale complex128) {
+	h := uint64(1) << s
+	hm := h - 1
+	for t := lo; t < hi; t++ {
+		j := t & hm
+		i0 := (t&^hm)<<3 | j
+		i1 := i0 + h
+		i2 := i1 + h
+		i3 := i2 + h
+		i4 := i3 + h
+		i5 := i4 + h
+		i6 := i5 + h
+		i7 := i6 + h
+		w1 := tw[j*w1step]
+		w2a := tw[j*w2step]
+		w2b := tw[(j+h)*w2step]
+		w3a := tw[j*w3step]
+		w3b := tw[(j+h)*w3step]
+		w3c := tw[(j+2*h)*w3step]
+		w3d := tw[(j+3*h)*w3step]
+		x0, x1, x2, x3 := data[i0], data[i1], data[i2], data[i3]
+		x4, x5, x6, x7 := data[i4], data[i5], data[i6], data[i7]
+		// Span-4h stage on (0,4) (1,5) (2,6) (3,7).
+		a0 := x0 + x4
+		a4 := (x0 - x4) * w3a
+		a1 := x1 + x5
+		a5 := (x1 - x5) * w3b
+		a2 := x2 + x6
+		a6 := (x2 - x6) * w3c
+		a3 := x3 + x7
+		a7 := (x3 - x7) * w3d
+		// Span-2h stage on (0,2) (1,3) (4,6) (5,7).
+		b0 := a0 + a2
+		b2 := (a0 - a2) * w2a
+		b1 := a1 + a3
+		b3 := (a1 - a3) * w2b
+		b4 := a4 + a6
+		b6 := (a4 - a6) * w2a
+		b5 := a5 + a7
+		b7 := (a5 - a7) * w2b
+		// Span-h stage on (0,1) (2,3) (4,5) (6,7).
+		c0 := b0 + b1
+		c1 := (b0 - b1) * w1
+		c2 := b2 + b3
+		c3 := (b2 - b3) * w1
+		c4 := b4 + b5
+		c5 := (b4 - b5) * w1
+		c6 := b6 + b7
+		c7 := (b6 - b7) * w1
+		if scale != 1 {
+			c0, c1, c2, c3 = scale*c0, scale*c1, scale*c2, scale*c3
+			c4, c5, c6, c7 = scale*c4, scale*c5, scale*c6, scale*c7
+		}
+		data[i0], data[i1], data[i2], data[i3] = c0, c1, c2, c3
+		data[i4], data[i5], data[i6], data[i7] = c4, c5, c6, c7
 	}
 }
 

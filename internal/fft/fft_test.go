@@ -5,6 +5,7 @@ import (
 	"math/cmplx"
 	"testing"
 
+	"repro/internal/bitops"
 	"repro/internal/rng"
 )
 
@@ -187,5 +188,37 @@ func TestParsevalProperty(t *testing.T) {
 	}
 	if math.Abs(outE-float64(size)*inE) > 1e-6*outE {
 		t.Errorf("Parseval violated: %v vs %v", outE, float64(size)*inE)
+	}
+}
+
+// TestBitReversedEntryPoints pins the zero-reorder transforms the
+// emulation dispatcher uses: UnitaryBitReversed must equal the unitary
+// transform composed with the bit-reversal permutation, and
+// UnitaryInverseFromBitReversed must be its exact inverse — across sizes
+// covering every stage-group tiling (lone radix-2, radix-4 head,
+// radix-8 runs).
+func TestBitReversedEntryPoints(t *testing.T) {
+	for _, n := range []uint{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		size := uint64(1) << n
+		p, err := NewPlan(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := randomVector(rng.New(7+uint64(n)), int(size))
+		want := append([]complex128(nil), orig...)
+		p.Unitary(want)
+		perm := make([]complex128, size)
+		for i := uint64(0); i < size; i++ {
+			perm[bitops.ReverseBits(i, n)] = want[i]
+		}
+		got := append([]complex128(nil), orig...)
+		p.UnitaryBitReversed(got)
+		if d := maxDiff(got, perm); d > 1e-12 {
+			t.Fatalf("n=%d: UnitaryBitReversed differs from S·F by %g", n, d)
+		}
+		p.UnitaryInverseFromBitReversed(got)
+		if d := maxDiff(got, orig); d > 1e-11 {
+			t.Fatalf("n=%d: inverse round trip differs by %g", n, d)
+		}
 	}
 }

@@ -1,0 +1,60 @@
+package fft
+
+import (
+	"fmt"
+
+	"repro/internal/bitops"
+)
+
+// TransformField applies the plan's unitary DFT (or its inverse) along the
+// index-bit field [pos, pos+width) of amps, where width = log2(plan size):
+// for every setting of the bits outside the field, the 2^width amplitudes
+// addressed by the field bits form one fibre that is transformed in place.
+// This is the QFT-on-a-register-field shortcut of the paper's Section 3.2;
+// both the emulator (core.Emulator.QFTRange) and the recognition dispatcher
+// (internal/recognize) execute their Fourier regions through it.
+func (p *Plan) TransformField(amps []complex128, pos uint, inverse bool) {
+	size := p.size
+	total := uint64(len(amps))
+	if total < size || total%size != 0 {
+		panic(fmt.Sprintf("fft: field transform of size %d does not tile %d amplitudes", size, total))
+	}
+	if pos+p.n > bitops.Log2(total) {
+		panic(fmt.Sprintf("fft: field [%d,%d) exceeds index width %d", pos, pos+p.n, bitops.Log2(total)))
+	}
+	if total == size {
+		if inverse {
+			p.UnitaryInverse(amps)
+		} else {
+			p.Unitary(amps)
+		}
+		return
+	}
+	// Gather/transform/scatter each fibre along the field axis.
+	outer := total >> p.n
+	stride := uint64(1) << pos
+	buf := make([]complex128, size)
+	for o := uint64(0); o < outer; o++ {
+		rest := expandOuter(o, pos, p.n)
+		for k := uint64(0); k < size; k++ {
+			buf[k] = amps[rest|k*stride]
+		}
+		if inverse {
+			p.UnitaryInverse(buf)
+		} else {
+			p.Unitary(buf)
+		}
+		for k := uint64(0); k < size; k++ {
+			amps[rest|k*stride] = buf[k]
+		}
+	}
+}
+
+// expandOuter maps a counter over the index bits outside the field
+// [pos, pos+width) to the corresponding amplitude index with the field
+// zeroed.
+func expandOuter(o uint64, pos, width uint) uint64 {
+	low := o & bitops.Mask(pos)
+	high := (o >> pos) << (pos + width)
+	return high | low
+}

@@ -1,0 +1,66 @@
+package qasm
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds collects valid programs plus every malformed-input crash
+// class the hardening sweep fixed, so `go test` alone replays them as
+// regressions and `go test -fuzz=FuzzParse` mutates from them.
+var fuzzSeeds = []string{
+	"qubits 3\nh 0\ncnot 0 1\nx 2\n",
+	"qubits 2\nregion qft 0 2\nh 1\ncr 0 1 pi/2\nh 0\nendregion\n",
+	"qubits 4\nctrl 2 3 : h 0\nswap 1 2\ntoffoli 0 1 2\n",
+	"qubits 1\nrz 0 -pi/4\nphase 0 1e-3\nrx 0 2.5\nry 0 -1\nsdg 0\ntdg 0\n",
+	"qubits\n",
+	"qubits 0\n",
+	"qubits 2 3\n",
+	"qubits 99999999999999999999\n",
+	"h 0\n",
+	"qubits 2\nqubits 2\n",
+	"qubits 2\nh 5\n",
+	"qubits 2\nctrl 0 : x 0\n",
+	"qubits 3\nctrl 1 1 : x 0\n",
+	"qubits 2\ncnot 0 0\n",
+	"qubits 2\ntoffoli 0 0 1\n",
+	"qubits 1\nrz 0 --1\n",
+	"qubits 1\nrz 0 -+1\n",
+	"qubits 1\nrz 0 pi/-2\n",
+	"qubits 1\nrz 0 inf\n",
+	"qubits 1\nrz 0 nan\n",
+	"qubits 2\nctrl 1 :\n",
+	"qubits 2\nctrl : x 0\n",
+	"qubits 1\nregion\n",
+	"qubits 1\nregion a 1 2\nx 0\n",
+	"qubits 1\nendregion\n",
+	"qubits 1\nregion a\nregion b\nendregion\n",
+	"qubits 1\nregion a -1\nendregion\n",
+}
+
+// FuzzParse asserts the frontend's contract on arbitrary input: error or
+// success, never a panic — and on success, the parsed circuit serialises
+// (Write is total over parseable gates) and re-parses to the same shape.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if werr := Write(&sb, c); werr != nil {
+			t.Fatalf("parsed circuit failed to serialise: %v\ninput: %q", werr, input)
+		}
+		c2, perr := ParseString(sb.String())
+		if perr != nil {
+			t.Fatalf("serialised circuit failed to re-parse: %v\ninput: %q\nwritten: %q", perr, input, sb.String())
+		}
+		if c2.NumQubits != c.NumQubits || c2.Len() != c.Len() || len(c2.Regions) != len(c.Regions) {
+			t.Fatalf("round trip changed shape: %d/%d qubits, %d/%d gates, %d/%d regions\ninput: %q",
+				c2.NumQubits, c.NumQubits, c2.Len(), c.Len(), len(c2.Regions), len(c.Regions), input)
+		}
+	})
+}

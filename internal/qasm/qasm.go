@@ -12,11 +12,21 @@ import (
 	"repro/internal/gates"
 )
 
-// Parse reads a circuit description from r.
+// Parse reads a circuit description from r. Malformed input of any shape
+// — missing arguments, out-of-range or duplicated qubits, angles with
+// stacked signs — is reported as a `qasm: line N:` error; Parse never
+// panics on bad input.
 func Parse(r io.Reader) (*circuit.Circuit, error) {
 	sc := bufio.NewScanner(r)
 	var circ *circuit.Circuit
 	lineNo := 0
+	type openRegion struct {
+		name string
+		args []uint64
+		lo   int
+		line int
+	}
+	var region *openRegion
 	for sc.Scan() {
 		lineNo++
 		line := sc.Text()
@@ -31,6 +41,9 @@ func Parse(r io.Reader) (*circuit.Circuit, error) {
 			if circ != nil {
 				return nil, fmt.Errorf("qasm: line %d: duplicate qubits directive", lineNo)
 			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("qasm: line %d: qubits directive wants exactly one count", lineNo)
+			}
 			n, err := strconv.ParseUint(fields[1], 10, 8)
 			if err != nil || n == 0 {
 				return nil, fmt.Errorf("qasm: line %d: bad qubit count %q", lineNo, fields[1])
@@ -40,6 +53,40 @@ func Parse(r io.Reader) (*circuit.Circuit, error) {
 		}
 		if circ == nil {
 			return nil, fmt.Errorf("qasm: line %d: gate before qubits directive", lineNo)
+		}
+		// Region markers: "region NAME arg..." / "endregion" annotate the
+		// enclosed gates as a named subroutine for the emulation
+		// dispatcher (see internal/recognize for the vocabulary).
+		if fields[0] == "region" {
+			if region != nil {
+				return nil, fmt.Errorf("qasm: line %d: nested region (previous opened at line %d)",
+					lineNo, region.line)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("qasm: line %d: region without a name", lineNo)
+			}
+			args := make([]uint64, 0, len(fields)-2)
+			for _, f := range fields[2:] {
+				v, err := strconv.ParseUint(f, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("qasm: line %d: bad region argument %q", lineNo, f)
+				}
+				args = append(args, v)
+			}
+			region = &openRegion{name: fields[1], args: args, lo: circ.Len(), line: lineNo}
+			continue
+		}
+		if fields[0] == "endregion" {
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("qasm: line %d: endregion takes no arguments", lineNo)
+			}
+			if region == nil {
+				return nil, fmt.Errorf("qasm: line %d: endregion without region", lineNo)
+			}
+			circ.Annotate(circuit.Region{Name: region.name, Args: region.args,
+				Lo: region.lo, Hi: circ.Len()})
+			region = nil
+			continue
 		}
 		// Optional control prefix: "ctrl c1 c2 ... : gate ...".
 		var extraControls []uint
@@ -71,16 +118,42 @@ func Parse(r io.Reader) (*circuit.Circuit, error) {
 			return nil, fmt.Errorf("qasm: line %d: %v", lineNo, err)
 		}
 		for _, g := range gs {
-			circ.Append(g.WithControls(extraControls...))
+			full := g.WithControls(extraControls...)
+			// Reject control == target and duplicated controls here, with
+			// the line number, instead of letting the state-vector kernels
+			// panic deep inside a run.
+			if err := validateGateQubits(full); err != nil {
+				return nil, fmt.Errorf("qasm: line %d: %v", lineNo, err)
+			}
+			circ.Append(full)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("qasm: %v", err)
 	}
+	if region != nil {
+		return nil, fmt.Errorf("qasm: line %d: region %q never closed", region.line, region.name)
+	}
 	if circ == nil {
 		return nil, fmt.Errorf("qasm: missing qubits directive")
 	}
 	return circ, nil
+}
+
+// validateGateQubits rejects gates whose target and controls are not
+// pairwise distinct. The set is 256 bits wide because the qubits
+// directive admits registers up to 255 — a single uint64 mask would
+// silently pass duplicates at indices >= 64 (shifts of >= 64 drop out).
+func validateGateQubits(g gates.Gate) error {
+	var seen [4]uint64
+	for _, q := range g.Qubits() {
+		w, b := q>>6, uint64(1)<<(q&63)
+		if seen[w]&b != 0 {
+			return fmt.Errorf("duplicate qubit %d in gate (target and controls must be distinct)", q)
+		}
+		seen[w] |= b
+	}
+	return nil
 }
 
 // ParseString parses a circuit from a string.
@@ -100,10 +173,17 @@ func parseQubit(s string, n uint) (uint, error) {
 }
 
 func parseAngle(s string) (float64, error) {
+	orig := s
 	neg := false
-	if strings.HasPrefix(s, "-") {
-		neg = true
+	if strings.HasPrefix(s, "-") || strings.HasPrefix(s, "+") {
+		neg = s[0] == '-'
 		s = s[1:]
+	}
+	// At most one leading sign: "--1" must not cancel to +1 via
+	// ParseFloat's own sign handling, and "+-1" style stacking is equally
+	// malformed.
+	if strings.HasPrefix(s, "-") || strings.HasPrefix(s, "+") {
+		return 0, fmt.Errorf("bad angle %q: more than one sign", orig)
 	}
 	var v float64
 	switch {
@@ -111,15 +191,17 @@ func parseAngle(s string) (float64, error) {
 		v = math.Pi
 	case strings.HasPrefix(s, "pi/"):
 		d, err := strconv.ParseFloat(s[3:], 64)
-		if err != nil || d == 0 {
-			return 0, fmt.Errorf("bad angle %q", s)
+		if err != nil || d <= 0 {
+			// The divisor carries no sign of its own; negate the whole
+			// angle instead ("-pi/4", not "pi/-4").
+			return 0, fmt.Errorf("bad angle %q", orig)
 		}
 		v = math.Pi / d
 	default:
 		var err error
 		v, err = strconv.ParseFloat(s, 64)
-		if err != nil {
-			return 0, fmt.Errorf("bad angle %q", s)
+		if err != nil || math.IsInf(v, 0) || math.IsNaN(v) {
+			return 0, fmt.Errorf("bad angle %q", orig)
 		}
 	}
 	if neg {
@@ -272,18 +354,50 @@ func parseGate(fields []string, n uint) ([]gates.Gate, error) {
 	}
 }
 
-// Write serialises a circuit in the package's text format. Gates whose
-// matrices are not in the standard set are rejected.
+// Write serialises a circuit in the package's text format, including its
+// region annotations, so Parse(Write(c)) reproduces both the gates and
+// the emulation markers. Gates whose matrices are not in the standard set
+// (every matrix Parse can produce round-trips, rotations included) are
+// rejected.
 func Write(w io.Writer, c *circuit.Circuit) error {
 	if _, err := fmt.Fprintf(w, "qubits %d\n", c.NumQubits); err != nil {
 		return err
 	}
-	for _, g := range c.Gates {
-		line, err := formatGate(g)
+	regions := c.Regions // sorted by Lo, pairwise disjoint
+	emit := func(format string, args ...interface{}) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	for i := 0; i <= len(c.Gates); i++ {
+		for len(regions) > 0 && regions[0].Hi == i && regions[0].Lo < i {
+			if err := emit("endregion\n"); err != nil {
+				return err
+			}
+			regions = regions[1:]
+		}
+		if len(regions) > 0 && regions[0].Lo == i {
+			line := "region " + regions[0].Name
+			for _, a := range regions[0].Args {
+				line += fmt.Sprintf(" %d", a)
+			}
+			if err := emit("%s\n", line); err != nil {
+				return err
+			}
+			if regions[0].Hi == i { // empty region
+				if err := emit("endregion\n"); err != nil {
+					return err
+				}
+				regions = regions[1:]
+			}
+		}
+		if i == len(c.Gates) {
+			break
+		}
+		line, err := formatGate(c.Gates[i])
 		if err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintln(w, line); err != nil {
+		if err := emit("%s\n", line); err != nil {
 			return err
 		}
 	}
@@ -316,7 +430,11 @@ func formatGate(g gates.Gate) (string, error) {
 		}
 		base = fmt.Sprintf("phase %d %.17g", g.Target, theta)
 	default:
-		return "", fmt.Errorf("qasm: gate %v has no textual form", g)
+		name, theta, ok := recoverRotation(g.Matrix)
+		if !ok {
+			return "", fmt.Errorf("qasm: gate %v has no textual form", g)
+		}
+		base = fmt.Sprintf("%s %d %.17g", name, g.Target, theta)
 	}
 	if len(g.Controls) == 0 {
 		return base, nil
@@ -330,4 +448,37 @@ func formatGate(g gates.Gate) (string, error) {
 
 func phaseAngle(z complex128) float64 {
 	return math.Atan2(imag(z), real(z))
+}
+
+// rotEps is the tolerance for recognising a matrix as an rx/ry/rz
+// rotation when serialising: the recovered angle regenerates the matrix
+// to well under this bound, while genuinely unstructured unitaries miss
+// by O(1).
+const rotEps = 1e-12
+
+// recoverRotation recognises the Rx/Ry/Rz matrix shapes and returns the
+// gate name with its angle, so every matrix Parse can produce has a
+// textual form and Write∘Parse is total over the supported gate set.
+func recoverRotation(m gates.Matrix2) (string, float64, bool) {
+	within := func(a, b gates.Matrix2) bool {
+		for i := range a {
+			if d := a[i] - b[i]; real(d)*real(d)+imag(d)*imag(d) > rotEps*rotEps {
+				return false
+			}
+		}
+		return true
+	}
+	// Rx: {cos, -i sin, -i sin, cos}.
+	if theta := 2 * math.Atan2(-imag(m[1]), real(m[0])); within(m, gates.Rx(0, theta).Matrix) {
+		return "rx", theta, true
+	}
+	// Ry: {cos, -sin, sin, cos}, all real.
+	if theta := 2 * math.Atan2(real(m[2]), real(m[0])); within(m, gates.Ry(0, theta).Matrix) {
+		return "ry", theta, true
+	}
+	// Rz: diag(e^{-i theta/2}, e^{i theta/2}).
+	if theta := 2 * math.Atan2(imag(m[3]), real(m[3])); within(m, gates.Rz(0, theta).Matrix) {
+		return "rz", theta, true
+	}
+	return "", 0, false
 }

@@ -19,11 +19,15 @@ import (
 //
 // It contains n Hadamards, n(n-1)/2 conditional phase shifts and
 // floor(n/2) swaps.
+// The whole circuit is annotated as a "qft" region (args: position 0,
+// width n) so the emulation dispatcher can replace it with the FFT.
 func Circuit(n uint) *circuit.Circuit {
 	c := CircuitNoSwap(n)
 	for k := uint(0); k < n/2; k++ {
 		c.Append(gates.Swap(k, n-1-k)...)
 	}
+	// Annotate absorbs the inner qft-noswap marker of the ladder.
+	c.Annotate(circuit.Region{Name: "qft", Args: []uint64{0, uint64(n)}, Lo: 0, Hi: c.Len()})
 	return c
 }
 
@@ -31,6 +35,8 @@ func Circuit(n uint) *circuit.Circuit {
 // output appears with qubits in bit-reversed order. Algorithms that can
 // absorb the reversal into subsequent indexing (as Shor's does) use this
 // cheaper variant.
+// The circuit carries a "qft-noswap" region annotation (args: position 0,
+// width n): the QFT composed with the bit-reversal permutation.
 func CircuitNoSwap(n uint) *circuit.Circuit {
 	c := circuit.New(n)
 	for i := int(n) - 1; i >= 0; i-- {
@@ -40,6 +46,7 @@ func CircuitNoSwap(n uint) *circuit.Circuit {
 			c.Append(gates.CR(uint(j), uint(i), theta))
 		}
 	}
+	c.Annotate(circuit.Region{Name: "qft-noswap", Args: []uint64{0, uint64(n)}, Lo: 0, Hi: c.Len()})
 	return c
 }
 

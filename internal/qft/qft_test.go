@@ -1,4 +1,4 @@
-package qft
+package qft_test
 
 import (
 	"math"
@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/bitops"
+	"repro/internal/qft"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/statevec"
@@ -17,7 +18,7 @@ func TestCircuitMatchesDFTMatrix(t *testing.T) {
 		dim := uint64(1) << n
 		for x := uint64(0); x < dim; x++ {
 			st := statevec.NewBasis(n, x)
-			sim.Wrap(st, sim.DefaultOptions()).Run(Circuit(n))
+			sim.Wrap(st, sim.DefaultOptions()).Run(qft.Circuit(n))
 			scale := 1 / math.Sqrt(float64(dim))
 			for y := uint64(0); y < dim; y++ {
 				want := complex(scale, 0) *
@@ -32,14 +33,14 @@ func TestCircuitMatchesDFTMatrix(t *testing.T) {
 }
 
 func TestNoSwapIsBitReversed(t *testing.T) {
-	// CircuitNoSwap must equal Circuit followed by index bit reversal.
+	// qft.CircuitNoSwap must equal qft.Circuit followed by index bit reversal.
 	n := uint(4)
 	src := rng.New(3)
 	st := statevec.NewRandom(n, src)
 	full := st.Clone()
-	sim.Wrap(full, sim.DefaultOptions()).Run(Circuit(n))
+	sim.Wrap(full, sim.DefaultOptions()).Run(qft.Circuit(n))
 	ns := st.Clone()
-	sim.Wrap(ns, sim.DefaultOptions()).Run(CircuitNoSwap(n))
+	sim.Wrap(ns, sim.DefaultOptions()).Run(qft.CircuitNoSwap(n))
 	for i := uint64(0); i < st.Dim(); i++ {
 		rev := bitops.ReverseBits(i, n)
 		if cmplx.Abs(ns.Amplitude(rev)-full.Amplitude(i)) > 1e-10 {
@@ -54,8 +55,8 @@ func TestInverseCircuit(t *testing.T) {
 	st := statevec.NewRandom(n, src)
 	orig := st.Clone()
 	backend := sim.Wrap(st, sim.DefaultOptions())
-	backend.Run(Circuit(n))
-	backend.Run(InverseCircuit(n))
+	backend.Run(qft.Circuit(n))
+	backend.Run(qft.InverseCircuit(n))
 	if d := st.MaxDiff(orig); d > 1e-9 {
 		t.Fatalf("QFT inverse round trip error %g", d)
 	}
@@ -63,13 +64,13 @@ func TestInverseCircuit(t *testing.T) {
 
 func TestGateCount(t *testing.T) {
 	for _, n := range []uint{1, 2, 5, 10} {
-		c := Circuit(n)
-		if c.Len() != GateCount(n) {
-			t.Errorf("n=%d: Len=%d GateCount=%d", n, c.Len(), GateCount(n))
+		c := qft.Circuit(n)
+		if c.Len() != qft.GateCount(n) {
+			t.Errorf("n=%d: Len=%d qft.GateCount=%d", n, c.Len(), qft.GateCount(n))
 		}
 	}
 	// The paper's complexity claim: n Hadamards + n(n-1)/2 phase shifts.
-	c := CircuitNoSwap(10)
+	c := qft.CircuitNoSwap(10)
 	st := c.Statistics()
 	if st.ByName["H"] != 10 {
 		t.Errorf("H count %d", st.ByName["H"])
@@ -83,16 +84,16 @@ func TestGateCount(t *testing.T) {
 }
 
 func TestEntangler(t *testing.T) {
-	// Entangler prepares the GHZ state (|0...0> + |1...1>)/sqrt2.
+	// qft.Entangler prepares the GHZ state (|0...0> + |1...1>)/sqrt2.
 	for _, n := range []uint{2, 5, 10} {
 		st := statevec.New(n)
-		sim.Wrap(st, sim.DefaultOptions()).Run(Entangler(n))
+		sim.Wrap(st, sim.DefaultOptions()).Run(qft.Entangler(n))
 		w := 1 / math.Sqrt2
 		if cmplx.Abs(st.Amplitude(0)-complex(w, 0)) > 1e-12 ||
 			cmplx.Abs(st.Amplitude(st.Dim()-1)-complex(w, 0)) > 1e-12 {
 			t.Fatalf("n=%d: not a GHZ state", n)
 		}
-		if c := Entangler(n).Len(); c != int(n) {
+		if c := qft.Entangler(n).Len(); c != int(n) {
 			t.Errorf("entangler gate count %d, want %d", c, n)
 		}
 	}

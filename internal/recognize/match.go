@@ -1,0 +1,592 @@
+package recognize
+
+import (
+	"math"
+	"math/cmplx"
+
+	"repro/internal/circuit"
+	"repro/internal/fft"
+	"repro/internal/gates"
+	"repro/internal/qft"
+	"repro/internal/revlib"
+)
+
+// matchEps is the matrix-entry tolerance of the structural matchers: tight
+// enough that a QFT ladder with one wrong rotation is rejected, loose
+// enough that angles round-tripped through the qasm text format still
+// match the regenerated reference.
+const matchEps = 1e-12
+
+// matchAt tries every pattern matcher at gate index i, bounded by hi (the
+// start of the next annotated region). Matchers are ordered largest
+// structure first so a multiplier is not consumed as its first controlled
+// adder, and a QFT is not nibbled apart into diagonal runs.
+func matchAt(c *circuit.Circuit, i, hi int, opts Options) *Op {
+	if op := matchQFT(c, i, hi); op != nil {
+		return op
+	}
+	if op := matchMultiplier(c, i, hi); op != nil {
+		return op
+	}
+	if op := matchAdder(c, i, hi); op != nil {
+		return op
+	}
+	if op := matchPhaseFlip(c, i, hi); op != nil {
+		return op
+	}
+	if op := matchDiagonalRun(c, i, hi, opts); op != nil {
+		return op
+	}
+	return nil
+}
+
+// --- gate predicates and window comparison ---------------------------------
+
+func closeC(a, b complex128) bool { return cmplx.Abs(a-b) <= matchEps }
+
+func sameMatrix(a, b gates.Matrix2) bool {
+	return closeC(a[0], b[0]) && closeC(a[1], b[1]) && closeC(a[2], b[2]) && closeC(a[3], b[3])
+}
+
+// sameGate compares target, control set (order-insensitive) and matrix.
+func sameGate(a, b gates.Gate) bool {
+	if a.Target != b.Target || len(a.Controls) != len(b.Controls) {
+		return false
+	}
+	var am, bm uint64
+	for _, c := range a.Controls {
+		am |= 1 << c
+	}
+	for _, c := range b.Controls {
+		bm |= 1 << c
+	}
+	return am == bm && sameMatrix(a.Matrix, b.Matrix)
+}
+
+// matchWindow reports whether the circuit gates starting at i equal ref.
+func matchWindow(gs []gates.Gate, i, hi int, ref []gates.Gate) bool {
+	if i+len(ref) > hi {
+		return false
+	}
+	for k, r := range ref {
+		if !sameGate(gs[i+k], r) {
+			return false
+		}
+	}
+	return true
+}
+
+func isPlainH(g gates.Gate) bool {
+	return len(g.Controls) == 0 && g.Matrix == gates.MatH
+}
+
+func isPlainX(g gates.Gate) bool {
+	return len(g.Controls) == 0 && sameMatrix(g.Matrix, gates.MatX)
+}
+
+func isCNOT(g gates.Gate) bool {
+	return len(g.Controls) == 1 && sameMatrix(g.Matrix, gates.MatX)
+}
+
+// isCR reports whether g is a single-controlled phase shift and returns
+// e^{i theta} (the phase entry).
+func isCR(g gates.Gate) (complex128, bool) {
+	if len(g.Controls) != 1 {
+		return 0, false
+	}
+	m := g.Matrix
+	if !closeC(m[0], 1) || !closeC(m[1], 0) || !closeC(m[2], 0) {
+		return 0, false
+	}
+	return m[3], true
+}
+
+// shifted rebases every gate of c upward by pos.
+func shifted(c *circuit.Circuit, pos uint) []gates.Gate {
+	out := make([]gates.Gate, len(c.Gates))
+	for i, g := range c.Gates {
+		ng := g
+		ng.Target += pos
+		if len(g.Controls) > 0 {
+			cs := make([]uint, len(g.Controls))
+			for j, q := range g.Controls {
+				cs[j] = q + pos
+			}
+			ng.Controls = cs
+		}
+		out[i] = ng
+	}
+	return out
+}
+
+// --- QFT ladders -----------------------------------------------------------
+
+// matchQFT recognises the four Fourier shapes the qft package emits:
+// forward/inverse, with or without the final qubit-reversal swaps, on any
+// contiguous field. A structural walk over the first ladder row proposes
+// the field; the full window is then compared gate for gate against the
+// regenerated reference circuit, so a ladder with one wrong angle or a
+// truncated tail is rejected outright.
+func matchQFT(c *circuit.Circuit, i, hi int) *Op {
+	gs := c.Gates
+	g := gs[i]
+	if isPlainH(g) {
+		t := g.Target
+		// Forward ladder: H(t) then CR(t-1-j, t, pi/2^{j+1}).
+		k := 0
+		for i+1+k < hi {
+			phase, ok := isCR(gs[i+1+k])
+			if !ok || gs[i+1+k].Target != t {
+				break
+			}
+			want := uint(k + 1)
+			if gs[i+1+k].Controls[0]+want != t {
+				break
+			}
+			if !closeC(phase, cmplx.Exp(complex(0, math.Pi/float64(uint64(1)<<want)))) {
+				break
+			}
+			k++
+		}
+		if k >= 1 && t >= uint(k) {
+			w := uint(k + 1)
+			pos := t - uint(k)
+			if op := tryQFTVariants(c, i, hi, pos, w, false); op != nil {
+				return op
+			}
+		}
+		// Inverse no-swap ladder starts H(pos) then CR(pos, pos+1, -pi/2);
+		// the width is whatever the longest fully matching dagger is.
+		if i+1 < hi {
+			if phase, ok := isCR(gs[i+1]); ok && gs[i+1].Controls[0] == t && gs[i+1].Target == t+1 &&
+				closeC(phase, cmplx.Exp(complex(0, -math.Pi/2))) {
+				var best *Op
+				for w := uint(2); t+w <= c.NumQubits; w++ {
+					ref := shifted(qft.CircuitNoSwap(w).Dagger(), t)
+					if !matchWindow(gs, i, hi, ref) {
+						break
+					}
+					best = qftOp(i, i+len(ref), t, w, true, true)
+				}
+				if best != nil {
+					return best
+				}
+			}
+		}
+		return nil
+	}
+	if isCNOT(g) {
+		// Inverse with swaps: Circuit(w).Dagger() leads with the reversed
+		// swap network; its first CNOT pins (pos, w) per candidate width.
+		a, b := g.Controls[0], g.Target
+		var best *Op
+		for w := uint(2); w <= c.NumQubits; w++ {
+			kl := w/2 - 1
+			if w/2 == 0 || a < kl {
+				continue
+			}
+			pos := a - kl
+			if b != pos+w-1-kl || pos+w > c.NumQubits {
+				continue
+			}
+			ref := shifted(qft.Circuit(w).Dagger(), pos)
+			if matchWindow(gs, i, hi, ref) {
+				best = qftOp(i, i+len(ref), pos, w, true, false)
+			}
+		}
+		return best
+	}
+	return nil
+}
+
+// tryQFTVariants validates a proposed forward field against the no-swap
+// ladder and, when it matches, prefers the longer with-swaps form.
+func tryQFTVariants(c *circuit.Circuit, i, hi int, pos, w uint, inverse bool) *Op {
+	ladder := shifted(qft.CircuitNoSwap(w), pos)
+	if !matchWindow(c.Gates, i, hi, ladder) {
+		return nil
+	}
+	full := shifted(qft.Circuit(w), pos)
+	if len(full) > len(ladder) && matchWindow(c.Gates, i, hi, full) {
+		return qftOp(i, i+len(full), pos, w, inverse, false)
+	}
+	return qftOp(i, i+len(ladder), pos, w, inverse, true)
+}
+
+func qftOp(lo, hi int, pos, w uint, inverse, noswap bool) *Op {
+	plan, err := fft.NewPlan(uint64(1) << w)
+	if err != nil {
+		return nil
+	}
+	return &Op{Lo: lo, Hi: hi, kind: opQFT, pos: pos, width: w,
+		inverse: inverse, noswap: noswap, plan: plan}
+}
+
+// --- Cuccaro adders and the shift-and-add multiplier -----------------------
+
+// adderMatch is a successfully matched (possibly controlled) Cuccaro adder.
+type adderMatch struct {
+	a, b  []uint // operand registers, LSB first
+	carry uint
+	len   int // gates consumed
+}
+
+// stripControl removes the expected extra control from a gate's control
+// set, reporting failure when it is absent.
+func stripControl(g gates.Gate, ec []uint) (gates.Gate, bool) {
+	if len(ec) == 0 {
+		return g, true
+	}
+	out := g
+	out.Controls = nil
+	for _, c := range g.Controls {
+		found := false
+		for _, e := range ec {
+			if c == e {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out.Controls = append(out.Controls, c)
+		}
+	}
+	if len(out.Controls) != len(g.Controls)-len(ec) {
+		return g, false
+	}
+	return out, true
+}
+
+// matchAdderWalk walks the MAJ sweep of a Cuccaro adder (every gate
+// promoted with the ec controls) to infer the registers, then validates
+// the whole window against the regenerated revlib.Adder.
+func matchAdderWalk(c *circuit.Circuit, i, hi int, ec []uint) *adderMatch {
+	gs := c.Gates
+	if i+6 > hi {
+		return nil
+	}
+	isXG := func(g gates.Gate, nc int) bool {
+		return sameMatrix(g.Matrix, gates.MatX) && len(g.Controls) == nc
+	}
+	g0, ok := stripControl(gs[i], ec)
+	if !ok || !isXG(g0, 1) {
+		return nil
+	}
+	aBits := []uint{g0.Controls[0]}
+	bBits := []uint{g0.Target}
+	g1, ok := stripControl(gs[i+1], ec)
+	if !ok || !isXG(g1, 1) || g1.Controls[0] != aBits[0] {
+		return nil
+	}
+	carry := g1.Target
+	g2, ok := stripControl(gs[i+2], ec)
+	if !ok || !isXG(g2, 2) || g2.Target != aBits[0] {
+		return nil
+	}
+	// Walk further MAJ triples: cnot(a_k, b_k), cnot(a_k, a_{k-1}),
+	// ccx(a_{k-1}, b_k, a_k).
+	for {
+		j := i + 3*len(aBits)
+		if j+3 > hi {
+			break
+		}
+		gA, okA := stripControl(gs[j], ec)
+		gB, okB := stripControl(gs[j+1], ec)
+		gC, okC := stripControl(gs[j+2], ec)
+		prev := aBits[len(aBits)-1]
+		if !okA || !okB || !okC || !isXG(gA, 1) || !isXG(gB, 1) || !isXG(gC, 2) {
+			break
+		}
+		ak := gA.Controls[0]
+		if gB.Controls[0] != ak || gB.Target != prev || gC.Target != ak {
+			break
+		}
+		aBits = append(aBits, ak)
+		bBits = append(bBits, gA.Target)
+	}
+	w := uint(len(aBits))
+	if !distinctQubits(aBits, bBits, []uint{carry}, ec) {
+		return nil
+	}
+	// Regenerate the reference adder over the inferred layout and demand
+	// gate-for-gate equality (this validates the UMA sweep too).
+	max := maxQubit(aBits, bBits, []uint{carry}, ec)
+	ref := circuit.New(max + 1)
+	revlib.Adder(ref, revlib.Register(aBits), revlib.Register(bBits), carry)
+	refGates := ref.Gates
+	if len(ec) > 0 {
+		refGates = ref.Controlled(ec...).Gates
+	}
+	if !matchWindow(gs, i, hi, refGates) {
+		// The walk may have overshot into a longer candidate than the
+		// stream supports; retry shrinking widths.
+		for w > 1 {
+			w--
+			aBits, bBits = aBits[:w], bBits[:w]
+			ref = circuit.New(max + 1)
+			revlib.Adder(ref, revlib.Register(aBits), revlib.Register(bBits), carry)
+			refGates = ref.Gates
+			if len(ec) > 0 {
+				refGates = ref.Controlled(ec...).Gates
+			}
+			if matchWindow(gs, i, hi, refGates) {
+				return &adderMatch{a: aBits, b: bBits, carry: carry, len: len(refGates)}
+			}
+		}
+		return nil
+	}
+	return &adderMatch{a: aBits, b: bBits, carry: carry, len: len(refGates)}
+}
+
+// matchAdder recognises an uncontrolled Cuccaro adder as the exact
+// permutation b += a + carry.
+func matchAdder(c *circuit.Circuit, i, hi int) *Op {
+	if !isCNOT(c.Gates[i]) {
+		return nil
+	}
+	ad := matchAdderWalk(c, i, hi, nil)
+	if ad == nil {
+		return nil
+	}
+	return &Op{Lo: i, Hi: i + ad.len, kind: opAdd,
+		regA: ad.a, regB: ad.b, carry: ad.carry, m: uint(len(ad.a))}
+}
+
+// matchMultiplier recognises revlib.Multiplier's shape: m controlled
+// Cuccaro adders of shrinking width, the k-th adding b's low m-k bits into
+// c's top m-k bits under control a_k.
+func matchMultiplier(c *circuit.Circuit, i, hi int) *Op {
+	gs := c.Gates
+	g0 := gs[i]
+	if !sameMatrix(g0.Matrix, gates.MatX) || len(g0.Controls) != 2 {
+		return nil
+	}
+	for pick := 0; pick < 2; pick++ {
+		ec := g0.Controls[pick]
+		first := matchAdderWalk(c, i, hi, []uint{ec})
+		if first == nil {
+			continue
+		}
+		m := len(first.a)
+		bReg, cReg, carry := first.a, first.b, first.carry
+		aReg := []uint{ec}
+		pos := i + first.len
+		ok := true
+		for k := 1; k < m && ok; k++ {
+			if pos >= hi {
+				ok = false
+				break
+			}
+			// First gate of the k-th controlled adder: X on c[k] with
+			// controls {b[0], a_k}; read a_k off it.
+			gk := gs[pos]
+			if !sameMatrix(gk.Matrix, gates.MatX) || len(gk.Controls) != 2 || gk.Target != cReg[k] {
+				ok = false
+				break
+			}
+			var ak uint
+			switch {
+			case gk.Controls[0] == bReg[0]:
+				ak = gk.Controls[1]
+			case gk.Controls[1] == bReg[0]:
+				ak = gk.Controls[0]
+			default:
+				ok = false
+			}
+			if !ok {
+				break
+			}
+			ad := matchAdderWalk(c, pos, hi, []uint{ak})
+			if ad == nil || len(ad.a) != m-k || ad.carry != carry ||
+				!equalQubits(ad.a, bReg[:m-k]) || !equalQubits(ad.b, cReg[k:]) {
+				ok = false
+				break
+			}
+			aReg = append(aReg, ak)
+			pos += ad.len
+		}
+		if !ok || !distinctQubits(aReg, bReg, cReg, []uint{carry}) {
+			continue
+		}
+		return &Op{Lo: i, Hi: pos, kind: opMul,
+			regA: aReg, regB: bReg, regC: cReg, carry: carry, m: uint(m)}
+	}
+	return nil
+}
+
+// --- phase flips and diagonal runs -----------------------------------------
+
+// matchPhaseFlip recognises the Grover-oracle shape: a run of X gates, a
+// multi-controlled Z, and the mirror X run — a diagonal flipping the sign
+// of exactly one bit pattern. A bare multi-controlled Z (>= 2 controls)
+// matches with an empty X conjugation.
+func matchPhaseFlip(c *circuit.Circuit, i, hi int) *Op {
+	gs := c.Gates
+	var xs []uint
+	var xMask uint64
+	j := i
+	for j < hi && isPlainX(gs[j]) {
+		q := gs[j].Target
+		if xMask&(1<<q) != 0 {
+			return nil // doubled X is not a conjugation
+		}
+		xMask |= 1 << q
+		xs = append(xs, q)
+		j++
+	}
+	if j >= hi {
+		return nil
+	}
+	z := gs[j]
+	if !sameMatrix(z.Matrix, gates.MatZ) {
+		return nil
+	}
+	if len(xs) == 0 && len(z.Controls) < 2 {
+		return nil // a lone Z or CZ is already a cheap kernel
+	}
+	var qMask uint64
+	qubits := append([]uint{z.Target}, z.Controls...)
+	for _, q := range qubits {
+		if qMask&(1<<q) != 0 {
+			return nil
+		}
+		qMask |= 1 << q
+	}
+	if xMask&^qMask != 0 {
+		return nil // an X outside the Z's support is a leftover NOT
+	}
+	// The mirror X run must cover exactly the same set.
+	k := j + 1
+	var mirror uint64
+	for k < hi && len(xs) > 0 && isPlainX(gs[k]) {
+		q := gs[k].Target
+		if xMask&(1<<q) == 0 || mirror&(1<<q) != 0 {
+			break
+		}
+		mirror |= 1 << q
+		k++
+		if mirror == xMask {
+			break
+		}
+	}
+	if mirror != xMask {
+		return nil
+	}
+	// Pattern: qubit reads 0 where X-conjugated, 1 elsewhere.
+	var value uint64
+	for idx, q := range qubits {
+		if xMask&(1<<q) == 0 {
+			value |= 1 << uint(idx)
+		}
+	}
+	op := &Op{Lo: i, Hi: k, kind: opPhaseFlip}
+	op.qubits, op.value = sortedPattern(qubits, value)
+	return op
+}
+
+// matchDiagonalRun folds a run of diagonal-on-state gates over a bounded
+// support into one precomputed diagonal — the fused-oracle shortcut.
+func matchDiagonalRun(c *circuit.Circuit, i, hi int, opts Options) *Op {
+	gs := c.Gates
+	var support uint64
+	width := 0
+	j := i
+	for j < hi {
+		g := gs[j]
+		if !g.IsDiagonalOnState() {
+			break
+		}
+		ns := support
+		for _, q := range g.Qubits() {
+			ns |= 1 << q
+		}
+		nw := popcount(ns)
+		if nw > int(opts.MaxDiagQubits) {
+			break
+		}
+		support, width = ns, nw
+		j++
+	}
+	if j-i < opts.MinDiagGates || width == 0 {
+		return nil
+	}
+	qubits := make([]uint, 0, width)
+	local := make(map[uint]uint, width)
+	for q := uint(0); q < 64; q++ {
+		if support&(1<<q) != 0 {
+			local[q] = uint(len(qubits))
+			qubits = append(qubits, q)
+		}
+	}
+	dim := 1 << width
+	d := make([]complex128, dim)
+	for x := range d {
+		d[x] = 1
+	}
+	for _, g := range gs[i:j] {
+		tb := uint64(1) << local[g.Target]
+		var cm uint64
+		for _, q := range g.Controls {
+			cm |= 1 << local[q]
+		}
+		for x := 0; x < dim; x++ {
+			if uint64(x)&cm != cm {
+				continue
+			}
+			if uint64(x)&tb != 0 {
+				d[x] *= g.Matrix[3]
+			} else {
+				d[x] *= g.Matrix[0]
+			}
+		}
+	}
+	return &Op{Lo: i, Hi: j, kind: opDiag, qubits: qubits, diag: d}
+}
+
+// --- small helpers ---------------------------------------------------------
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// distinctQubits reports whether every qubit across the lists is unique.
+func distinctQubits(lists ...[]uint) bool {
+	var seen uint64
+	for _, l := range lists {
+		for _, q := range l {
+			if q >= 64 || seen&(1<<q) != 0 {
+				return false
+			}
+			seen |= 1 << q
+		}
+	}
+	return true
+}
+
+func equalQubits(a, b []uint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func maxQubit(lists ...[]uint) uint {
+	var m uint
+	for _, l := range lists {
+		for _, q := range l {
+			if q > m {
+				m = q
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,426 @@
+package recognize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/fft"
+)
+
+// Mode selects how aggressively Analyze looks for emulatable regions.
+type Mode int
+
+const (
+	// Off disables emulation dispatch: the whole circuit stays on the
+	// gate-level path.
+	Off Mode = iota
+	// Annotated lowers only regions the circuit explicitly annotates.
+	Annotated
+	// Auto additionally pattern-matches unannotated gate runs.
+	Auto
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case Annotated:
+		return "annotated"
+	case Auto:
+		return "auto"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Options tune the recognition pass.
+type Options struct {
+	// Mode selects annotation-only or annotation+pattern recognition.
+	Mode Mode
+	// Verify cross-checks every recognised region whose support is at
+	// most MaxVerifyQubits against the brute-force unitary of its own
+	// gates, dropping the region on mismatch.
+	Verify bool
+	// MaxVerifyQubits bounds the support width verification can afford
+	// (cost grows as gates * 4^w).
+	MaxVerifyQubits uint
+	// MaxDiagQubits bounds the support of a matched diagonal run (the
+	// precomputed table holds 2^w entries).
+	MaxDiagQubits uint
+	// MinDiagGates is the shortest diagonal run worth replacing; shorter
+	// runs are left to the fusion scheduler.
+	MinDiagGates int
+}
+
+// DefaultOptions returns the tuning the simulator dispatch uses.
+func DefaultOptions(mode Mode) Options {
+	return Options{Mode: mode, Verify: true, MaxVerifyQubits: 8, MaxDiagQubits: 16, MinDiagGates: 4}
+}
+
+// Segment is one step of an emulation-dispatch plan: either a recognised
+// shortcut (Op != nil) or the gate range [Lo, Hi) to run gate-level.
+type Segment struct {
+	Op     *Op
+	Lo, Hi int
+}
+
+// Skip records an annotated region the pass could not (or refused to)
+// lower, with the reason — surfaced so a typo'd or lying annotation is
+// visible instead of silently gate-level.
+type Skip struct {
+	Name   string
+	Lo, Hi int
+	Reason string
+}
+
+// Plan is the dispatch schedule for one circuit: recognised shortcuts
+// interleaved with the gate ranges that stay on the simulator path. It is
+// tied to the gate sequence it was analysed from (by length; the executor
+// checks) and safe to reuse across runs.
+type Plan struct {
+	// NumQubits and NumGates echo the analysed circuit for sanity checks.
+	NumQubits uint
+	NumGates  int
+	// Segments is the schedule, executed left to right.
+	Segments []Segment
+	// Skipped lists annotated regions left at gate level, with reasons.
+	Skipped []Skip
+}
+
+// Stats summarises how much of a circuit a plan emulates.
+type Stats struct {
+	Ops           int            // recognised shortcuts
+	ByKind        map[string]int // count per shortcut family
+	GatesEmulated int            // gates replaced by shortcuts
+	GatesTotal    int
+	Skipped       int // annotated regions left at gate level
+}
+
+// Stats scans the plan and reports its coverage.
+func (p *Plan) Stats() Stats {
+	st := Stats{ByKind: make(map[string]int), GatesTotal: p.NumGates, Skipped: len(p.Skipped)}
+	for _, s := range p.Segments {
+		if s.Op == nil {
+			continue
+		}
+		st.Ops++
+		st.ByKind[s.Op.Kind()]++
+		st.GatesEmulated += s.Hi - s.Lo
+	}
+	return st
+}
+
+func (st Stats) String() string {
+	kinds := make([]string, 0, len(st.ByKind))
+	for k := range st.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%d %s", st.ByKind[k], k))
+	}
+	desc := strings.Join(parts, ", ")
+	if desc == "" {
+		desc = "none"
+	}
+	s := fmt.Sprintf("%d/%d gates emulated via %d shortcuts (%s)",
+		st.GatesEmulated, st.GatesTotal, st.Ops, desc)
+	if st.Skipped > 0 {
+		s += fmt.Sprintf(", %d regions skipped", st.Skipped)
+	}
+	return s
+}
+
+// Describe renders one line per recognised op (and skipped region), the
+// report qemu-run -emulate prints.
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	for _, s := range p.Segments {
+		if s.Op != nil {
+			fmt.Fprintf(&b, "  %v\n", s.Op)
+		}
+	}
+	for _, sk := range p.Skipped {
+		fmt.Fprintf(&b, "  region %s [%d,%d) skipped: %s\n", sk.Name, sk.Lo, sk.Hi, sk.Reason)
+	}
+	return b.String()
+}
+
+// Ops returns the recognised shortcuts in schedule order.
+func (p *Plan) Ops() []*Op {
+	var ops []*Op
+	for _, s := range p.Segments {
+		if s.Op != nil {
+			ops = append(ops, s.Op)
+		}
+	}
+	return ops
+}
+
+// Analyze builds the emulation-dispatch plan for c: annotated regions are
+// lowered first (Mode >= Annotated), the gaps are pattern-matched in Auto
+// mode, and everything recognised is verified against its own gates where
+// the support is small enough. The remaining ranges execute gate-level.
+func Analyze(c *circuit.Circuit, opts Options) *Plan {
+	p := &Plan{NumQubits: c.NumQubits, NumGates: c.Len()}
+	// The matchers and op layouts index qubits in single-word bitmasks;
+	// a register wider than 64 qubits (unrunnable on the dense state
+	// vector anyway) stays entirely gate-level rather than risking
+	// silently wrong masks.
+	if opts.Mode == Off || c.NumQubits > 64 {
+		if c.Len() > 0 {
+			p.Segments = []Segment{{Lo: 0, Hi: c.Len()}}
+		}
+		return p
+	}
+	var ops []*Op
+	for _, r := range c.Regions {
+		if r.Hi == r.Lo {
+			continue
+		}
+		op, err := annotatedOp(c, r)
+		if err != nil {
+			p.Skipped = append(p.Skipped, Skip{Name: r.Name, Lo: r.Lo, Hi: r.Hi, Reason: err.Error()})
+			continue
+		}
+		ops = append(ops, op)
+	}
+	if opts.Mode >= Auto {
+		ops = append(ops, matchGaps(c, ops, opts)...)
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Lo < ops[j].Lo })
+	}
+	if opts.Verify {
+		kept := ops[:0]
+		for _, op := range ops {
+			ok, checked := verifyOp(c, op, opts.MaxVerifyQubits)
+			if !ok {
+				name := op.kind.String()
+				p.Skipped = append(p.Skipped, Skip{Name: name, Lo: op.Lo, Hi: op.Hi,
+					Reason: "unitary verification failed; falling back to gate-level"})
+				continue
+			}
+			op.Verified = checked
+			kept = append(kept, op)
+		}
+		ops = kept
+	}
+	cur := 0
+	for _, op := range ops {
+		if op.Lo > cur {
+			p.Segments = append(p.Segments, Segment{Lo: cur, Hi: op.Lo})
+		}
+		p.Segments = append(p.Segments, Segment{Op: op, Lo: op.Lo, Hi: op.Hi})
+		cur = op.Hi
+	}
+	if cur < c.Len() {
+		p.Segments = append(p.Segments, Segment{Lo: cur, Hi: c.Len()})
+	}
+	return p
+}
+
+// matchGaps runs the pattern matchers over the gate ranges not covered by
+// annotated ops. ops must cover disjoint ranges (circuit.Annotate's
+// invariant).
+func matchGaps(c *circuit.Circuit, ops []*Op, opts Options) []*Op {
+	sorted := append([]*Op(nil), ops...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Lo < sorted[j].Lo })
+	var found []*Op
+	cur := 0
+	scan := func(lo, hi int) {
+		for i := lo; i < hi; {
+			if op := matchAt(c, i, hi, opts); op != nil {
+				found = append(found, op)
+				i = op.Hi
+				continue
+			}
+			i++
+		}
+	}
+	for _, op := range sorted {
+		scan(cur, op.Lo)
+		cur = op.Hi
+	}
+	scan(cur, c.Len())
+	return found
+}
+
+// annotatedOp lowers one circuit.Region to an Op, validating its argument
+// layout against the register width.
+func annotatedOp(c *circuit.Circuit, r circuit.Region) (*Op, error) {
+	n := c.NumQubits
+	op := &Op{Lo: r.Lo, Hi: r.Hi, Annotated: true}
+	args := r.Args
+	switch r.Name {
+	case "qft", "iqft", "qft-noswap", "iqft-noswap":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("%s wants args [pos width], got %d args", r.Name, len(args))
+		}
+		pos, width := uint(args[0]), uint(args[1])
+		if width == 0 || args[0]+args[1] > uint64(n) {
+			return nil, fmt.Errorf("%s field [%d,%d) invalid for %d qubits", r.Name, args[0], args[0]+args[1], n)
+		}
+		op.kind = opQFT
+		op.pos, op.width = pos, width
+		op.inverse = strings.HasPrefix(r.Name, "iqft")
+		op.noswap = strings.HasSuffix(r.Name, "-noswap")
+		plan, err := fft.NewPlan(uint64(1) << width)
+		if err != nil {
+			return nil, err
+		}
+		op.plan = plan
+		return op, nil
+	case "add", "sub":
+		regs, aux, err := splitArgs(args, n, 2, 1)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", r.Name, err)
+		}
+		op.kind = opAdd
+		if r.Name == "sub" {
+			op.kind = opSub
+		}
+		op.regA, op.regB, op.carry = regs[0], regs[1], aux[0]
+		op.m = uint(len(regs[0]))
+		return op, nil
+	case "mul":
+		regs, aux, err := splitArgs(args, n, 3, 1)
+		if err != nil {
+			return nil, fmt.Errorf("mul: %v", err)
+		}
+		op.kind = opMul
+		op.regA, op.regB, op.regC, op.carry = regs[0], regs[1], regs[2], aux[0]
+		op.m = uint(len(regs[0]))
+		return op, nil
+	case "div":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("div wants args [m r*2m b*m q*m bz carry]")
+		}
+		m := args[0]
+		if len(args) != int(4*m+3) {
+			return nil, fmt.Errorf("div m=%d wants %d args, got %d", m, 4*m+3, len(args))
+		}
+		lists, aux, err := takeRegisters(args[1:], n, []uint64{2 * m, m, m}, 2)
+		if err != nil {
+			return nil, fmt.Errorf("div: %v", err)
+		}
+		op.kind = opDiv
+		op.regR, op.regB, op.regQ = lists[0], lists[1], lists[2]
+		op.bz, op.carry = aux[0], aux[1]
+		op.m = uint(m)
+		return op, nil
+	case "phaseflip":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("phaseflip wants args [w q*w value]")
+		}
+		w := args[0]
+		if len(args) != int(w+2) {
+			return nil, fmt.Errorf("phaseflip w=%d wants %d args, got %d", w, w+2, len(args))
+		}
+		lists, _, err := takeRegisters(args[1:len(args)-1], n, []uint64{w}, 0)
+		if err != nil {
+			return nil, fmt.Errorf("phaseflip: %v", err)
+		}
+		value := args[len(args)-1]
+		if w < 64 && value>>w != 0 {
+			return nil, fmt.Errorf("phaseflip value %d exceeds %d bits", value, w)
+		}
+		op.kind = opPhaseFlip
+		op.qubits, op.value = sortedPattern(lists[0], value)
+		return op, nil
+	case "reflect-uniform":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("reflect-uniform wants args [w q*w]")
+		}
+		w := args[0]
+		if len(args) != int(w+1) {
+			return nil, fmt.Errorf("reflect-uniform w=%d wants %d args, got %d", w, w+1, len(args))
+		}
+		lists, _, err := takeRegisters(args[1:], n, []uint64{w}, 0)
+		if err != nil {
+			return nil, fmt.Errorf("reflect-uniform: %v", err)
+		}
+		if uint(w) != n {
+			// The two-pass mean-and-subtract shortcut needs the reflection
+			// to span the whole register; field-local reflections would
+			// need per-fibre sums and are not worth the complexity yet.
+			return nil, fmt.Errorf("reflect-uniform spans %d of %d qubits (full register required)", w, n)
+		}
+		op.kind = opReflect
+		qs := append([]uint(nil), lists[0]...)
+		sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+		op.qubits = qs
+		return op, nil
+	default:
+		return nil, fmt.Errorf("unknown region name %q", r.Name)
+	}
+}
+
+// splitArgs decodes the [w reg1*w reg2*w ... aux...] layout shared by the
+// fixed-shape arithmetic annotations.
+func splitArgs(args []uint64, n uint, regs, aux int) ([][]uint, []uint, error) {
+	if len(args) < 1 {
+		return nil, nil, fmt.Errorf("missing width argument")
+	}
+	w := args[0]
+	if len(args) != 1+regs*int(w)+aux {
+		return nil, nil, fmt.Errorf("w=%d wants %d args, got %d", w, 1+regs*int(w)+aux, len(args))
+	}
+	widths := make([]uint64, regs)
+	for i := range widths {
+		widths[i] = w
+	}
+	return takeRegisters(args[1:], n, widths, aux)
+}
+
+// takeRegisters decodes consecutive qubit lists of the given widths plus
+// aux trailing qubit arguments, checking range and global distinctness.
+func takeRegisters(args []uint64, n uint, widths []uint64, aux int) ([][]uint, []uint, error) {
+	var seen uint64
+	take := func(k uint64) ([]uint, error) {
+		out := make([]uint, k)
+		for i := range out {
+			q := args[0]
+			args = args[1:]
+			if q >= uint64(n) || q >= 64 {
+				return nil, fmt.Errorf("qubit %d out of range (register width %d)", q, n)
+			}
+			if seen&(1<<q) != 0 {
+				return nil, fmt.Errorf("duplicate qubit %d", q)
+			}
+			seen |= 1 << q
+			out[i] = uint(q)
+		}
+		return out, nil
+	}
+	lists := make([][]uint, len(widths))
+	for i, w := range widths {
+		l, err := take(w)
+		if err != nil {
+			return nil, nil, err
+		}
+		lists[i] = l
+	}
+	auxList, err := take(uint64(aux))
+	if err != nil {
+		return nil, nil, err
+	}
+	return lists, auxList, nil
+}
+
+// sortedPattern sorts the qubit list ascending, permuting the pattern bits
+// alongside so bit j still refers to qubits[j].
+func sortedPattern(qs []uint, value uint64) ([]uint, uint64) {
+	idx := make([]int, len(qs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return qs[idx[a]] < qs[idx[b]] })
+	outQ := make([]uint, len(qs))
+	var outV uint64
+	for j, i := range idx {
+		outQ[j] = qs[i]
+		outV |= ((value >> uint(i)) & 1) << uint(j)
+	}
+	return outQ, outV
+}

@@ -1,0 +1,68 @@
+package recognize
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/statevec"
+)
+
+// verifyEps is the per-amplitude tolerance of the unitary cross-check.
+const verifyEps = 1e-10
+
+// verifyOp cross-checks a recognised op against the brute-force action of
+// the gates it replaces, on a compact register holding only the op's
+// support qubits. It returns (keep, checked): keep=false means the op's
+// shortcut disagrees with its gates and must fall back to gate-level;
+// checked=false means the support was too wide to afford the check and
+// the op is accepted on structural trust.
+func verifyOp(c *circuit.Circuit, op *Op, maxQubits uint) (keep, checked bool) {
+	support := op.support()
+	w := uint(len(support))
+	if w == 0 || w > maxQubits {
+		return true, false
+	}
+	// Every gate of the range must act inside the support, else the op
+	// cannot possibly represent the range.
+	var mask uint64
+	rank := make(map[uint]uint, w)
+	for i, q := range support {
+		mask |= 1 << q
+		rank[q] = uint(i)
+	}
+	for _, g := range c.Gates[op.Lo:op.Hi] {
+		for _, q := range g.Qubits() {
+			if mask&(1<<q) == 0 {
+				return false, true
+			}
+		}
+	}
+	compact := op.remapped(func(q uint) uint { return rank[q] })
+	compactGates := make([]gates.Gate, 0, op.Hi-op.Lo)
+	for _, g := range c.Gates[op.Lo:op.Hi] {
+		ng := g
+		ng.Target = rank[g.Target]
+		if len(g.Controls) > 0 {
+			cs := make([]uint, len(g.Controls))
+			for j, q := range g.Controls {
+				cs[j] = rank[q]
+			}
+			ng.Controls = cs
+		}
+		compactGates = append(compactGates, ng)
+	}
+	dim := uint64(1) << w
+	for b := uint64(0); b < dim; b++ {
+		ref := statevec.NewBasis(w, b)
+		ref.SetParallelism(1)
+		for _, g := range compactGates {
+			ref.ApplyGate(g)
+		}
+		got := statevec.NewBasis(w, b)
+		got.SetParallelism(1)
+		compact.Apply(got)
+		if ref.MaxDiff(got) > verifyEps {
+			return false, true
+		}
+	}
+	return true, true
+}

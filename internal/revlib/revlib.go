@@ -46,9 +46,26 @@ func uma(circ *circuit.Circuit, carry, b, a uint) {
 	cnot(circ, carry, b)
 }
 
+// arithArgs packs the annotation argument layout shared by "add" and
+// "sub" regions: operand width, then the a bits, the b bits and the carry
+// ancilla. See internal/recognize for the region vocabulary.
+func arithArgs(a, b Register, carryAnc uint) []uint64 {
+	args := make([]uint64, 0, 2*len(a)+2)
+	args = append(args, uint64(len(a)))
+	for _, q := range a {
+		args = append(args, uint64(q))
+	}
+	for _, q := range b {
+		args = append(args, uint64(q))
+	}
+	return append(args, uint64(carryAnc))
+}
+
 // Adder appends the Cuccaro ripple-carry adder computing b += a (mod 2^w)
 // where w = len(a) = len(b). carryAnc is a clean ancilla providing the
 // carry-in; it is restored to |0> by the UMA sweep, as is register a.
+// On a dirty carry ancilla the network computes b += a + carry exactly,
+// which is how the emitted "add" region annotation describes it.
 // The construction is the one the paper benchmarks (its Ref. [12]).
 func Adder(circ *circuit.Circuit, a, b Register, carryAnc uint) {
 	w := a.Width()
@@ -58,6 +75,7 @@ func Adder(circ *circuit.Circuit, a, b Register, carryAnc uint) {
 	if w == 0 {
 		return
 	}
+	lo := circ.Len()
 	carry := carryAnc
 	for i := uint(0); i < w; i++ {
 		maj(circ, carry, b[i], a[i])
@@ -70,6 +88,7 @@ func Adder(circ *circuit.Circuit, a, b Register, carryAnc uint) {
 		}
 		uma(circ, prev, b[i], a[i])
 	}
+	circ.Annotate(circuit.Region{Name: "add", Args: arithArgs(a, b, carryAnc), Lo: lo, Hi: circ.Len()})
 }
 
 // AdderWithCarryOut is Adder but additionally XORs the carry out of the
@@ -99,8 +118,11 @@ func AdderWithCarryOut(circ *circuit.Circuit, a, b Register, carryAnc, carryOut 
 }
 
 // Subtractor appends b -= a (mod 2^w) using the two's-complement identity
-// b - a = ~(~b + a): X-conjugation of b around an adder.
+// b - a = ~(~b + a): X-conjugation of b around an adder. A dirty carry
+// ancilla subtracts too: b -= a + carry, which is what the emitted "sub"
+// region annotation records (it absorbs the inner "add" marker).
 func Subtractor(circ *circuit.Circuit, a, b Register, carryAnc uint) {
+	lo := circ.Len()
 	for _, q := range b {
 		circ.Append(gates.X(q))
 	}
@@ -108,6 +130,7 @@ func Subtractor(circ *circuit.Circuit, a, b Register, carryAnc uint) {
 	for _, q := range b {
 		circ.Append(gates.X(q))
 	}
+	circ.Annotate(circuit.Region{Name: "sub", Args: arithArgs(a, b, carryAnc), Lo: lo, Hi: circ.Len()})
 }
 
 // ControlledAdder appends b += a (mod 2^w) conditioned on every control
@@ -133,16 +156,28 @@ func ControlledSubtractor(circ *circuit.Circuit, a, b Register, carryAnc uint, c
 // ancilla. For each bit i of a it adds (b << i) into c, controlled on a_i,
 // using a controlled Cuccaro adder of width m-i.
 //
-// Layout: (a, b, c=0) -> (a, b, a*b mod 2^m), total 3m+1 qubits.
+// Layout: (a, b, c=0) -> (a, b, a*b mod 2^m), total 3m+1 qubits. The
+// whole range is annotated as a "mul" region (args: m, then the a, b, c
+// bits and the carry ancilla) for the emulation dispatcher.
 func Multiplier(circ *circuit.Circuit, a, b, c Register, carryAnc uint) {
 	m := a.Width()
 	if b.Width() != m || c.Width() != m {
 		panic("revlib: multiplier register widths differ")
 	}
+	lo := circ.Len()
 	for i := uint(0); i < m; i++ {
 		// c[i..m) += b[0..m-i), controlled on a[i].
 		ControlledAdder(circ, b.Slice(0, m-i), c.Slice(i, m), carryAnc, a[i])
 	}
+	args := make([]uint64, 0, 3*m+2)
+	args = append(args, uint64(m))
+	for _, reg := range []Register{a, b, c} {
+		for _, q := range reg {
+			args = append(args, uint64(q))
+		}
+	}
+	args = append(args, uint64(carryAnc))
+	circ.Annotate(circuit.Region{Name: "mul", Args: args, Lo: lo, Hi: circ.Len()})
 }
 
 // DividerLayout describes the qubit layout Divider uses, so callers (and
@@ -185,11 +220,15 @@ func NewDividerLayout(m uint) DividerLayout {
 // (zero-extended) divisor from the window, copies the window's sign bit
 // into q_i, adds the divisor back conditioned on q_i (the restore), and
 // flips q_i so it records the quotient bit. All work qubits end clean.
+// The whole range is annotated as a "div" region (args: m, then the R, B
+// and Q bits, the zero-extension ancilla and the carry ancilla), absorbing
+// the inner "sub" markers of the per-step subtractors.
 func Divider(circ *circuit.Circuit, l DividerLayout) {
 	m := l.M
 	if m == 0 {
 		return
 	}
+	lo := circ.Len()
 	bExt := append(append(Register{}, l.B...), l.BZ) // divisor zero-extended to m+1 bits
 	for step := int(m) - 1; step >= 0; step-- {
 		i := uint(step)
@@ -200,6 +239,15 @@ func Divider(circ *circuit.Circuit, l DividerLayout) {
 		ControlledAdder(circ, bExt, window, l.CarryAnc, l.Q[i])
 		circ.Append(gates.X(l.Q[i])) // q_i = 1  <=>  subtraction stood
 	}
+	args := make([]uint64, 0, 4*m+3)
+	args = append(args, uint64(m))
+	for _, reg := range []Register{l.R, l.B, l.Q} {
+		for _, q := range reg {
+			args = append(args, uint64(q))
+		}
+	}
+	args = append(args, uint64(l.BZ), uint64(l.CarryAnc))
+	circ.Annotate(circuit.Region{Name: "div", Args: args, Lo: lo, Hi: circ.Len()})
 }
 
 // MultiplierLayout mirrors DividerLayout for the product circuit:

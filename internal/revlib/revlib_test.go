@@ -1,9 +1,10 @@
-package revlib
+package revlib_test
 
 import (
 	"testing"
 
 	"repro/internal/circuit"
+	"repro/internal/revlib"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/statevec"
@@ -41,9 +42,9 @@ func TestAdderExhaustive(t *testing.T) {
 	// All operand pairs for small widths: (a, b) -> (a, a+b mod 2^w).
 	for w := uint(1); w <= 4; w++ {
 		circ := circuit.New(2*w + 1)
-		a, b := Seq(0, w), Seq(w, w)
+		a, b := revlib.Seq(0, w), revlib.Seq(w, w)
 		anc := 2 * w
-		Adder(circ, a, b, anc)
+		revlib.Adder(circ, a, b, anc)
 		for av := uint64(0); av < 1<<w; av++ {
 			for bv := uint64(0); bv < 1<<w; bv++ {
 				in := av | bv<<w
@@ -62,7 +63,7 @@ func TestAdderRestoresAncillaFromDirtyB(t *testing.T) {
 	// Ancilla must end clean for every input (it is the carry-in = 0).
 	w := uint(3)
 	circ := circuit.New(2*w + 1)
-	Adder(circ, Seq(0, w), Seq(w, w), 2*w)
+	revlib.Adder(circ, revlib.Seq(0, w), revlib.Seq(w, w), 2*w)
 	for in := uint64(0); in < 1<<(2*w); in++ {
 		out := runOnBasis(t, circ, in)
 		if out>>(2*w) != 0 {
@@ -74,10 +75,10 @@ func TestAdderRestoresAncillaFromDirtyB(t *testing.T) {
 func TestAdderWithCarryOut(t *testing.T) {
 	w := uint(3)
 	circ := circuit.New(2*w + 2)
-	Adder := func() {
-		AdderWithCarryOut(circ, Seq(0, w), Seq(w, w), 2*w, 2*w+1)
+	addWithCarry := func() {
+		revlib.AdderWithCarryOut(circ, revlib.Seq(0, w), revlib.Seq(w, w), 2*w, 2*w+1)
 	}
-	Adder()
+	addWithCarry()
 	for av := uint64(0); av < 1<<w; av++ {
 		for bv := uint64(0); bv < 1<<w; bv++ {
 			in := av | bv<<w
@@ -94,7 +95,7 @@ func TestAdderWithCarryOut(t *testing.T) {
 func TestSubtractorExhaustive(t *testing.T) {
 	w := uint(3)
 	circ := circuit.New(2*w + 1)
-	Subtractor(circ, Seq(0, w), Seq(w, w), 2*w)
+	revlib.Subtractor(circ, revlib.Seq(0, w), revlib.Seq(w, w), 2*w)
 	for av := uint64(0); av < 1<<w; av++ {
 		for bv := uint64(0); bv < 1<<w; bv++ {
 			in := av | bv<<w
@@ -112,7 +113,7 @@ func TestControlledAdder(t *testing.T) {
 	w := uint(2)
 	// Layout: a[2] b[2] anc ctl.
 	circ := circuit.New(2*w + 2)
-	ControlledAdder(circ, Seq(0, w), Seq(w, w), 2*w, 2*w+1)
+	revlib.ControlledAdder(circ, revlib.Seq(0, w), revlib.Seq(w, w), 2*w, 2*w+1)
 	for ctl := uint64(0); ctl <= 1; ctl++ {
 		for av := uint64(0); av < 1<<w; av++ {
 			for bv := uint64(0); bv < 1<<w; bv++ {
@@ -133,8 +134,8 @@ func TestControlledAdder(t *testing.T) {
 
 func TestMultiplierExhaustive(t *testing.T) {
 	for _, m := range []uint{2, 3} {
-		l := NewMultiplierLayout(m)
-		circ := BuildMultiplier(l)
+		l := revlib.NewMultiplierLayout(m)
+		circ := revlib.BuildMultiplier(l)
 		mask := uint64(1)<<m - 1
 		for av := uint64(0); av <= mask; av++ {
 			for bv := uint64(0); bv <= mask; bv++ {
@@ -152,8 +153,8 @@ func TestMultiplierExhaustive(t *testing.T) {
 func TestMultiplierOnDirtyC(t *testing.T) {
 	// The circuit computes c += a*b for any initial c.
 	m := uint(2)
-	l := NewMultiplierLayout(m)
-	circ := BuildMultiplier(l)
+	l := revlib.NewMultiplierLayout(m)
+	circ := revlib.BuildMultiplier(l)
 	mask := uint64(3)
 	for av := uint64(0); av <= mask; av++ {
 		for bv := uint64(0); bv <= mask; bv++ {
@@ -171,8 +172,8 @@ func TestMultiplierOnDirtyC(t *testing.T) {
 
 func TestDividerExhaustive(t *testing.T) {
 	for _, m := range []uint{2, 3} {
-		l := NewDividerLayout(m)
-		circ := BuildDivider(l)
+		l := revlib.NewDividerLayout(m)
+		circ := revlib.BuildDivider(l)
 		mask := uint64(1)<<m - 1
 		for av := uint64(0); av <= mask; av++ {
 			for bv := uint64(1); bv <= mask; bv++ { // divisor != 0
@@ -194,8 +195,8 @@ func TestDividerWorkQubitsClean(t *testing.T) {
 	// High half of R and the two ancillas must return to |0> for every
 	// valid input — the uncomputation guarantee.
 	m := uint(3)
-	l := NewDividerLayout(m)
-	circ := BuildDivider(l)
+	l := revlib.NewDividerLayout(m)
+	circ := revlib.BuildDivider(l)
 	mask := uint64(7)
 	for av := uint64(0); av <= mask; av++ {
 		for bv := uint64(1); bv <= mask; bv++ {
@@ -214,7 +215,7 @@ func TestComparatorExhaustive(t *testing.T) {
 	w := uint(3)
 	// Layout: a[3] b[3] anc target.
 	circ := circuit.New(2*w + 2)
-	Comparator(circ, Seq(0, w), Seq(w, w), 2*w, 2*w+1)
+	revlib.Comparator(circ, revlib.Seq(0, w), revlib.Seq(w, w), 2*w, 2*w+1)
 	for av := uint64(0); av < 1<<w; av++ {
 		for bv := uint64(0); bv < 1<<w; bv++ {
 			in := av | bv<<w
@@ -237,7 +238,7 @@ func TestArithmeticOnSuperposition(t *testing.T) {
 	w := uint(3)
 	n := 2*w + 1
 	circ := circuit.New(n)
-	Adder(circ, Seq(0, w), Seq(w, w), 2*w)
+	revlib.Adder(circ, revlib.Seq(0, w), revlib.Seq(w, w), 2*w)
 
 	st := statevec.NewRandom(n, src)
 	want := st.Clone()

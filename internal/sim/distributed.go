@@ -32,6 +32,9 @@ func NewDistributed(n uint, opts Options) (*Distributed, error) {
 	if p&(p-1) != 0 {
 		return nil, fmt.Errorf("sim: distributed node count %d is not a power of two", p)
 	}
+	if opts.Emulate != EmulateOff {
+		return nil, fmt.Errorf("sim: emulation dispatch (Options.Emulate) is single-node only")
+	}
 	if opts.MaxLocalQubits > 0 {
 		for nodeBits(p) < n && n-nodeBits(p) > opts.MaxLocalQubits {
 			p *= 2

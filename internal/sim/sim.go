@@ -21,7 +21,26 @@ import (
 	"repro/internal/fuse"
 	"repro/internal/gates"
 	"repro/internal/linalg"
+	"repro/internal/recognize"
 	"repro/internal/statevec"
+)
+
+// EmulateMode selects the emulation-dispatch behaviour of the paper's
+// Section 3: Off runs everything gate-level, Annotated lowers explicitly
+// annotated circuit regions to classical shortcuts (FFT, basis-state
+// permutations, diagonal multiplies), Auto additionally pattern-matches
+// unannotated QFT ladders, revlib arithmetic shapes, phase flips and
+// diagonal runs. See internal/recognize for the recognition rules and
+// fallback guarantees.
+type EmulateMode = recognize.Mode
+
+const (
+	// EmulateOff disables emulation dispatch (the default).
+	EmulateOff = recognize.Off
+	// EmulateAnnotated trusts circuit.Region annotations only.
+	EmulateAnnotated = recognize.Annotated
+	// EmulateAuto also pattern-matches unannotated gate runs.
+	EmulateAuto = recognize.Auto
 )
 
 // Backend executes circuits against a state vector.
@@ -70,6 +89,13 @@ type Options struct {
 	// the way a real deployment sizes P from per-node memory. Like
 	// Nodes, it is only meaningful to NewDistributed.
 	MaxLocalQubits uint
+	// Emulate enables emulation dispatch: Run analyses each circuit with
+	// internal/recognize and executes recognised subroutines (QFT regions,
+	// reversible arithmetic, phase oracles) as classical shortcuts,
+	// handing everything else to the configured gate-level path. Only the
+	// single-address-space simulator honours it; NewDistributed rejects
+	// it.
+	Emulate EmulateMode
 }
 
 // DefaultOptions enables every optimisation at the paper's setting:
@@ -128,10 +154,47 @@ func (s *Simulator) ApplyGate(g gates.Gate) {
 	}
 }
 
-// Run executes the circuit with the configured fusion strategy: multi-qubit
-// block fusion when FuseWidth >= 2, same-target single-qubit fusion when
-// Fuse is set, gate-by-gate otherwise.
+// Run executes the circuit. With Options.Emulate set, the circuit is
+// first analysed by internal/recognize and recognised subroutines run as
+// classical shortcuts (Section 3 of the paper); the remaining gate ranges
+// — and the whole circuit when emulation is off — execute with the
+// configured fusion strategy: multi-qubit block fusion when FuseWidth >=
+// 2, same-target single-qubit fusion when Fuse is set, gate-by-gate
+// otherwise.
 func (s *Simulator) Run(c *circuit.Circuit) {
+	if s.opts.Emulate != EmulateOff {
+		s.RunEmulationPlan(c, recognize.Analyze(c, recognize.DefaultOptions(s.opts.Emulate)))
+		return
+	}
+	s.runGates(c)
+}
+
+// RunEmulationPlan executes a circuit through a prebuilt emulation-
+// dispatch plan (see PlanEmulation / recognize.Analyze): recognised ops
+// apply their shortcut directly to the state, gate segments run through
+// the configured gate-level path. Callers repeating one circuit amortise
+// the recognition cost exactly as RunPlan amortises fusion planning.
+func (s *Simulator) RunEmulationPlan(c *circuit.Circuit, p *recognize.Plan) {
+	if p.NumGates != c.Len() || p.NumQubits != c.NumQubits {
+		panic("sim: emulation plan does not match circuit")
+	}
+	for _, seg := range p.Segments {
+		if seg.Op != nil {
+			seg.Op.Apply(s.state)
+			continue
+		}
+		s.runGates(&circuit.Circuit{NumQubits: c.NumQubits, Gates: c.Gates[seg.Lo:seg.Hi]})
+	}
+}
+
+// PlanEmulation analyses c for emulatable subroutines at the given mode.
+func PlanEmulation(c *circuit.Circuit, mode EmulateMode) *recognize.Plan {
+	return recognize.Analyze(c, recognize.DefaultOptions(mode))
+}
+
+// runGates is the gate-level execution path shared by Run and the
+// unrecognised segments of an emulation plan.
+func (s *Simulator) runGates(c *circuit.Circuit) {
 	if s.opts.FuseWidth >= 2 {
 		s.RunPlan(fuse.New(c, s.opts.FuseWidth))
 		return

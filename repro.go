@@ -14,8 +14,9 @@
 //     linear algebra, and measurement statistics are read off exactly.
 //
 // The facade re-exports the most commonly used constructors; the full API
-// lives in the internal packages (core, sim, statevec, circuit, gates,
-// qft, qpe, revlib, cluster, linalg, fft, perfmodel).
+// lives in the internal packages (core, sim, recognize, fuse, statevec,
+// circuit, gates, qasm, qft, qpe, revlib, cluster, linalg, fft,
+// perfmodel).
 package repro
 
 import (
@@ -24,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fuse"
 	"repro/internal/gates"
+	"repro/internal/recognize"
 	"repro/internal/sim"
 	"repro/internal/statevec"
 )
@@ -67,6 +69,29 @@ type SimOptions = sim.Options
 // commutation-aware gate-fusion scheduler; see internal/fuse.
 type FusionPlan = fuse.Plan
 
+// EmulateMode selects the emulation-dispatch behaviour of SimOptions:
+// EmulateOff (default), EmulateAnnotated (trust circuit region
+// annotations) or EmulateAuto (also pattern-match unannotated QFT
+// ladders, revlib arithmetic shapes, phase oracles and diagonal runs).
+// See internal/recognize.
+type EmulateMode = sim.EmulateMode
+
+// Emulation-dispatch modes for SimOptions.Emulate.
+const (
+	EmulateOff       = sim.EmulateOff
+	EmulateAnnotated = sim.EmulateAnnotated
+	EmulateAuto      = sim.EmulateAuto
+)
+
+// EmulationPlan is a dispatch schedule interleaving recognised emulator
+// shortcuts with gate-level segments; see internal/recognize.
+type EmulationPlan = recognize.Plan
+
+// Region annotates a circuit gate range as a named subroutine the
+// emulation dispatcher can lower; see internal/recognize for the
+// vocabulary.
+type Region = circuit.Region
+
 // NewEmulator returns an emulator over a fresh |0...0> register of n
 // qubits.
 func NewEmulator(n uint) *Emulator { return core.New(n) }
@@ -85,6 +110,21 @@ func NewSimulatorWithOptions(n uint, opts SimOptions) *Simulator {
 // PlanFusion builds a width-k fused execution schedule for c, reusable
 // across runs via Simulator.RunPlan; see internal/fuse.
 func PlanFusion(c *Circuit, width int) *FusionPlan { return fuse.New(c, width) }
+
+// NewEmulatingSimulator returns a simulator with emulation dispatch in
+// Auto mode on top of the default optimisations: circuits run through the
+// paper's Section 3 shortcuts wherever subroutines are annotated or
+// recognised, and through the fused gate kernels elsewhere.
+func NewEmulatingSimulator(n uint) *Simulator {
+	return sim.NewWithOptions(n, sim.Options{Specialize: true, Fuse: true, Emulate: sim.EmulateAuto})
+}
+
+// PlanEmulation analyses a circuit for emulatable subroutines at the
+// given mode; the plan is reusable across runs via
+// Simulator.RunEmulationPlan.
+func PlanEmulation(c *Circuit, mode EmulateMode) *EmulationPlan {
+	return sim.PlanEmulation(c, mode)
+}
 
 // NewCircuit returns an empty circuit over n qubits.
 func NewCircuit(n uint) *Circuit { return circuit.New(n) }
