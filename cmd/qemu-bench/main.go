@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	qemu-bench [-experiment all|fig1|...|fig6|table2|measure|mathfunc|fusion|cluster]
+//	qemu-bench [-experiment all|fig1|...|fig6|table2|measure|mathfunc|fusion|cluster|cluster-emulate]
 //	           [-quick] [-max-sim-m M] [-max-emu-m M] [-local-qubits L]
 //	           [-max-nodes P] [-max-qubits N] [-max-measured-n N] [-fuse-width K]
 //
@@ -92,6 +92,18 @@ func (c *collector) addCluster(rows []experiments.ClusterRow) {
 	}
 }
 
+func (c *collector) addClusterEmulate(rows []experiments.ClusterEmulateRow) {
+	for _, r := range rows {
+		circuit := fmt.Sprintf("%s-p%d", r.Circuit, r.Nodes)
+		c.records = append(c.records,
+			benchjson.Record{Experiment: "cluster-emulate", Circuit: circuit, Series: "gate-scheduled",
+				Qubits: r.Qubits, NsPerOp: r.TGate * 1e9, BytesPerOp: r.GateBytes, Rounds: r.GateRounds},
+			benchjson.Record{Experiment: "cluster-emulate", Circuit: circuit, Series: "emulated",
+				Qubits: r.Qubits, NsPerOp: r.TEmu * 1e9, BytesPerOp: r.EmuBytes, Rounds: r.EmuRounds},
+		)
+	}
+}
+
 func (c *collector) addEmulate(rows []experiments.EmulateRow) {
 	for _, r := range rows {
 		c.add("emulate", r.Name, "simulation", r.Qubits, r.TSim, 0)
@@ -117,7 +129,7 @@ func (c *collector) write(path string) error {
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "which experiment to run (all, fig1, fig2, fig3, fig4, fig5, fig6, table2, measure, mathfunc, fusion, emulate, cluster)")
+		experiment   = flag.String("experiment", "all", "which experiment to run (all, fig1, fig2, fig3, fig4, fig5, fig6, table2, measure, mathfunc, fusion, emulate, cluster, cluster-emulate)")
 		quick        = flag.Bool("quick", false, "shrink every sweep for a fast smoke run")
 		maxSimM      = flag.Uint("max-sim-m", 0, "override: largest simulated operand width for fig1/fig2")
 		maxEmuM      = flag.Uint("max-emu-m", 0, "override: largest emulated operand width for fig1/fig2")
@@ -294,6 +306,25 @@ func main() {
 		rows := experiments.Cluster(cfg)
 		col.addCluster(rows)
 		fmt.Println(experiments.FormatCluster(rows))
+	}
+	if run("cluster-emulate") {
+		ran = true
+		cfg := experiments.DefaultClusterEmulate()
+		if *quick {
+			cfg.LocalQubits = 12
+		}
+		if *localQubits > 0 {
+			cfg.LocalQubits = *localQubits
+		}
+		if *maxNodes > 0 {
+			cfg.MaxNodes = *maxNodes
+		}
+		if *fuseWidth > 0 {
+			cfg.FuseWidth = *fuseWidth
+		}
+		rows := experiments.ClusterEmulate(cfg)
+		col.addClusterEmulate(rows)
+		fmt.Println(experiments.FormatClusterEmulate(rows))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)

@@ -1,6 +1,10 @@
 // Command qemu-run executes a circuit file (the qasm text format of
 // internal/qasm) on a chosen back-end and reports the resulting state or
-// measurement statistics.
+// measurement statistics. It is a thin shell over the repro.Open unified
+// backend API: every configuration — fused simulator, structure-blind and
+// sparse baselines, emulation dispatch, the distributed engine — opens
+// through the same constructor, compiles through the same pass pipeline,
+// and reports the same Result.
 //
 // Usage:
 //
@@ -8,23 +12,22 @@
 //	         [-emulate off|annotated|auto] [-nodes P] [-shots K] [-top N]
 //	         [-seed S] circuit.qc
 //
-// -fuse-width K (with the default "ours" back-end) enables multi-qubit
-// block fusion: consecutive gates whose combined support fits in K qubits
-// are merged into one dense 2^K block applied in a single sweep, and the
-// resulting schedule statistics are printed.
+// -fuse-width K enables multi-qubit block fusion: consecutive gates whose
+// combined support fits in K qubits are merged into one dense 2^K block
+// applied in a single sweep.
 //
-// -emulate annotated|auto (with the default "ours" back-end) turns on
-// emulation dispatch: the circuit is analysed by internal/recognize and
-// recognised subroutines (region-annotated or pattern-matched QFTs,
-// reversible arithmetic, phase oracles) execute as classical shortcuts,
-// with everything else on the fused gate path. The recognition report —
-// every lowered region, its source (annotated/matched) and whether its
-// unitary was verified — is printed before the run.
+// -emulate annotated|auto turns on emulation dispatch: the circuit is
+// analysed by internal/recognize and recognised subroutines
+// (region-annotated or pattern-matched QFTs, reversible arithmetic, phase
+// oracles) execute as classical shortcuts. -backend emulator is shorthand
+// for -emulate auto.
 //
-// -nodes P shards the register across P emulated cluster nodes and runs
-// the circuit through the communication-avoiding scheduler of
-// internal/cluster, printing the planned remap rounds and the measured
-// communication (rounds, messages, bytes) afterwards.
+// -nodes P shards the register across P emulated cluster nodes running
+// the communication-avoiding scheduler of internal/cluster. Emulation
+// dispatch combines with it: recognised full-register QFT regions execute
+// as the four-step distributed FFT and arithmetic regions as one
+// cluster-wide permutation, with the measured communication (rounds,
+// messages, bytes) reported afterwards.
 //
 // With -shots 0 (default) the full amplitude listing of the -top most
 // probable basis states is printed — the emulator's "complete distribution
@@ -39,25 +42,20 @@ import (
 	"sort"
 
 	"repro"
-	"repro/internal/circuit"
-	"repro/internal/cluster"
-	"repro/internal/core"
-	"repro/internal/fuse"
 	"repro/internal/qasm"
 	"repro/internal/rng"
-	"repro/internal/sim"
 	"repro/internal/statevec"
 )
 
 func main() {
 	var (
-		backend   = flag.String("backend", "ours", "back-end: ours, generic, sparse, emulator")
-		fuseWidth = flag.Int("fuse-width", 0, "multi-qubit fusion width for the ours back-end (0 = classic same-target fusion)")
-		emulate   = flag.String("emulate", "off", "emulation dispatch for the ours back-end: off, annotated, auto")
-		nodes     = flag.Int("nodes", 0, "shard the register across this many emulated cluster nodes (power of two; ours back-end only)")
-		shots     = flag.Int("shots", 0, "number of measurement samples to draw (0 = none)")
-		top       = flag.Int("top", 16, "number of basis states to list")
-		seed      = flag.Uint64("seed", 1, "measurement RNG seed")
+		backendName = flag.String("backend", "ours", "back-end: ours, generic, sparse, emulator")
+		fuseWidth   = flag.Int("fuse-width", 0, "multi-qubit fusion width (0 = classic same-target fusion)")
+		emulate     = flag.String("emulate", "", "emulation dispatch: off, annotated, auto (default off; -backend emulator implies auto)")
+		nodes       = flag.Int("nodes", 0, "shard the register across this many emulated cluster nodes (power of two)")
+		shots       = flag.Int("shots", 0, "number of measurement samples to draw (0 = none)")
+		top         = flag.Int("top", 16, "number of basis states to list")
+		seed        = flag.Uint64("seed", 1, "measurement RNG seed")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -65,13 +63,66 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *backend, *fuseWidth, *emulate, *nodes, *shots, *top, *seed); err != nil {
+	if err := run(flag.Arg(0), *backendName, *fuseWidth, *emulate, *nodes, *shots, *top, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "qemu-run:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, backend string, fuseWidth int, emulate string, nodes, shots, top int, seed uint64) error {
+// options translates the flag surface into Open options.
+func options(backendName string, fuseWidth int, emulate string, nodes int) ([]repro.OpenOption, error) {
+	var opts []repro.OpenOption
+	baseline := false
+	emulatorBackend := false
+	switch backendName {
+	case "ours", "":
+	case "emulator":
+		emulatorBackend = true
+	case "generic":
+		opts = append(opts, repro.WithGenericKernels())
+		baseline = true
+	case "sparse":
+		opts = append(opts, repro.WithSparseKernels())
+		baseline = true
+	default:
+		return nil, fmt.Errorf("unknown backend %q (ours, generic, sparse, emulator)", backendName)
+	}
+	if fuseWidth >= 2 {
+		if baseline {
+			return nil, fmt.Errorf("-fuse-width applies to the ours back-end, not %q", backendName)
+		}
+		opts = append(opts, repro.WithFusion(fuseWidth))
+	}
+	if emulate != "" && baseline {
+		return nil, fmt.Errorf("-emulate applies to the ours back-end, not %q", backendName)
+	}
+	switch emulate {
+	case "":
+		// -backend emulator is emulation; default its mode to auto.
+		if emulatorBackend {
+			opts = append(opts, repro.WithEmulation(repro.EmulateAuto))
+		}
+	case "off":
+		if emulatorBackend {
+			return nil, fmt.Errorf("-backend emulator contradicts -emulate off (use -backend ours)")
+		}
+	case "annotated":
+		opts = append(opts, repro.WithEmulation(repro.EmulateAnnotated))
+	case "auto":
+		opts = append(opts, repro.WithEmulation(repro.EmulateAuto))
+	default:
+		return nil, fmt.Errorf("unknown -emulate mode %q (off, annotated, auto)", emulate)
+	}
+	if nodes > 1 {
+		if baseline {
+			return nil, fmt.Errorf("-nodes applies to the ours back-end, not %q", backendName)
+		}
+		opts = append(opts, repro.WithNodes(nodes))
+	}
+	return opts, nil
+}
+
+func run(path, backendName string, fuseWidth int, emulate string, nodes, shots, top int, seed uint64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -87,39 +138,45 @@ func run(path, backend string, fuseWidth int, emulate string, nodes, shots, top 
 	}
 	fmt.Printf("circuit: %d qubits, %d gates, depth %d\n",
 		circ.NumQubits, circ.Len(), circ.Depth())
-	var st *statevec.State
-	if nodes > 1 {
-		if backend != "ours" && backend != "" {
-			return fmt.Errorf("-nodes applies to the ours back-end, not %q", backend)
-		}
-		if emulate != "off" && emulate != "" {
-			return fmt.Errorf("-emulate is single-node only")
-		}
-		d, err := sim.NewDistributed(circ.NumQubits, sim.Options{Nodes: nodes})
-		if err != nil {
-			return err
-		}
-		// Plan once, print the communication plan, execute the same
-		// schedule — the pipeline sim.Distributed.Run runs implicitly.
-		plan := fuse.New(circ, cluster.ClampFuseWidth(fuseWidth, d.Cluster().L))
-		sched, err := repro.PlanCluster(plan, circ.NumQubits, d.Cluster().L)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("cluster: %d nodes x 2^%d amplitudes; schedule: %d rounds (%d remaps + %d exchange gates) for %d gates\n",
-			d.Cluster().P, d.Cluster().L, sched.Rounds, sched.Remaps, sched.ExchangeGates, sched.Gates)
-		d.Cluster().RunSchedule(sched)
-		cs := d.Cluster().Stats.Snapshot()
-		fmt.Printf("communication: %d rounds, %d messages, %.1f MB moved\n",
-			cs.Rounds, cs.Messages, float64(cs.BytesSent)/(1<<20))
-		st = d.State()
-	} else {
-		st = statevec.New(circ.NumQubits)
-		if err := execute(circ, st, backend, fuseWidth, emulate); err != nil {
-			return err
-		}
+
+	opts, err := options(backendName, fuseWidth, emulate, nodes)
+	if err != nil {
+		return err
+	}
+	b, err := repro.Open(circ.NumQubits, opts...)
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+
+	x, err := repro.Compile(circ, b.Target())
+	if err != nil {
+		return err
+	}
+	t := b.Target()
+	if t.Nodes > 1 {
+		fmt.Printf("cluster: %d nodes x 2^%d amplitudes; gate schedule: %d planned rounds (%d remaps) for %d gates\n",
+			t.Nodes, t.LocalQubits(), x.PlannedRounds, x.PlannedRemaps, x.NumGates-x.EmulatedGates)
+	}
+	res, err := b.Run(x)
+	if err != nil {
+		return err
 	}
 
+	// The unified Result: emulated regions, fused blocks, communication.
+	fmt.Printf("run: %v\n", res)
+	for _, r := range res.Emulated {
+		fmt.Printf("  emulated %v\n", r)
+	}
+	for _, sk := range res.Skipped {
+		fmt.Printf("  region %s [%d,%d) skipped: %s\n", sk.Name, sk.Lo, sk.Hi, sk.Reason)
+	}
+	if res.Comm.Rounds > 0 {
+		fmt.Printf("communication: %d rounds, %d messages, %.1f MB moved\n",
+			res.Comm.Rounds, res.Comm.Messages, float64(res.Comm.BytesSent)/(1<<20))
+	}
+
+	st := b.State()
 	type entry struct {
 		idx  uint64
 		prob float64
@@ -145,7 +202,7 @@ func run(path, backend string, fuseWidth int, emulate string, nodes, shots, top 
 	if shots > 0 {
 		src := rng.New(seed)
 		counts := make(map[uint64]int)
-		for _, x := range st.SampleMany(shots, src) {
+		for _, x := range b.SampleMany(shots, src) {
 			counts[x]++
 		}
 		fmt.Printf("%d measurement samples:\n", shots)
@@ -168,55 +225,6 @@ func run(path, backend string, fuseWidth int, emulate string, nodes, shots, top 
 			}
 			fmt.Printf("  |%0*b>  %d\n", circ.NumQubits, k, counts[k])
 		}
-	}
-	return nil
-}
-
-func execute(circ *circuit.Circuit, st *statevec.State, backend string, fuseWidth int, emulate string) error {
-	if fuseWidth >= 2 && backend != "ours" && backend != "" {
-		return fmt.Errorf("-fuse-width applies to the ours back-end, not %q", backend)
-	}
-	var mode sim.EmulateMode
-	switch emulate {
-	case "off", "":
-		mode = sim.EmulateOff
-	case "annotated":
-		mode = sim.EmulateAnnotated
-	case "auto":
-		mode = sim.EmulateAuto
-	default:
-		return fmt.Errorf("unknown -emulate mode %q (off, annotated, auto)", emulate)
-	}
-	if mode != sim.EmulateOff && backend != "ours" && backend != "" {
-		return fmt.Errorf("-emulate applies to the ours back-end, not %q", backend)
-	}
-	switch backend {
-	case "ours", "":
-		if mode != sim.EmulateOff {
-			plan := sim.PlanEmulation(circ, mode)
-			fmt.Printf("emulation (%s): %v\n", emulate, plan.Stats())
-			if rep := plan.Describe(); rep != "" {
-				fmt.Print(rep)
-			}
-			s := sim.Wrap(st, sim.Options{Specialize: true, Fuse: true, FuseWidth: fuseWidth})
-			s.RunEmulationPlan(circ, plan)
-			break
-		}
-		if fuseWidth >= 2 {
-			plan := fuse.New(circ, fuseWidth)
-			fmt.Printf("fusion (width %d): %v\n", plan.Width, plan.Stats())
-			sim.Wrap(st, sim.WideFusionOptions(fuseWidth)).RunPlan(plan)
-			break
-		}
-		sim.Wrap(st, sim.DefaultOptions()).Run(circ)
-	case "generic":
-		sim.WrapGeneric(st).Run(circ)
-	case "sparse":
-		sim.WrapSparseMatrix(st).Run(circ)
-	case "emulator":
-		core.Wrap(st).Run(circ)
-	default:
-		return fmt.Errorf("unknown backend %q", backend)
 	}
 	return nil
 }

@@ -1,9 +1,11 @@
-// Grover: unstructured search with an emulated oracle. The oracle — a
-// classical predicate lifted to a phase flip — is exactly the kind of
-// classical function Section 3.1 says an emulator should evaluate directly
-// instead of compiling to a reversible circuit. The diffusion operator runs
-// at gate level, showing the two execution models mixing freely on one
-// state.
+// Grover: unstructured search through the unified backend API. The whole
+// algorithm is written as an ordinary gate-level circuit — X-conjugated
+// multi-controlled-Z oracles and H/X-conjugated diffusions — and run
+// twice through repro.Open: once simulating every gate, once with
+// emulation dispatch, whose compiler recognises each oracle as a phase
+// flip (one sign flip per basis pattern) and each diffusion as the
+// Householder reflection I - 2|s><s| (two linear passes), the classical
+// shortcuts of the paper's Section 3.1.
 package main
 
 import (
@@ -11,50 +13,55 @@ import (
 	"math"
 
 	"repro"
-	"repro/internal/gates"
+	"repro/internal/experiments"
 )
 
 func main() {
 	const n = 10 // search over 2^10 = 1024 items
 	const marked = 0b1011001110
 
-	e := repro.NewEmulator(n)
-	for q := uint(0); q < n; q++ {
-		e.ApplyGate(gates.H(q))
-	}
-
 	iterations := int(math.Round(math.Pi / 4 * math.Sqrt(float64(uint64(1)<<n))))
 	fmt.Printf("searching %d items for %#b with %d Grover iterations\n",
 		1<<n, marked, iterations)
 
-	oracle := func(x uint64) complex128 {
-		if x == marked {
-			return -1
-		}
-		return 1
+	// The gate-level Grover network (with its subroutine annotations).
+	circ := experiments.GroverGateLevel(n, marked, iterations)
+	fmt.Printf("circuit: %d gates\n", circ.Len())
+
+	// Gate-level baseline.
+	simB, err := repro.Open(n, repro.WithFusion(3))
+	if err != nil {
+		panic(err)
 	}
-	for i := 0; i < iterations; i++ {
-		// Oracle: emulated phase flip on the marked item.
-		e.ApplyPhaseOracle(oracle)
-		// Diffusion: H^n, phase flip about |0...0>, H^n — gate level except
-		// the inner flip, which is again an emulated diagonal.
-		for q := uint(0); q < n; q++ {
-			e.ApplyGate(gates.H(q))
-		}
-		e.ApplyPhaseOracle(func(x uint64) complex128 {
-			if x == 0 {
-				return -1
-			}
-			return 1
-		})
-		for q := uint(0); q < n; q++ {
-			e.ApplyGate(gates.H(q))
-		}
+	simX, err := repro.Compile(circ, simB.Target())
+	if err != nil {
+		panic(err)
 	}
+	simRes, err := simB.Run(simX)
+	if err != nil {
+		panic(err)
+	}
+
+	// Emulation dispatch: oracles become phase flips, diffusions become
+	// reflections.
+	emuB, err := repro.Open(n, repro.WithEmulation(repro.EmulateAuto))
+	if err != nil {
+		panic(err)
+	}
+	emuX, err := repro.Compile(circ, emuB.Target())
+	if err != nil {
+		panic(err)
+	}
+	emuRes, err := emuB.Run(emuX)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("gate level: %v\nemulated:   %v\n", simRes, emuRes)
+	fmt.Printf("backends agree to %.2e\n", simB.State().MaxDiff(emuB.State()))
 
 	// Exact readout (Section 3.4): no sampling loop needed to see the
 	// success probability.
-	probs := e.Probabilities()
+	probs := emuB.State().Probabilities()
 	fmt.Printf("P(marked) = %.6f\n", probs[marked])
 	best, bp := 0, 0.0
 	for i, p := range probs {

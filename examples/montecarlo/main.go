@@ -10,7 +10,8 @@
 //
 // The payoff rotation is a per-basis-state 2x2 on the ancilla — block
 // structure a gate-level simulator would realise as a long sequence of
-// controlled rotations, and which the emulator applies directly.
+// controlled rotations, and which is applied here directly to the
+// repro.Open backend's state.
 package main
 
 import (
@@ -36,14 +37,17 @@ func main() {
 		return v
 	}
 
-	e := repro.NewEmulator(n + 1)
+	b, err := repro.Open(n + 1)
+	if err != nil {
+		panic(err)
+	}
 	// Uniform superposition over the sample register.
 	for q := uint(0); q < n; q++ {
-		e.ApplyGate(gates.H(q))
+		b.ApplyGate(gates.H(q))
 	}
 	// Amplitude encoding: |x>|0> -> |x>(cos t_x |0> + sin t_x |1>) with
 	// sin^2 t_x = payoff(x). Emulated as the block-diagonal operator it is.
-	amps := e.State().Amplitudes()
+	amps := b.State().Amplitudes()
 	for x := uint64(0); x < uint64(1)<<n; x++ {
 		theta := math.Asin(math.Sqrt(payoff(x)))
 		c, s := complex(math.Cos(theta), 0), complex(math.Sin(theta), 0)
@@ -53,7 +57,7 @@ func main() {
 	}
 
 	// (2) Emulated readout: P(ancilla = 1) = E[payoff], exactly, one pass.
-	exact := e.State().Probability(anc)
+	exact := b.Probability(anc)
 
 	// (3) Classical reference.
 	var ref float64
@@ -68,7 +72,7 @@ func main() {
 	fmt.Printf("           |difference| = %.2e\n", math.Abs(exact-ref))
 	for _, shots := range []int{100, 10000, 1000000} {
 		hits := 0
-		for _, outcome := range e.State().SampleMany(shots, src) {
+		for _, outcome := range b.SampleMany(shots, src) {
 			if outcome>>anc == 1 {
 				hits++
 			}

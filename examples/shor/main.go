@@ -2,8 +2,10 @@
 // case for emulation (Section 3, "the most famous application"). The
 // modular exponentiation |x>|1> -> |x>|a^x mod N>, which a simulator would
 // have to run as an enormous reversible circuit, is emulated as a single
-// classical permutation; the QFT is emulated via the FFT; the final
-// readout uses the exact distribution plus continued fractions.
+// classical permutation on the repro.Open backend's state; the inverse
+// QFT on the counting register runs as a circuit whose "iqft" region the
+// emulating backend lowers to the FFT; the final readout uses the exact
+// distribution plus continued fractions.
 package main
 
 import (
@@ -11,6 +13,7 @@ import (
 
 	"repro"
 	"repro/internal/gates"
+	"repro/internal/qft"
 	"repro/internal/rng"
 )
 
@@ -33,18 +36,21 @@ func factorOnce(N, a uint64) {
 	total := t + w
 	fmt.Printf("  %d counting qubits + %d work qubits = %d total\n", t, w, total)
 
-	e := repro.NewEmulator(total)
+	b, err := repro.Open(total, repro.WithEmulation(repro.EmulateAnnotated))
+	if err != nil {
+		panic(err)
+	}
 	// Counting register in uniform superposition; work register = |1>.
 	for q := uint(0); q < t; q++ {
-		e.ApplyGate(gates.H(q))
+		b.ApplyGate(gates.H(q))
 	}
-	e.ApplyGate(gates.X(t))
+	b.ApplyGate(gates.X(t))
 
 	// Emulated modular exponentiation: for each basis state, w -> w * a^x
 	// mod N (a bijection on [0, N) for gcd(a, N) = 1; identity above N).
 	powMod := precomputePowers(a, N, t)
 	wMask := (uint64(1) << w) - 1
-	e.ApplyClassicalFunc(func(i uint64) uint64 {
+	b.State().ApplyPermutation(func(i uint64) uint64 {
 		x := i & ((1 << t) - 1)
 		wv := (i >> t) & wMask
 		if wv >= N {
@@ -54,12 +60,25 @@ func factorOnce(N, a uint64) {
 		return (i &^ (wMask << t)) | nv<<t
 	})
 
-	// Inverse QFT on the counting register (emulated via FFT).
-	e.InverseQFTRange(0, t)
+	// Inverse QFT on the counting register: the gate-level circuit carries
+	// an "iqft" region the backend's compiler replaces with the FFT.
+	iqft := repro.NewCircuit(total)
+	iqft.Extend(qft.Circuit(t).Dagger())
+	x, err := repro.Compile(iqft, b.Target())
+	if err != nil {
+		panic(err)
+	}
+	res, err := b.Run(x)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range res.Emulated {
+		fmt.Printf("  %v\n", r)
+	}
 
 	// Read the exact counting-register distribution and extract the period
 	// via continued fractions — then sample like hardware would.
-	probs := e.Probabilities()
+	probs := b.State().Probabilities()
 	counting := make([]float64, uint64(1)<<t)
 	for i, p := range probs {
 		counting[uint64(i)&((1<<t)-1)] += p

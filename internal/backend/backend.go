@@ -1,0 +1,305 @@
+package backend
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/recognize"
+	"repro/internal/rng"
+	"repro/internal/statevec"
+)
+
+// Kind selects the execution engine of a Target.
+type Kind int
+
+const (
+	// Fused is the paper's simulator: structure-specialised kernels with
+	// same-target fusion, optionally multi-qubit block fusion.
+	Fused Kind = iota
+	// Generic is the qHiPSTER-class structure-blind baseline.
+	Generic
+	// Sparse is the LIQUi|>-class sparse matrix-product baseline.
+	Sparse
+	// Cluster is the distributed engine of internal/cluster.
+	Cluster
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Fused:
+		return "fused"
+	case Generic:
+		return "generic"
+	case Sparse:
+		return "sparse"
+	case Cluster:
+		return "cluster"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Target describes the execution shape an Executable is compiled for and
+// a Backend is opened with. The zero value plus a NumQubits is a valid
+// single-node fused simulator with emulation off.
+type Target struct {
+	// NumQubits is the register width.
+	NumQubits uint
+	// Kind selects the engine.
+	Kind Kind
+	// FuseWidth >= 2 enables multi-qubit block fusion at that width
+	// (clamped to the shard capacity on Cluster targets); 0 or 1 keeps the
+	// classic same-target fusion. Ignored by Generic and Sparse.
+	FuseWidth int
+	// Workers caps the state-vector kernel parallelism (per shard on
+	// Cluster targets); 0 uses the GOMAXPROCS default.
+	Workers int
+	// Nodes is the Cluster node count (power of two). Ignored otherwise.
+	Nodes int
+	// MaxLocalQubits, when non-zero on a Cluster target, raises the node
+	// count (beyond Nodes if needed) until every shard holds at most
+	// 2^MaxLocalQubits amplitudes.
+	MaxLocalQubits uint
+	// Emulate selects the recognition pass mode: Off (everything gate
+	// level), Annotated (trust circuit.Region markers) or Auto (also
+	// pattern-match unannotated structure). The Generic and Sparse
+	// baseline kinds reject it — they exist to measure structure-blind
+	// execution.
+	Emulate recognize.Mode
+	// DiagMinGates and DiagMaxWidth are the emulation cost-model cutoff: a
+	// recognised diagonal run with fewer than DiagMinGates gates whose
+	// support fits in DiagMaxWidth qubits stays on the fused gate path,
+	// which folds it into one ApplyDiagN sweep anyway — dispatching it
+	// would pay recognition bookkeeping and split the surrounding fusion
+	// blocks for no kernel win. Zero values pick the defaults
+	// (DefaultDiagMinGates and the effective fusion width); a negative
+	// DiagMinGates disables the cutoff.
+	DiagMinGates int
+	DiagMaxWidth uint
+}
+
+// DefaultDiagMinGates is the default cost-model cutoff: diagonal runs
+// shorter than this stay gate-level when their support fits the fusion
+// width. See recognize.DefaultDiagCutoffGates for the rationale.
+const DefaultDiagMinGates = recognize.DefaultDiagCutoffGates
+
+// normalize resolves defaults and validates the target against a register
+// width, returning the effective shape (node count grown to honour
+// MaxLocalQubits, cost-model defaults filled in).
+func (t Target) normalize(n uint) (Target, error) {
+	if t.NumQubits == 0 {
+		t.NumQubits = n
+	}
+	if t.NumQubits != n {
+		return t, fmt.Errorf("backend: target is %d qubits, circuit %d", t.NumQubits, n)
+	}
+	if t.Kind == Generic || t.Kind == Sparse {
+		// The baselines exist to measure structure-blind execution;
+		// letting them run emulation shortcuts would silently turn a
+		// qHiPSTER/LIQUi|>-class measurement into an emulator one.
+		if t.Emulate != recognize.Off {
+			return t, fmt.Errorf("backend: the %s baseline does not support emulation dispatch", t.Kind)
+		}
+	}
+	if t.Kind != Cluster {
+		if t.Nodes > 1 {
+			return t, fmt.Errorf("backend: %s target cannot shard across %d nodes", t.Kind, t.Nodes)
+		}
+		t.Nodes = 1
+	} else {
+		if t.Nodes <= 0 {
+			t.Nodes = 1
+		}
+		if t.Nodes&(t.Nodes-1) != 0 {
+			return t, fmt.Errorf("backend: node count %d is not a power of two", t.Nodes)
+		}
+		if t.MaxLocalQubits > 0 {
+			for nodeBits(t.Nodes) < n && n-nodeBits(t.Nodes) > t.MaxLocalQubits {
+				t.Nodes *= 2
+			}
+		}
+		if nodeBits(t.Nodes) > n {
+			return t, fmt.Errorf("backend: %d nodes need at least %d qubits, have %d",
+				t.Nodes, nodeBits(t.Nodes), n)
+		}
+	}
+	if t.DiagMinGates == 0 {
+		t.DiagMinGates = DefaultDiagMinGates
+	}
+	if t.DiagMaxWidth == 0 {
+		t.DiagMaxWidth = t.effectiveFuseWidth()
+	}
+	return t, nil
+}
+
+// effectiveFuseWidth is the widest support the gate path folds into one
+// sweep: the block-fusion width when enabled, else 1 (same-target runs).
+func (t Target) effectiveFuseWidth() uint {
+	w := t.FuseWidth
+	if t.Kind == Cluster {
+		local := t.NumQubits - nodeBits(t.Nodes)
+		if w > int(local) {
+			w = int(local)
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return uint(w)
+}
+
+// LocalQubits returns the per-node shard width of a Cluster target.
+func (t Target) LocalQubits() uint { return t.NumQubits - nodeBits(t.Nodes) }
+
+// nodeBits returns log2(p) for a power-of-two p.
+func nodeBits(p int) uint { return uint(bits.TrailingZeros(uint(p))) }
+
+// sameShape reports whether an executable compiled for a can run on b.
+func sameShape(a, b Target) bool {
+	return a.NumQubits == b.NumQubits && a.Kind == b.Kind && a.Nodes == b.Nodes &&
+		a.effectiveFuseWidth() == b.effectiveFuseWidth()
+}
+
+// Stats is the unified counter snapshot every backend reports. Single-node
+// backends leave the communication counters at zero.
+type Stats struct {
+	// Gates counts gates executed gate-level (fused blocks counted by
+	// their original gates); EmulatedOps counts recognised shortcuts
+	// executed instead of their gates.
+	Gates       uint64
+	EmulatedOps uint64
+	// Rounds, Messages, BytesSent and AllToAlls are the distributed
+	// engine's communication counters (see cluster.Stats).
+	Rounds    uint64
+	Messages  uint64
+	BytesSent uint64
+	AllToAlls uint64
+}
+
+// Backend is the uniform execution interface over every engine: the local
+// fused simulator, the structure-blind and sparse baselines, and the
+// distributed cluster engine. All backends execute the same Executables;
+// Run is pure dispatch.
+type Backend interface {
+	// NumQubits returns the register width.
+	NumQubits() uint
+	// Target returns the backend's (normalized) execution shape — what
+	// Compile needs to build an Executable this backend accepts.
+	Target() Target
+	// Run executes a compiled Executable and reports what happened.
+	Run(x *Executable) (*Result, error)
+	// ApplyGate executes one gate immediately, outside any schedule.
+	ApplyGate(g gates.Gate)
+	// State returns the state vector. On the distributed backend this
+	// gathers the shards — verification at small sizes, not the hot path;
+	// single-node backends return the live state.
+	State() *statevec.State
+	// Probability returns P(qubit q reads 1) without collapsing.
+	Probability(q uint) float64
+	// Measure projectively measures qubit q, collapsing the state.
+	Measure(q uint, src *rng.Source) uint64
+	// Sample draws one full-register outcome without collapsing.
+	Sample(src *rng.Source) uint64
+	// SampleMany draws k independent outcomes; identical RNG streams give
+	// draw-for-draw identical samples on every backend.
+	SampleMany(k int, src *rng.Source) []uint64
+	// Stats returns the cumulative execution counters.
+	Stats() Stats
+	// Close releases backend resources. The backend must not be used
+	// afterwards.
+	Close() error
+}
+
+// New opens a backend of the target's kind over a fresh |0...0> register.
+func New(t Target) (Backend, error) {
+	t, err := t.normalize(t.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	if t.NumQubits == 0 {
+		return nil, fmt.Errorf("backend: target needs a register width")
+	}
+	if t.Kind == Cluster {
+		return newClusterBackend(t)
+	}
+	return newLocalBackend(t)
+}
+
+// Execute compiles c for b's target and runs it — the one-shot
+// convenience over Compile + Run. Callers repeating one circuit should
+// Compile once and Run the Executable directly.
+func Execute(b Backend, c *circuit.Circuit) (*Result, error) {
+	x, err := Compile(c, b.Target())
+	if err != nil {
+		return nil, err
+	}
+	return b.Run(x)
+}
+
+// RegionReport describes one recognised region of a Result: what it was,
+// the gate range it replaced, and the substrate it executed on
+// ("statevec" locally; a cluster substrate name on distributed targets).
+type RegionReport struct {
+	Kind      string
+	Lo, Hi    int
+	Gates     int
+	Annotated bool
+	Verified  bool
+	Substrate string
+}
+
+func (r RegionReport) String() string {
+	src := "matched"
+	if r.Annotated {
+		src = "annotated"
+	}
+	ver := ""
+	if r.Verified {
+		ver = ", verified"
+	}
+	return fmt.Sprintf("%s gates [%d,%d) via %s (%s%s)", r.Kind, r.Lo, r.Hi, r.Substrate, src, ver)
+}
+
+// Comm is the communication paid by one run (always zero on single-node
+// backends).
+type Comm struct {
+	Rounds    uint64
+	Messages  uint64
+	BytesSent uint64
+	AllToAlls uint64
+}
+
+// Result is the unified outcome of one Backend.Run, consumed the same way
+// by qemu-run, qemu-bench and the tests regardless of engine.
+type Result struct {
+	// Wall is the execution wall time (compilation excluded).
+	Wall time.Duration
+	// TotalGates echoes the compiled circuit; EmulatedGates of them were
+	// replaced by the Emulated shortcuts below.
+	TotalGates    int
+	EmulatedGates int
+	Emulated      []RegionReport
+	// Skipped lists regions recognition or compilation returned to gate
+	// level, with reasons (lying annotations, cost model, no distributed
+	// lowering).
+	Skipped []recognize.Skip
+	// FusedBlocks counts dense/diagonal fused blocks across the gate
+	// segments; PlannedRemaps the scheduler's placement remap rounds
+	// (distributed targets).
+	FusedBlocks   int
+	PlannedRemaps int
+	// Comm is the communication the run actually paid.
+	Comm Comm
+}
+
+func (r *Result) String() string {
+	s := fmt.Sprintf("%d/%d gates emulated via %d shortcuts, %d fused blocks",
+		r.EmulatedGates, r.TotalGates, len(r.Emulated), r.FusedBlocks)
+	if r.Comm.Rounds > 0 {
+		s += fmt.Sprintf(", %d comm rounds (%.1f MB)", r.Comm.Rounds,
+			float64(r.Comm.BytesSent)/(1<<20))
+	}
+	return s + fmt.Sprintf(" in %v", r.Wall)
+}

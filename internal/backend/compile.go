@@ -1,0 +1,143 @@
+package backend
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/cluster"
+	"repro/internal/fuse"
+	"repro/internal/gates"
+	"repro/internal/recognize"
+)
+
+// Unit is one dispatch step of an Executable: either a recognised
+// emulation shortcut (Op non-nil) or a gate segment with its precompiled
+// schedules.
+type Unit struct {
+	// Op, when non-nil, is the recognised shortcut replacing gates
+	// [Lo, Hi); Substrate names how it executes on the target.
+	Op        *recognize.Op
+	Substrate string
+	// Gates is the segment's gate slice (aliasing the source circuit) for
+	// gate-by-gate kinds; Fused its fusion plan (Fused and Cluster kinds);
+	// Sched its communication schedule (Cluster kind).
+	Gates []gates.Gate
+	Fused *fuse.Plan
+	Sched *cluster.Schedule
+	// Lo and Hi bound the unit's gate range in the source circuit.
+	Lo, Hi int
+}
+
+// Executable is a compiled circuit: the pass pipeline's output, immutable
+// and reusable across runs and across backends of the same Target shape.
+type Executable struct {
+	NumQubits uint
+	NumGates  int
+	// Target is the normalized shape the executable was compiled for;
+	// Backend.Run rejects executables of a different shape.
+	Target Target
+	Units  []Unit
+	// Skipped, EmulatedGates, FusedBlocks and PlannedRemaps summarise the
+	// compilation for Result reporting.
+	Skipped       []recognize.Skip
+	EmulatedGates int
+	FusedBlocks   int
+	PlannedRemaps int
+	// PlannedRounds is the scheduler's total communication round budget
+	// for the gate segments (remaps + exchange gates); recognised ops add
+	// their own collective rounds at run time.
+	PlannedRounds int
+}
+
+// substrateLocal names the single-node execution substrate of a
+// recognised op (the statevec shortcuts of internal/recognize).
+const substrateLocal = "statevec"
+
+// Compile runs the pass pipeline over c for the given target: recognize
+// (emulation regions), the diagonal cost model, distributed lowerability,
+// fuse (residual gate runs), and placement scheduling. See the package
+// comment for the pass contract.
+func Compile(c *circuit.Circuit, t Target) (*Executable, error) {
+	t, err := t.normalize(c.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	x := &Executable{NumQubits: c.NumQubits, NumGates: c.Len(), Target: t}
+
+	// Pass 1: recognition.
+	plan := recognize.Analyze(c, recognize.DefaultOptions(t.Emulate))
+
+	// Pass 2: cost model — small diagonal runs the fused kernels already
+	// execute in one sweep stay on the gate path.
+	if t.Emulate != recognize.Off && t.DiagMinGates > 0 {
+		plan = plan.Filter(recognize.KeepAboveDiagCutoff(t.DiagMinGates, t.DiagMaxWidth),
+			"cost model: below the dispatch cutoff, the fused kernel runs it in one sweep")
+	}
+
+	// Pass 3: distributed lowerability.
+	if t.Kind == Cluster {
+		n, L, P := t.NumQubits, t.LocalQubits(), t.Nodes
+		plan = plan.Filter(func(op *recognize.Op) bool {
+			_, ok := cluster.Lowerable(op, n, L, P)
+			return ok
+		}, "no distributed lowering; gate-level")
+	}
+	x.Skipped = plan.Skipped
+
+	// Passes 4+5: fusion and placement scheduling per gate segment.
+	for _, seg := range plan.Segments {
+		if seg.Op != nil {
+			sub := substrateLocal
+			if t.Kind == Cluster {
+				sub, _ = cluster.Lowerable(seg.Op, t.NumQubits, t.LocalQubits(), t.Nodes)
+			}
+			x.Units = append(x.Units, Unit{Op: seg.Op, Substrate: sub, Lo: seg.Lo, Hi: seg.Hi})
+			x.EmulatedGates += seg.Hi - seg.Lo
+			continue
+		}
+		u := Unit{Gates: c.Gates[seg.Lo:seg.Hi], Lo: seg.Lo, Hi: seg.Hi}
+		segCirc := &circuit.Circuit{NumQubits: c.NumQubits, Gates: u.Gates}
+		switch t.Kind {
+		case Fused, Cluster:
+			u.Fused = fuse.New(segCirc, int(t.effectiveFuseWidth()))
+			for i := range u.Fused.Blocks {
+				if u.Fused.Blocks[i].Fused() {
+					x.FusedBlocks++
+				}
+			}
+			if t.Kind == Cluster {
+				sched, err := cluster.BuildSchedule(u.Fused, t.NumQubits, t.LocalQubits(), true)
+				if err != nil {
+					return nil, err
+				}
+				u.Sched = sched
+				x.PlannedRemaps += sched.Remaps
+				x.PlannedRounds += sched.Rounds
+			}
+		case Generic, Sparse:
+			// Structure-blind baselines replay the raw gate stream.
+		}
+		x.Units = append(x.Units, u)
+	}
+	return x, nil
+}
+
+// result builds the compile-time part of a Result; Run fills Wall and
+// Comm.
+func (x *Executable) result() *Result {
+	r := &Result{
+		TotalGates:    x.NumGates,
+		EmulatedGates: x.EmulatedGates,
+		Skipped:       x.Skipped,
+		FusedBlocks:   x.FusedBlocks,
+		PlannedRemaps: x.PlannedRemaps,
+	}
+	for _, u := range x.Units {
+		if u.Op == nil {
+			continue
+		}
+		r.Emulated = append(r.Emulated, RegionReport{
+			Kind: u.Op.Kind(), Lo: u.Lo, Hi: u.Hi, Gates: u.Hi - u.Lo,
+			Annotated: u.Op.Annotated, Verified: u.Op.Verified, Substrate: u.Substrate,
+		})
+	}
+	return r
+}

@@ -1,0 +1,58 @@
+// Package backend is the unified execution layer of the repository: one
+// Backend interface over every engine, and one explicit compile pipeline
+// turning circuits into Executables any backend can run.
+//
+// The paper's central claim (Häner, Steiger, Smelyanskiy & Troyer, SC
+// 2016) is that a single system should decide, per subroutine, between
+// gate-level simulation and classical emulation. This package is that
+// decision point made structural:
+//
+//	circuit ──Compile(c, Target)──► Executable ──Backend.Run──► Result
+//
+// Compile is a fixed pass sequence:
+//
+//  1. recognize — internal/recognize analyses the circuit for emulatable
+//     subroutines (annotated regions and, in Auto mode, pattern-matched
+//     QFT ladders, reversible arithmetic, phase oracles, diagonal runs),
+//     each verified against its own gates where the support is small.
+//  2. cost model — recognised diagonal runs below the Target's
+//     gate-count/width cutoff are returned to the gate path: the fused
+//     kernels execute them in the same single sweep, so dispatch would
+//     buy nothing (ROADMAP "emulation-aware cost model", as a threshold
+//     stub).
+//  3. lowerability — on distributed targets, ops without a cluster
+//     substrate (see internal/cluster.Lowerable) fall back to gate level,
+//     recorded in the plan's Skipped list.
+//  4. fuse — the residual gate segments are scheduled by the
+//     commutation-aware fusion planner of internal/fuse at the Target's
+//     width (clamped to the shard capacity on distributed targets).
+//  5. placement — on distributed targets each fused segment additionally
+//     gets a communication schedule (internal/cluster.BuildSchedule)
+//     batching remote-qubit work into all-to-all remap rounds.
+//
+// The resulting Executable is immutable and reusable across runs and
+// across backends of the same Target shape. Backends are deliberately
+// thin: per-engine Run logic is dispatch over the Executable's units —
+// recognised ops apply their shortcut (locally via Op.Apply, distributed
+// via Cluster.ApplyOp), gate segments run their fused plan or schedule.
+//
+// Four backend kinds exist, selected by Target.Kind:
+//
+//   - Fused — the paper's simulator: structure-specialised kernels plus
+//     same-target or multi-qubit block fusion (internal/sim, statevec).
+//   - Generic — the qHiPSTER-class structure-blind baseline: every gate
+//     through the dense 2x2 kernel.
+//   - Sparse — the LIQUi|>-class baseline: explicit sparse matrix-vector
+//     products.
+//   - Cluster — the distributed engine: the register sharded across
+//     emulated nodes, gate segments through the communication-avoiding
+//     placement scheduler, recognised ops through the distributed
+//     emulation substrates (four-step FFT, cluster-wide permutations,
+//     shard-local diagonals).
+//
+// Every Run returns a Result with the same shape everywhere: which
+// regions were emulated (and on what substrate), how much was fused, the
+// communication paid (rounds, messages, bytes — zero on single-node
+// backends), and wall time. The repro facade's Open constructor is the
+// public entry point; this package is the machinery behind it.
+package backend

@@ -1,0 +1,89 @@
+package backend
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gates"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/statevec"
+)
+
+// local is the single-address-space backend family: one state vector,
+// with the gate kernel chosen by the target kind (specialised, generic
+// dense, or sparse matrix products).
+type local struct {
+	t     Target
+	st    *statevec.State
+	apply func(gates.Gate)
+	stats Stats
+}
+
+func newLocalBackend(t Target) (Backend, error) {
+	st := statevec.New(t.NumQubits)
+	if t.Workers > 0 {
+		st.SetParallelism(t.Workers)
+	}
+	b := &local{t: t, st: st}
+	switch t.Kind {
+	case Fused:
+		b.apply = st.ApplyGate
+	case Generic:
+		b.apply = st.ApplyGateGeneric
+	case Sparse:
+		sp := sim.WrapSparseMatrix(st)
+		b.apply = sp.ApplyGate
+	default:
+		return nil, fmt.Errorf("backend: %s is not a local kind", t.Kind)
+	}
+	return b, nil
+}
+
+func (b *local) NumQubits() uint            { return b.t.NumQubits }
+func (b *local) Target() Target             { return b.t }
+func (b *local) State() *statevec.State     { return b.st }
+func (b *local) Stats() Stats               { return b.stats }
+func (b *local) Close() error               { return nil }
+func (b *local) Probability(q uint) float64 { return b.st.Probability(q) }
+
+func (b *local) ApplyGate(g gates.Gate) {
+	b.stats.Gates++
+	b.apply(g)
+}
+
+func (b *local) Measure(q uint, src *rng.Source) uint64 { return b.st.Measure(q, src) }
+func (b *local) Sample(src *rng.Source) uint64          { return b.st.Sample(src) }
+func (b *local) SampleMany(k int, src *rng.Source) []uint64 {
+	return b.st.SampleMany(k, src)
+}
+
+// Run dispatches the executable: recognised ops apply their statevec
+// shortcut, gate segments run their fused plan (Fused kind) or replay
+// gate by gate through the kind's kernel.
+func (b *local) Run(x *Executable) (*Result, error) {
+	if !sameShape(x.Target, b.t) {
+		return nil, fmt.Errorf("backend: executable compiled for %s/%d qubits, backend is %s/%d",
+			x.Target.Kind, x.Target.NumQubits, b.t.Kind, b.t.NumQubits)
+	}
+	start := time.Now()
+	for i := range x.Units {
+		u := &x.Units[i]
+		if u.Op != nil {
+			u.Op.Apply(b.st)
+			b.stats.EmulatedOps++
+			continue
+		}
+		b.stats.Gates += uint64(u.Hi - u.Lo)
+		if u.Fused != nil {
+			u.Fused.Apply(b.st, b.apply)
+			continue
+		}
+		for _, g := range u.Gates {
+			b.apply(g)
+		}
+	}
+	res := x.result()
+	res.Wall = time.Since(start)
+	return res, nil
+}

@@ -57,10 +57,26 @@
 // whether the offending qubit would have been shard-local or
 // node-selecting, and before any amplitude is touched.
 //
-// EmulateQFT replaces the whole QFT circuit with the distributed
-// four-step FFT of internal/fft (three all-to-all transposition rounds —
-// Eq. 5's "3"); ApplyPermutation performs the Section 4.2 arithmetic
-// shortcut as a single all-to-all. Both speak the canonical layout and
+// # Emulation substrates
+//
+// Recognised subroutines (internal/recognize ops) lower onto the cluster
+// through Lowerable/ApplyOp — the distributed half of the emulation
+// dispatch the unified backend (internal/backend) and sim.Distributed
+// run:
+//
+//   - a full-register Fourier op executes as the distributed four-step
+//     FFT (three all-to-all transposition rounds — Eq. 5's "3"),
+//     EmulateQFT being the direct entry point; the noswap variants'
+//     bit reversal is a placement relabelling costing nothing;
+//   - a Fourier field of width <= L executes shard-locally after one
+//     remap makes the field node-local;
+//   - arithmetic ops run through ApplyPermutation — the Section 4.2
+//     shortcut, one all-to-all for the whole subroutine;
+//   - diagonal ops multiply shards in place (ApplyDiagonalFunc), and the
+//     Grover diffusion (ReflectUniform) needs one scalar allreduce.
+//
+// The permutation and FFT collectives speak the canonical layout and
 // restore it (one extra remap round at most) when the gate engine left
-// the placement rotated.
+// the placement rotated; the diagonal and reflection paths run under any
+// placement.
 package cluster

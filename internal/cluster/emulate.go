@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/recognize"
+)
+
+// This file lowers recognised emulation shortcuts (internal/recognize)
+// onto the distributed substrate — the ROADMAP's "distributed emulation
+// dispatch". Each op family maps to the cheapest collective the cluster
+// offers:
+//
+//   - full-register Fourier ops run as the four-step distributed FFT
+//     (three all-to-all transposition rounds, Eq. 5's "3"), with the
+//     noswap variants' bit reversal realised as a zero-communication
+//     placement relabelling;
+//   - narrow Fourier fields (width <= L) run as per-shard transforms
+//     after at most one placement remap makes the field node-local;
+//   - arithmetic ops (add, sub, addc, mul, div) run as one cluster-wide
+//     basis permutation — a single all-to-all, the paper's Section 4.2;
+//   - diagonal ops (fused diagonal runs, phase flips) multiply each shard
+//     in place, communication-free under any placement;
+//   - the Grover diffusion needs one scalar allreduce (P partial sums).
+
+// Substrate names reported for each lowering, surfaced through the
+// backend Result so callers can see how a region actually executed.
+const (
+	SubstrateFourStepFFT = "four-step-fft"
+	SubstrateLocalFFT    = "local-fft"
+	SubstratePermutation = "permutation"
+	SubstrateDiagonal    = "diagonal"
+	SubstrateReflect     = "reflect"
+)
+
+// Lowerable reports whether a recognised op can execute on a cluster of
+// shape (n total qubits, L local qubits, P nodes) and names the substrate
+// it lowers to. Ops it rejects (a Fourier field wider than a shard but
+// narrower than the register, or a register too small for the four-step
+// factorisation) must stay on the gate-level scheduled path.
+func Lowerable(op *recognize.Op, n, L uint, P int) (string, bool) {
+	if q, ok := op.QFT(); ok {
+		if q.Width == n {
+			// The four-step N1 x N2 factorisation distributes by rows; both
+			// halves must hold at least one row/column per node.
+			n1 := n / 2
+			if uint64(1)<<n1 >= uint64(P) && uint64(1)<<(n-n1) >= uint64(P) {
+				return SubstrateFourStepFFT, true
+			}
+			return "", false
+		}
+		if q.Width <= L {
+			return SubstrateLocalFFT, true
+		}
+		return "", false
+	}
+	if op.ReflectUniform() {
+		return SubstrateReflect, true
+	}
+	if _, ok := op.Diagonal(); ok {
+		return SubstrateDiagonal, true
+	}
+	if _, ok := op.Permutation(); ok {
+		return SubstratePermutation, true
+	}
+	return "", false
+}
+
+// ApplyOp executes one recognised shortcut on the distributed register and
+// returns the substrate it ran on. It fails (without touching the state)
+// for ops Lowerable rejects; schedulers are expected to have filtered
+// those back to gate level.
+func (c *Cluster) ApplyOp(op *recognize.Op) (string, error) {
+	sub, ok := Lowerable(op, c.NumQubits(), c.L, c.P)
+	if !ok {
+		return "", fmt.Errorf("cluster: %v has no distributed lowering (field wider than a shard?)", op)
+	}
+	switch sub {
+	case SubstrateFourStepFFT:
+		q, _ := op.QFT()
+		sign := +1
+		if q.Inverse {
+			sign = -1
+		}
+		// The noswap variants compose the field bit reversal S after the
+		// forward transform (S·F) or before the inverse (F⁻¹·S). Relabelling
+		// the placement applies S without moving an amplitude.
+		if q.Inverse && q.NoSwap {
+			c.reverseFieldPlacement(q.Pos, q.Width)
+		}
+		if err := c.distributedFFT(sign, true); err != nil {
+			return "", err
+		}
+		if !q.Inverse && q.NoSwap {
+			c.reverseFieldPlacement(q.Pos, q.Width)
+		}
+	case SubstrateLocalFFT:
+		q, _ := op.QFT()
+		if q.Inverse && q.NoSwap {
+			c.reverseFieldPlacement(q.Pos, q.Width)
+		}
+		// One remap makes the field bits shard-local at physical positions
+		// [0, width); every node then transforms its own fibres.
+		c.remapFieldLocal(q.Pos, q.Width)
+		c.eachNode(func(p int) {
+			q.Plan.TransformField(c.shard(p), 0, q.Inverse)
+		})
+		if !q.Inverse && q.NoSwap {
+			c.reverseFieldPlacement(q.Pos, q.Width)
+		}
+	case SubstrateReflect:
+		c.ReflectUniform()
+	case SubstrateDiagonal:
+		f, _ := op.Diagonal()
+		c.ApplyDiagonalFunc(f)
+	case SubstratePermutation:
+		f, _ := op.Permutation()
+		c.ApplyPermutation(f)
+	}
+	return sub, nil
+}
+
+// reverseFieldPlacement applies the bit-reversal permutation of the
+// logical qubit field [pos, pos+w) by relabelling: swapping the physical
+// positions of logical qubits q and q' exchanges their roles, which IS the
+// swap gate on (q, q') — so the reversal network costs no communication
+// and no amplitude motion at all. The placement is left drifted; engines
+// that need the canonical layout re-canonicalise (one remap round) when
+// they next touch the state.
+func (c *Cluster) reverseFieldPlacement(pos, w uint) {
+	for j := uint(0); j < w/2; j++ {
+		a, b := pos+j, pos+w-1-j
+		c.pos[a], c.pos[b] = c.pos[b], c.pos[a]
+	}
+}
+
+// remapFieldLocal installs a placement with logical qubit pos+j at
+// physical position j for j < w (one all-to-all remap round, or free when
+// already in place), so a width-w field transform can run shard-locally
+// with stride-1 fibres. Displaced qubits take the slots the field bits
+// vacate.
+func (c *Cluster) remapFieldLocal(pos, w uint) {
+	if w > c.L {
+		panic(fmt.Sprintf("cluster: field of %d qubits cannot be made local on %d-qubit shards", w, c.L))
+	}
+	n := c.NumQubits()
+	newPos := append([]uint(nil), c.pos...)
+	// Owner of each physical slot under the evolving assignment.
+	owner := make([]uint, n)
+	for q := uint(0); q < n; q++ {
+		owner[newPos[q]] = q
+	}
+	for j := uint(0); j < w; j++ {
+		q := pos + j
+		if newPos[q] == j {
+			continue
+		}
+		displaced := owner[j]
+		freed := newPos[q]
+		newPos[displaced], owner[freed] = freed, displaced
+		newPos[q], owner[j] = j, q
+	}
+	c.applyRemap(newPos)
+}
+
+// ApplyDiagonalFunc multiplies every amplitude by phase(i), with i the
+// logical basis index — communication-free under any placement. The
+// physical→logical translation is table-driven (one lookup+OR per byte of
+// index), the identity placement specialising to a shift.
+func (c *Cluster) ApplyDiagonalFunc(phase func(uint64) complex128) {
+	idx := c.logicalIndexer()
+	c.eachNode(func(p int) {
+		base := uint64(p) << c.L
+		shard := c.shard(p)
+		for i := range shard {
+			shard[i] *= phase(idx(base | uint64(i)))
+		}
+	})
+}
+
+// ReflectUniform applies the Householder reflection I - 2|s><s| about the
+// uniform state to the whole register: a' = a - 2(Σa)/N. The global sum is
+// one scalar allreduce (P partial sums); the update is shard-local. Both
+// passes are placement-independent.
+func (c *Cluster) ReflectUniform() {
+	sums := make([]complex128, c.P)
+	c.eachNode(func(p int) {
+		var s complex128
+		for _, a := range c.shard(p) {
+			s += a
+		}
+		sums[p] = s
+	})
+	var total complex128
+	for _, s := range sums {
+		total += s
+	}
+	mu := total * complex(2/float64(uint64(1)<<c.NumQubits()), 0)
+	c.eachNode(func(p int) {
+		shard := c.shard(p)
+		for i := range shard {
+			shard[i] -= mu
+		}
+	})
+	// Allreduce accounting: every node shares one 16-byte partial sum.
+	p64 := uint64(c.P)
+	c.Stats.BytesSent.Add(16 * p64 * (p64 - 1))
+	c.Stats.Messages.Add(p64 * (p64 - 1))
+	c.Stats.Rounds.Add(1)
+}
+
+// logicalIndexer returns the translator from physical global amplitude
+// indices (shard offset | node<<L) to logical basis indices under the
+// current placement, using the same byte-chunked scatter tables as
+// applyRemap. The identity placement returns a pass-through.
+func (c *Cluster) logicalIndexer() func(uint64) uint64 {
+	if c.identityPlacement() {
+		return func(i uint64) uint64 { return i }
+	}
+	n := c.NumQubits()
+	logOf := make([]uint, n) // physical position -> logical qubit
+	for q := uint(0); q < n; q++ {
+		logOf[c.pos[q]] = q
+	}
+	nchunks := int(n+7) / 8
+	tabs := make([][256]uint64, nchunks)
+	for k := 0; k < nchunks; k++ {
+		for b := 0; b < 256; b++ {
+			var v uint64
+			for t := 0; t < 8; t++ {
+				if b&(1<<t) != 0 {
+					if p := uint(8*k + t); p < n {
+						v |= uint64(1) << logOf[p]
+					}
+				}
+			}
+			tabs[k][b] = v
+		}
+	}
+	return func(x uint64) uint64 {
+		var v uint64
+		for k := 0; k < nchunks; k++ {
+			v |= tabs[k][(x>>(8*k))&255]
+		}
+		return v
+	}
+}

@@ -36,6 +36,10 @@ var fuzzSeeds = []string{
 	"qubits 1\nendregion\n",
 	"qubits 1\nregion a\nregion b\nendregion\n",
 	"qubits 1\nregion a -1\nendregion\n",
+	"qubits 3\nbarrier\nh 0\nbarrier 0 1 2\ncnot 0 1\n",
+	"qubits 2\nbarrier 5\n",
+	"qubits 2\nbarrier x\n",
+	"barrier\n",
 }
 
 // FuzzParse asserts the frontend's contract on arbitrary input: error or

@@ -208,5 +208,48 @@ func TestWriteParseRoundTripProperty(t *testing.T) {
 		if d := a.MaxDiff(b); d > 1e-10 {
 			t.Fatalf("trial %d: round-tripped circuit acts differently: %g\n%s", trial, d, sb.String())
 		}
+		// Barriers are accepted and ignored: sprinkling them through the
+		// written text must parse back to the identical circuit.
+		lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+		withBarriers := lines[:1:1]
+		withBarriers = append(withBarriers, "barrier")
+		for i, l := range lines[1:] {
+			withBarriers = append(withBarriers, l)
+			if i%3 == 0 {
+				withBarriers = append(withBarriers, fmt.Sprintf("barrier 0 %d", n-1))
+			}
+		}
+		c3, err := ParseString(strings.Join(withBarriers, "\n") + "\n")
+		if err != nil {
+			t.Fatalf("trial %d: barrier-sprinkled text failed to parse: %v", trial, err)
+		}
+		if c3.Len() != c2.Len() || len(c3.Regions) != len(c2.Regions) {
+			t.Fatalf("trial %d: barriers changed the circuit: %d/%d gates, %d/%d regions",
+				trial, c3.Len(), c2.Len(), len(c3.Regions), len(c2.Regions))
+		}
+	}
+}
+
+// TestBarrierAcceptedAndIgnored pins the barrier contract: bare and
+// qubit-listed barriers parse to nothing, malformed qubit arguments still
+// get line-numbered errors.
+func TestBarrierAcceptedAndIgnored(t *testing.T) {
+	c, err := ParseString("qubits 3\nbarrier\nh 0\nbarrier 0 1 2\ncnot 0 1\nbarrier 2\n")
+	if err != nil {
+		t.Fatalf("barrier program rejected: %v", err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("barriers contributed gates: %d, want 2", c.Len())
+	}
+	for _, bad := range []string{
+		"qubits 2\nbarrier 5\n",
+		"qubits 2\nbarrier x\n",
+		"barrier\n",
+	} {
+		if _, err := ParseString(bad); err == nil {
+			t.Fatalf("malformed barrier accepted: %q", bad)
+		} else if !strings.Contains(err.Error(), "line") && !strings.Contains(err.Error(), "qubits directive") {
+			t.Fatalf("barrier error lost its line number: %v", err)
+		}
 	}
 }

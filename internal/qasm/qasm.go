@@ -88,6 +88,21 @@ func Parse(r io.Reader) (*circuit.Circuit, error) {
 			region = nil
 			continue
 		}
+		// Barriers are scheduling hints for hardware compilers; the
+		// simulator's schedulers already honour program order, so the line
+		// is accepted and ignored. Any qubit arguments are still validated
+		// (with the line number) so a typo'd barrier is not silently
+		// swallowed. Write never emits barriers, and dropping them leaves
+		// the parsed circuit unchanged, so Write∘Parse round-trips inputs
+		// containing them.
+		if fields[0] == "barrier" {
+			for _, f := range fields[1:] {
+				if _, err := parseQubit(f, circ.NumQubits); err != nil {
+					return nil, fmt.Errorf("qasm: line %d: %v", lineNo, err)
+				}
+			}
+			continue
+		}
 		// Optional control prefix: "ctrl c1 c2 ... : gate ...".
 		var extraControls []uint
 		if fields[0] == "ctrl" {

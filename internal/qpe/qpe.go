@@ -56,7 +56,7 @@ func Coherent(circ *circuit.Circuit, psi []complex128, b uint) []float64 {
 	}
 	// Inverse QFT on the ancilla block, simulated gate by gate. The
 	// ancilla-local QFT circuit is built on the ancilla indices directly.
-	backend.Run(inverseQFTOn(n, b, n+b))
+	backend.Run(InverseQFTOn(n, b, n+b))
 	// Marginalise out the system register.
 	dist := make([]float64, uint64(1)<<b)
 	dim := uint64(1) << n
@@ -72,9 +72,11 @@ func Coherent(circ *circuit.Circuit, psi []complex128, b uint) []float64 {
 	return dist
 }
 
-// inverseQFTOn builds the inverse QFT circuit acting on the qubit field
-// [base, base+b) of a width-total register.
-func inverseQFTOn(base, b, total uint) *circuit.Circuit {
+// InverseQFTOn builds the inverse QFT circuit acting on the qubit field
+// [base, base+b) of a width-total register. The circuit carries the
+// field's "iqft" region annotation (inherited through Dagger), so an
+// emulating backend lowers it to the FFT.
+func InverseQFTOn(base, b, total uint) *circuit.Circuit {
 	c := circuit.New(total)
 	// Forward QFT on the field, then dagger the whole thing.
 	fw := circuit.New(total)
@@ -88,6 +90,8 @@ func inverseQFTOn(base, b, total uint) *circuit.Circuit {
 	for k := uint(0); k < b/2; k++ {
 		fw.Append(gates.Swap(base+k, base+b-1-k)...)
 	}
+	fw.Annotate(circuit.Region{Name: "qft", Args: []uint64{uint64(base), uint64(b)},
+		Lo: 0, Hi: fw.Len()})
 	c.Extend(fw.Dagger())
 	return c
 }

@@ -1,0 +1,196 @@
+package recognize
+
+import (
+	"repro/internal/bitops"
+	"repro/internal/fft"
+)
+
+// This file is the exported lowering surface of a recognised Op: typed
+// accessors that let execution engines other than the single-node state
+// vector (the distributed engine of internal/cluster, the compile pipeline
+// of internal/backend) execute a shortcut on their own substrate. Op.Apply
+// keeps its specialised single-node fast paths; the accessors expose the
+// same semantics in substrate-neutral form:
+//
+//   - QFT: the Fourier-family ops as (field, direction, bit-order) plus a
+//     reusable fft.Plan — a distributed engine lowers a full-register
+//     transform to the four-step FFT and a narrow field to per-shard
+//     transforms after one placement remap.
+//   - Permutation: the arithmetic family (add, sub, addc, mul, div) as one
+//     classical bijection on basis indices — on a cluster, a single
+//     all-to-all (the paper's Section 4.2 observation).
+//   - Diagonal: the diagonal family (fused diagonal runs, phase flips) as
+//     a phase function of the basis index — communication-free anywhere.
+//   - ReflectUniform: the Grover diffusion I - 2|s><s|, which needs only a
+//     global amplitude sum (one scalar allreduce).
+
+// DefaultDiagCutoffGates is the default emulation cost-model cutoff: a
+// recognised diagonal run with fewer gates than this, on a support the
+// execution target's fusion width already covers, stays on the fused
+// gate path — the fused kernel executes it in the same single sweep, so
+// dispatching it buys no kernel work and splits the surrounding fusion
+// blocks. Calibrated loosely; at equal sweep counts the two paths tie.
+const DefaultDiagCutoffGates = 32
+
+// KeepAboveDiagCutoff returns a Plan.Filter predicate implementing the
+// diagonal cost model: every op passes except diagonal runs with fewer
+// than minGates gates whose support fits in maxWidth qubits. Both the
+// unified backend compiler and the distributed simulator apply it, so
+// the two entry points dispatch identically.
+func KeepAboveDiagCutoff(minGates int, maxWidth uint) func(*Op) bool {
+	return func(op *Op) bool {
+		if op.kind != opDiag {
+			return true
+		}
+		return op.GateCount() >= minGates || uint(len(op.qubits)) > maxWidth
+	}
+}
+
+// QFTSpec describes a Fourier-family op: the unitary acting on the
+// contiguous qubit field [Pos, Pos+Width), optionally inverted, and — for
+// the noswap variants — composed with the field's bit-reversal permutation
+// on the output (forward) or input (inverse) side.
+type QFTSpec struct {
+	Pos, Width      uint
+	Inverse, NoSwap bool
+	// Plan is the 2^Width transform plan, safe for concurrent use.
+	Plan *fft.Plan
+}
+
+// QFT returns the Fourier parameters of a qft-family op; ok is false for
+// every other kind.
+func (op *Op) QFT() (QFTSpec, bool) {
+	if op.kind != opQFT {
+		return QFTSpec{}, false
+	}
+	return QFTSpec{Pos: op.pos, Width: op.width, Inverse: op.inverse,
+		NoSwap: op.noswap, Plan: op.plan}, true
+}
+
+// Permutation returns the classical bijection on basis indices implemented
+// by a permutation-family op (add, sub, addc, mul, div); ok is false for
+// every other kind. The closure is safe for concurrent calls.
+func (op *Op) Permutation() (func(uint64) uint64, bool) {
+	switch op.kind {
+	case opAdd, opSub:
+		sub := op.kind == opSub
+		readA, _ := fieldIO(op.regA)
+		readB, writeB := fieldIO(op.regB)
+		carry := op.carry
+		mask := bitops.Mask(uint(len(op.regB)))
+		return func(i uint64) uint64 {
+			av := readA(i) + ((i >> carry) & 1)
+			bv := readB(i)
+			if sub {
+				bv = (bv - av) & mask
+			} else {
+				bv = (bv + av) & mask
+			}
+			return writeB(i, bv)
+		}, true
+	case opAddc:
+		readA, _ := fieldIO(op.regA)
+		readB, writeB := fieldIO(op.regB)
+		carry, carryOut := op.carry, op.bz
+		w := uint(len(op.regB))
+		mask := bitops.Mask(w)
+		return func(i uint64) uint64 {
+			s := readA(i) + readB(i) + ((i >> carry) & 1)
+			i = writeB(i, s&mask)
+			return i ^ (((s >> w) & 1) << carryOut)
+		}, true
+	case opMul:
+		return op.mulFunc(), true
+	case opDiv:
+		return op.divFunc(), true
+	}
+	return nil, false
+}
+
+// Diagonal returns the phase function of a diagonal-family op (diagonal
+// runs, phase flips): the factor amplitude i picks up. ok is false for
+// every other kind. The closure is safe for concurrent calls.
+func (op *Op) Diagonal() (func(uint64) complex128, bool) {
+	switch op.kind {
+	case opDiag:
+		qs, d := op.qubits, op.diag
+		return func(i uint64) complex128 { return d[gather(i, qs)] }, true
+	case opPhaseFlip:
+		qs, v := op.qubits, op.value
+		return func(i uint64) complex128 {
+			if gather(i, qs) == v {
+				return -1
+			}
+			return 1
+		}, true
+	}
+	return nil, false
+}
+
+// ReflectUniform reports whether the op is the whole-register Householder
+// reflection about the uniform state (the Grover diffusion shortcut).
+func (op *Op) ReflectUniform() bool { return op.kind == opReflect }
+
+// Support returns a copy of the sorted qubit set the op touches.
+func (op *Op) Support() []uint { return op.support() }
+
+// GateCount returns the number of circuit gates the op replaces.
+func (op *Op) GateCount() int { return op.Hi - op.Lo }
+
+// mulFunc returns the shift-and-add product permutation, replaying
+// revlib.Multiplier's exact word-level action.
+func (op *Op) mulFunc() func(uint64) uint64 {
+	m := op.m
+	readA, _ := fieldIO(op.regA)
+	readB, _ := fieldIO(op.regB)
+	readC, writeC := fieldIO(op.regC)
+	carry := op.carry
+	return func(i uint64) uint64 {
+		av := readA(i)
+		bv := readB(i)
+		cv := readC(i)
+		cin := (i >> carry) & 1
+		// For each set bit k of a, the controlled width-(m-k) Cuccaro adder
+		// adds b's low bits plus the carry-in into c's top field.
+		for k := uint(0); k < m; k++ {
+			if (av>>k)&1 == 0 {
+				continue
+			}
+			mask := bitops.Mask(m - k)
+			hi := (cv >> k) & mask
+			hi = (hi + (bv & mask) + cin) & mask
+			cv = (cv &^ (mask << k)) | (hi << k)
+		}
+		return writeC(i, cv)
+	}
+}
+
+// divFunc returns the restoring-division permutation.
+func (op *Op) divFunc() func(uint64) uint64 {
+	m := op.m
+	readR, writeR := fieldIO(op.regR)
+	readB, _ := fieldIO(op.regB)
+	readQ, writeQ := fieldIO(op.regQ)
+	bzBit, carry := op.bz, op.carry
+	maskWin := bitops.Mask(m + 1)
+	return func(i uint64) uint64 {
+		rv := readR(i)
+		bExt := readB(i) | (((i >> bzBit) & 1) << m)
+		qv := readQ(i)
+		cin := (i >> carry) & 1
+		for step := int(m) - 1; step >= 0; step-- {
+			sh := uint(step)
+			window := (rv >> sh) & maskWin
+			window = (window - bExt - cin) & maskWin
+			qi := (qv >> sh) & 1
+			qi ^= window >> m // copy the sign bit
+			if qi&1 == 1 {
+				window = (window + bExt + cin) & maskWin
+			}
+			qi ^= 1
+			qv = bitops.DepositBits(qv, sh, 1, qi)
+			rv = bitops.DepositBits(rv, sh, m+1, window)
+		}
+		return writeQ(writeR(i, rv), qv)
+	}
+}

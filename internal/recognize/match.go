@@ -31,6 +31,9 @@ func matchAt(c *circuit.Circuit, i, hi int, opts Options) *Op {
 	if op := matchAdder(c, i, hi); op != nil {
 		return op
 	}
+	if op := matchAdderCarryOut(c, i, hi); op != nil {
+		return op
+	}
 	if op := matchPhaseFlip(c, i, hi); op != nil {
 		return op
 	}
@@ -257,31 +260,33 @@ func stripControl(g gates.Gate, ec []uint) (gates.Gate, bool) {
 	return out, true
 }
 
-// matchAdderWalk walks the MAJ sweep of a Cuccaro adder (every gate
-// promoted with the ec controls) to infer the registers, then validates
-// the whole window against the regenerated revlib.Adder.
-func matchAdderWalk(c *circuit.Circuit, i, hi int, ec []uint) *adderMatch {
+// walkMAJSweep walks the MAJ sweep opening a Cuccaro adder (every gate
+// promoted with the ec controls) and infers the operand registers and the
+// carry ancilla. The inferred width is the longest the stream supports;
+// callers validate the full window (and may shrink) against a regenerated
+// reference.
+func walkMAJSweep(c *circuit.Circuit, i, hi int, ec []uint) (aBits, bBits []uint, carry uint, ok bool) {
 	gs := c.Gates
 	if i+6 > hi {
-		return nil
+		return nil, nil, 0, false
 	}
 	isXG := func(g gates.Gate, nc int) bool {
 		return sameMatrix(g.Matrix, gates.MatX) && len(g.Controls) == nc
 	}
-	g0, ok := stripControl(gs[i], ec)
-	if !ok || !isXG(g0, 1) {
-		return nil
+	g0, sok := stripControl(gs[i], ec)
+	if !sok || !isXG(g0, 1) {
+		return nil, nil, 0, false
 	}
-	aBits := []uint{g0.Controls[0]}
-	bBits := []uint{g0.Target}
-	g1, ok := stripControl(gs[i+1], ec)
-	if !ok || !isXG(g1, 1) || g1.Controls[0] != aBits[0] {
-		return nil
+	aBits = []uint{g0.Controls[0]}
+	bBits = []uint{g0.Target}
+	g1, sok := stripControl(gs[i+1], ec)
+	if !sok || !isXG(g1, 1) || g1.Controls[0] != aBits[0] {
+		return nil, nil, 0, false
 	}
-	carry := g1.Target
-	g2, ok := stripControl(gs[i+2], ec)
-	if !ok || !isXG(g2, 2) || g2.Target != aBits[0] {
-		return nil
+	carry = g1.Target
+	g2, sok := stripControl(gs[i+2], ec)
+	if !sok || !isXG(g2, 2) || g2.Target != aBits[0] {
+		return nil, nil, 0, false
 	}
 	// Walk further MAJ triples: cnot(a_k, b_k), cnot(a_k, a_{k-1}),
 	// ccx(a_{k-1}, b_k, a_k).
@@ -303,6 +308,18 @@ func matchAdderWalk(c *circuit.Circuit, i, hi int, ec []uint) *adderMatch {
 		}
 		aBits = append(aBits, ak)
 		bBits = append(bBits, gA.Target)
+	}
+	return aBits, bBits, carry, true
+}
+
+// matchAdderWalk walks the MAJ sweep of a Cuccaro adder (every gate
+// promoted with the ec controls) to infer the registers, then validates
+// the whole window against the regenerated revlib.Adder.
+func matchAdderWalk(c *circuit.Circuit, i, hi int, ec []uint) *adderMatch {
+	gs := c.Gates
+	aBits, bBits, carry, ok := walkMAJSweep(c, i, hi, ec)
+	if !ok {
+		return nil
 	}
 	w := uint(len(aBits))
 	if !distinctQubits(aBits, bBits, []uint{carry}, ec) {
@@ -350,6 +367,46 @@ func matchAdder(c *circuit.Circuit, i, hi int) *Op {
 	}
 	return &Op{Lo: i, Hi: i + ad.len, kind: opAdd,
 		regA: ad.a, regB: ad.b, carry: ad.carry, m: uint(len(ad.a))}
+}
+
+// matchAdderCarryOut recognises revlib.AdderWithCarryOut: a Cuccaro MAJ
+// sweep, a CNOT copying the final carry out of a's top bit into an extra
+// qubit, then the UMA sweep — the permutation b += a + carry with the
+// (w+1)-th sum bit XORed into carryOut. The MAJ walk infers the registers;
+// the whole window is validated gate for gate against the regenerated
+// reference, shrinking the width when the walk overshot.
+func matchAdderCarryOut(c *circuit.Circuit, i, hi int) *Op {
+	gs := c.Gates
+	if !isCNOT(gs[i]) {
+		return nil
+	}
+	aBits, bBits, carry, ok := walkMAJSweep(c, i, hi, nil)
+	if !ok {
+		return nil
+	}
+	for w := len(aBits); w >= 1; w-- {
+		j := i + 3*w // expected position of the carry-out CNOT
+		if j >= hi {
+			continue
+		}
+		g := gs[j]
+		if !isCNOT(g) || g.Controls[0] != aBits[w-1] {
+			continue
+		}
+		carryOut := g.Target
+		a, b := aBits[:w], bBits[:w]
+		if !distinctQubits(a, b, []uint{carry, carryOut}) {
+			continue
+		}
+		ref := circuit.New(maxQubit(a, b, []uint{carry, carryOut}) + 1)
+		revlib.AdderWithCarryOut(ref, revlib.Register(a), revlib.Register(b), carry, carryOut)
+		if !matchWindow(gs, i, hi, ref.Gates) {
+			continue
+		}
+		return &Op{Lo: i, Hi: i + len(ref.Gates), kind: opAddc,
+			regA: a, regB: b, carry: carry, bz: carryOut, m: uint(w)}
+	}
+	return nil
 }
 
 // matchMultiplier recognises revlib.Multiplier's shape: m controlled

@@ -16,6 +16,7 @@ const (
 	opQFT       opKind = iota // Fourier transform on a contiguous field
 	opAdd                     // b += a + carry
 	opSub                     // b -= a + carry
+	opAddc                    // b += a + carry with the carry-out XORed into an extra qubit
 	opMul                     // shift-and-add product accumulate
 	opDiv                     // restoring division
 	opDiag                    // precomputed diagonal over the support qubits
@@ -31,6 +32,8 @@ func (k opKind) String() string {
 		return "add"
 	case opSub:
 		return "sub"
+	case opAddc:
+		return "addc"
 	case opMul:
 		return "mul"
 	case opDiv:
@@ -65,7 +68,9 @@ type Op struct {
 	noswap     bool // composed with the field bit reversal
 	plan       *fft.Plan
 
-	// Arithmetic registers as bit-position lists (LSB first).
+	// Arithmetic registers as bit-position lists (LSB first). bz is the
+	// divider's zero-extension ancilla; for addc it doubles as the
+	// carry-out qubit.
 	regA, regB, regC []uint
 	regR, regQ       []uint
 	carry, bz        uint
@@ -101,7 +106,7 @@ func (op *Op) String() string {
 			name += "-noswap"
 		}
 		what = fmt.Sprintf("%s[%d,%d)", name, op.pos, op.pos+op.width)
-	case opAdd, opSub, opMul, opDiv:
+	case opAdd, opSub, opAddc, opMul, opDiv:
 		what = fmt.Sprintf("%s m=%d", op.kind, op.m)
 	case opDiag:
 		what = fmt.Sprintf("diagonal w=%d", len(op.qubits))
@@ -124,6 +129,8 @@ func (op *Op) support() []uint {
 		return qs
 	case opAdd, opSub:
 		qs = append(append(append(qs, op.regA...), op.regB...), op.carry)
+	case opAddc:
+		qs = append(append(append(append(qs, op.regA...), op.regB...), op.carry), op.bz)
 	case opMul:
 		qs = append(append(append(append(qs, op.regA...), op.regB...), op.regC...), op.carry)
 	case opDiv:
@@ -183,26 +190,9 @@ func (op *Op) Apply(st *statevec.State) {
 	switch op.kind {
 	case opQFT:
 		op.applyQFT(st)
-	case opAdd, opSub:
-		sub := op.kind == opSub
-		readA, _ := fieldIO(op.regA)
-		readB, writeB := fieldIO(op.regB)
-		carry := op.carry
-		mask := bitops.Mask(uint(len(op.regB)))
-		st.ApplyPermutation(func(i uint64) uint64 {
-			av := readA(i) + ((i >> carry) & 1)
-			bv := readB(i)
-			if sub {
-				bv = (bv - av) & mask
-			} else {
-				bv = (bv + av) & mask
-			}
-			return writeB(i, bv)
-		})
-	case opMul:
-		op.applyMul(st)
-	case opDiv:
-		op.applyDiv(st)
+	case opAdd, opSub, opAddc, opMul, opDiv:
+		f, _ := op.Permutation()
+		st.ApplyPermutation(f)
 	case opDiag:
 		if len(op.qubits) <= statevec.MaxMatrixNQubits {
 			st.ApplyDiagN(op.diag, op.qubits)
@@ -267,62 +257,6 @@ func (op *Op) applyQFT(st *statevec.State) {
 	}
 }
 
-func (op *Op) applyMul(st *statevec.State) {
-	m := op.m
-	readA, _ := fieldIO(op.regA)
-	readB, _ := fieldIO(op.regB)
-	readC, writeC := fieldIO(op.regC)
-	carry := op.carry
-	st.ApplyPermutation(func(i uint64) uint64 {
-		av := readA(i)
-		bv := readB(i)
-		cv := readC(i)
-		cin := (i >> carry) & 1
-		// Replay revlib.Multiplier's exact word-level action: for each set
-		// bit k of a, the controlled width-(m-k) Cuccaro adder adds b's low
-		// bits plus the carry-in into c's top field.
-		for k := uint(0); k < m; k++ {
-			if (av>>k)&1 == 0 {
-				continue
-			}
-			mask := bitops.Mask(m - k)
-			hi := (cv >> k) & mask
-			hi = (hi + (bv & mask) + cin) & mask
-			cv = (cv &^ (mask << k)) | (hi << k)
-		}
-		return writeC(i, cv)
-	})
-}
-
-func (op *Op) applyDiv(st *statevec.State) {
-	m := op.m
-	readR, writeR := fieldIO(op.regR)
-	readB, _ := fieldIO(op.regB)
-	readQ, writeQ := fieldIO(op.regQ)
-	bzBit, carry := op.bz, op.carry
-	maskWin := bitops.Mask(m + 1)
-	st.ApplyPermutation(func(i uint64) uint64 {
-		rv := readR(i)
-		bExt := readB(i) | (((i >> bzBit) & 1) << m)
-		qv := readQ(i)
-		cin := (i >> carry) & 1
-		for step := int(m) - 1; step >= 0; step-- {
-			sh := uint(step)
-			window := (rv >> sh) & maskWin
-			window = (window - bExt - cin) & maskWin
-			qi := (qv >> sh) & 1
-			qi ^= window >> m // copy the sign bit
-			if qi&1 == 1 {
-				window = (window + bExt + cin) & maskWin
-			}
-			qi ^= 1
-			qv = bitops.DepositBits(qv, sh, 1, qi)
-			rv = bitops.DepositBits(rv, sh, m+1, window)
-		}
-		return writeQ(writeR(i, rv), qv)
-	})
-}
-
 func (op *Op) applyPhaseFlip(st *statevec.State) {
 	base := scatter(0, op.qubits, op.value)
 	rest := st.NumQubits() - uint(len(op.qubits))
@@ -354,10 +288,10 @@ func (op *Op) remapped(f func(uint) uint) *Op {
 		cp.pos = f(op.pos)
 	}
 	switch op.kind {
-	case opAdd, opSub, opMul, opDiv:
+	case opAdd, opSub, opAddc, opMul, opDiv:
 		cp.carry = f(op.carry)
 	}
-	if op.kind == opDiv {
+	if op.kind == opDiv || op.kind == opAddc {
 		cp.bz = f(op.bz)
 	}
 	return &cp

@@ -206,18 +206,52 @@ func Analyze(c *circuit.Circuit, opts Options) *Plan {
 		}
 		ops = kept
 	}
+	p.Segments = buildSegments(ops, c.Len())
+	return p
+}
+
+// buildSegments interleaves the (sorted, disjoint) ops with the gate
+// ranges between them into a full schedule over total gates.
+func buildSegments(ops []*Op, total int) []Segment {
+	var segs []Segment
 	cur := 0
 	for _, op := range ops {
 		if op.Lo > cur {
-			p.Segments = append(p.Segments, Segment{Lo: cur, Hi: op.Lo})
+			segs = append(segs, Segment{Lo: cur, Hi: op.Lo})
 		}
-		p.Segments = append(p.Segments, Segment{Op: op, Lo: op.Lo, Hi: op.Hi})
+		segs = append(segs, Segment{Op: op, Lo: op.Lo, Hi: op.Hi})
 		cur = op.Hi
 	}
-	if cur < c.Len() {
-		p.Segments = append(p.Segments, Segment{Lo: cur, Hi: c.Len()})
+	if cur < total {
+		segs = append(segs, Segment{Lo: cur, Hi: total})
 	}
-	return p
+	return segs
+}
+
+// Filter returns a copy of the plan keeping only the ops the predicate
+// approves; the gate ranges of dropped ops are merged back into the
+// surrounding gate-level segments, and each drop is recorded in Skipped
+// with the given reason. Execution engines use it to apply per-target
+// policy on top of Analyze: the emulation cost model (a tiny diagonal run
+// the fused kernels handle in the same single sweep) and distributed
+// lowerability (an op with no cluster substrate).
+func (p *Plan) Filter(keep func(*Op) bool, reason string) *Plan {
+	out := &Plan{NumQubits: p.NumQubits, NumGates: p.NumGates,
+		Skipped: append([]Skip(nil), p.Skipped...)}
+	var ops []*Op
+	for _, s := range p.Segments {
+		if s.Op == nil {
+			continue
+		}
+		if keep(s.Op) {
+			ops = append(ops, s.Op)
+			continue
+		}
+		out.Skipped = append(out.Skipped, Skip{Name: s.Op.kind.String(),
+			Lo: s.Op.Lo, Hi: s.Op.Hi, Reason: reason})
+	}
+	out.Segments = buildSegments(ops, p.NumGates)
+	return out
 }
 
 // matchGaps runs the pattern matchers over the gate ranges not covered by
@@ -281,6 +315,15 @@ func annotatedOp(c *circuit.Circuit, r circuit.Region) (*Op, error) {
 			op.kind = opSub
 		}
 		op.regA, op.regB, op.carry = regs[0], regs[1], aux[0]
+		op.m = uint(len(regs[0]))
+		return op, nil
+	case "addc":
+		regs, aux, err := splitArgs(args, n, 2, 2)
+		if err != nil {
+			return nil, fmt.Errorf("addc: %v", err)
+		}
+		op.kind = opAddc
+		op.regA, op.regB, op.carry, op.bz = regs[0], regs[1], aux[0], aux[1]
 		op.m = uint(len(regs[0]))
 		return op, nil
 	case "mul":

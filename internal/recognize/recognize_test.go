@@ -369,8 +369,21 @@ func TestWideRegistersStayGateLevel(t *testing.T) {
 	}
 }
 
-func TestDistributedRejectsEmulate(t *testing.T) {
-	if _, err := sim.NewDistributed(8, sim.Options{Nodes: 2, Emulate: sim.EmulateAuto}); err == nil {
-		t.Fatal("NewDistributed accepted Options.Emulate")
+// TestDistributedHonoursEmulate: the former Emulate-rejection special
+// case is gone — the distributed backend consumes recognition plans,
+// lowering recognised regions to the cluster substrates and matching the
+// single-node emulating simulator exactly.
+func TestDistributedHonoursEmulate(t *testing.T) {
+	const n = 8
+	c := qft.Circuit(n)
+	d, err := sim.NewDistributed(n, sim.Options{Nodes: 2, Emulate: sim.EmulateAuto})
+	if err != nil {
+		t.Fatalf("NewDistributed rejected Options.Emulate: %v", err)
+	}
+	d.Run(c)
+	ref := sim.NewWithOptions(n, sim.Options{Specialize: true, Fuse: true, Emulate: sim.EmulateAuto})
+	ref.Run(c)
+	if diff := d.State().MaxDiff(ref.State()); diff > eps {
+		t.Fatalf("distributed emulation diverges from single-node by %g", diff)
 	}
 }

@@ -93,7 +93,10 @@ func Adder(circ *circuit.Circuit, a, b Register, carryAnc uint) {
 
 // AdderWithCarryOut is Adder but additionally XORs the carry out of the
 // most significant position into qubit carryOut, computing the full
-// (w+1)-bit sum.
+// (w+1)-bit sum. The range is annotated as an "addc" region (args: w, the
+// a bits, the b bits, the carry ancilla and the carry-out qubit) so the
+// emulation dispatcher can lower it to the permutation
+// b += a + carry, carryOut ^= carry-out.
 func AdderWithCarryOut(circ *circuit.Circuit, a, b Register, carryAnc, carryOut uint) {
 	w := a.Width()
 	if b.Width() != w {
@@ -102,6 +105,7 @@ func AdderWithCarryOut(circ *circuit.Circuit, a, b Register, carryAnc, carryOut 
 	if w == 0 {
 		return
 	}
+	lo := circ.Len()
 	carry := carryAnc
 	for i := uint(0); i < w; i++ {
 		maj(circ, carry, b[i], a[i])
@@ -115,6 +119,8 @@ func AdderWithCarryOut(circ *circuit.Circuit, a, b Register, carryAnc, carryOut 
 		}
 		uma(circ, prev, b[i], a[i])
 	}
+	args := append(arithArgs(a, b, carryAnc), uint64(carryOut))
+	circ.Annotate(circuit.Region{Name: "addc", Args: args, Lo: lo, Hi: circ.Len()})
 }
 
 // Subtractor appends b -= a (mod 2^w) using the two's-complement identity

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/fuse"
 	"repro/internal/gates"
+	"repro/internal/recognize"
 	"repro/internal/statevec"
 )
 
@@ -31,9 +32,6 @@ func NewDistributed(n uint, opts Options) (*Distributed, error) {
 	}
 	if p&(p-1) != 0 {
 		return nil, fmt.Errorf("sim: distributed node count %d is not a power of two", p)
-	}
-	if opts.Emulate != EmulateOff {
-		return nil, fmt.Errorf("sim: emulation dispatch (Options.Emulate) is single-node only")
 	}
 	if opts.MaxLocalQubits > 0 {
 		for nodeBits(p) < n && n-nodeBits(p) > opts.MaxLocalQubits {
@@ -78,8 +76,43 @@ func (d *Distributed) ApplyGate(g gates.Gate) { d.c.ApplyGate(g) }
 // configured width (clamped to the shard capacity), then batched
 // placement remaps. FuseWidth < 2 degenerates to width-1 planning, which
 // still merges same-target runs and batches remote-qubit gates.
+//
+// With Options.Emulate set, the circuit is first analysed by
+// internal/recognize and recognised subroutines run through the
+// distributed emulation substrates (cluster.ApplyOp): full-register QFT
+// regions as the four-step distributed FFT, arithmetic as one cluster-wide
+// permutation, diagonal runs shard-locally. Ops without a distributed
+// lowering — and all the gates between regions — stay on the scheduled
+// gate path.
 func (d *Distributed) Run(c *circuit.Circuit) {
 	width := d.opts.FuseWidth
+	if d.opts.Emulate != EmulateOff {
+		n, L, P := d.c.NumQubits(), d.c.L, d.c.P
+		plan := recognize.Analyze(c, recognize.DefaultOptions(d.opts.Emulate))
+		// Same cost model as the unified backend compiler: tiny diagonal
+		// runs the fused kernels execute in one sweep stay gate-level.
+		plan = plan.Filter(
+			recognize.KeepAboveDiagCutoff(recognize.DefaultDiagCutoffGates,
+				uint(cluster.ClampFuseWidth(width, L))),
+			"cost model: below the dispatch cutoff, the fused kernel runs it in one sweep")
+		plan = plan.Filter(func(op *recognize.Op) bool {
+			_, ok := cluster.Lowerable(op, n, L, P)
+			return ok
+		}, "no distributed lowering; gate-level")
+		for _, seg := range plan.Segments {
+			if seg.Op != nil {
+				if _, err := d.c.ApplyOp(seg.Op); err != nil {
+					panic(fmt.Sprintf("sim: distributed emulation failed: %v", err))
+				}
+				continue
+			}
+			sub := &circuit.Circuit{NumQubits: c.NumQubits, Gates: c.Gates[seg.Lo:seg.Hi]}
+			if err := d.c.RunScheduled(sub, width); err != nil {
+				panic(fmt.Sprintf("sim: distributed run failed: %v", err))
+			}
+		}
+		return
+	}
 	if err := d.c.RunScheduled(c, width); err != nil {
 		panic(fmt.Sprintf("sim: distributed run failed: %v", err))
 	}

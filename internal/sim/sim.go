@@ -92,9 +92,11 @@ type Options struct {
 	// Emulate enables emulation dispatch: Run analyses each circuit with
 	// internal/recognize and executes recognised subroutines (QFT regions,
 	// reversible arithmetic, phase oracles) as classical shortcuts,
-	// handing everything else to the configured gate-level path. Only the
-	// single-address-space simulator honours it; NewDistributed rejects
-	// it.
+	// handing everything else to the configured gate-level path. The
+	// distributed backend honours it too: recognised ops lower through the
+	// cluster substrates (four-step FFT, cluster-wide permutations,
+	// shard-local diagonals), with ops that have no distributed lowering
+	// falling back to the scheduled gate path.
 	Emulate EmulateMode
 }
 

@@ -3,23 +3,55 @@
 // "High Performance Emulation of Quantum Circuits" (SC 2016,
 // arXiv:1604.06460).
 //
+// # The entrypoint
+//
+// Open is the single constructor for every execution engine:
+//
+//	b, err := repro.Open(n)                                    // the paper's fused simulator
+//	b, err := repro.Open(n, repro.WithFusion(4))               // multi-qubit block fusion
+//	b, err := repro.Open(n, repro.WithEmulation(repro.EmulateAuto)) // emulation dispatch
+//	b, err := repro.Open(n, repro.WithNodes(8),                // distributed engine,
+//	    repro.WithEmulation(repro.EmulateAuto))                //   emulating subroutines
+//
+// Every backend speaks the same interface (Run, ApplyGate,
+// Sample/Measure, State, Stats, Close) and executes the same compiled
+// Executables: Compile runs the explicit pass pipeline — recognize
+// emulation regions, apply the cost model, fuse residual gate runs,
+// schedule placement remaps on distributed targets — and Run is pure
+// dispatch, returning a unified Result (emulated regions, fused blocks,
+// communication rounds/bytes, wall time). See internal/backend for the
+// pipeline contract.
+//
 // Two execution models are provided over the same 2^n state vector:
 //
-//   - the Simulator executes every elementary gate of a circuit through
-//     structure-specialised kernels (what a quantum computer would do,
-//     gate by gate);
-//   - the Emulator replaces whole subroutines with classical shortcuts:
+//   - gate-level simulation executes every elementary gate through
+//     structure-specialised kernels (what a quantum computer would do);
+//   - emulation replaces whole subroutines with classical shortcuts:
 //     arithmetic becomes a basis-state permutation, the quantum Fourier
-//     transform becomes a classical FFT, phase estimation becomes dense
-//     linear algebra, and measurement statistics are read off exactly.
+//     transform becomes a classical FFT (the four-step distributed FFT on
+//     the cluster engine), phase estimation becomes dense linear algebra,
+//     and measurement statistics are read off exactly.
 //
-// The facade re-exports the most commonly used constructors; the full API
-// lives in the internal packages (core, sim, recognize, fuse, statevec,
-// circuit, gates, qasm, qft, qpe, revlib, cluster, linalg, fft,
-// perfmodel).
+// # Migration from the constructor zoo
+//
+// The pre-Open constructors remain as thin deprecated delegates:
+//
+//	NewSimulator(n)                  -> Open(n)
+//	NewSimulatorWithOptions(n, o)    -> Open(n, WithFusion(o.FuseWidth), WithWorkers(o.Workers), ...)
+//	NewEmulatingSimulator(n)         -> Open(n, WithEmulation(EmulateAuto))
+//	NewDistributedSimulator(n, o)    -> Open(n, WithNodes(o.Nodes), WithFusion(o.FuseWidth), ...)
+//	NewEmulator(n)                   -> Open(n, WithEmulation(EmulateAuto)); the imperative
+//	                                    shortcut methods stay on core.Emulator
+//	NewCluster(n, p)                 -> Open(n, WithNodes(p)); the raw machine stays
+//	                                    available via internal/cluster
+//
+// The full API lives in the internal packages (backend, core, sim,
+// recognize, fuse, statevec, circuit, gates, qasm, qft, qpe, revlib,
+// cluster, linalg, fft, perfmodel).
 package repro
 
 import (
+	"repro/internal/backend"
 	"repro/internal/circuit"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -30,7 +62,121 @@ import (
 	"repro/internal/statevec"
 )
 
-// Emulator is the paper's primary contribution; see internal/core.
+// Backend is the uniform execution interface over every engine: the local
+// fused simulator, the qhipster-class and sparse baselines, and the
+// distributed cluster engine. See internal/backend.
+type Backend = backend.Backend
+
+// Target is a backend's execution shape — what Compile needs to build an
+// Executable the backend accepts.
+type Target = backend.Target
+
+// Executable is a compiled circuit: recognised emulation ops plus fused
+// (and, on distributed targets, placement-scheduled) gate segments. It is
+// immutable and reusable across runs.
+type Executable = backend.Executable
+
+// Result is the unified outcome of one run: emulated regions (and their
+// substrates), fused blocks, communication rounds/bytes, wall time.
+type Result = backend.Result
+
+// BackendStats is the cumulative counter snapshot every backend reports.
+type BackendStats = backend.Stats
+
+// OpenOption configures Open.
+type OpenOption func(*backend.Target)
+
+// WithFusion enables multi-qubit block fusion at the given width (>= 2);
+// 0 or 1 keeps the classic same-target fusion. On distributed backends
+// the width is clamped to the per-node shard capacity.
+func WithFusion(width int) OpenOption {
+	return func(t *backend.Target) { t.FuseWidth = width }
+}
+
+// WithEmulation selects the emulation-dispatch mode: recognised
+// subroutines (annotated regions; in Auto mode also pattern-matched QFT
+// ladders, reversible arithmetic, phase oracles, diagonal runs) execute
+// as classical shortcuts instead of gate by gate — on the distributed
+// engine too, where QFT regions lower to the four-step distributed FFT
+// and arithmetic to cluster-wide permutations.
+func WithEmulation(mode EmulateMode) OpenOption {
+	return func(t *backend.Target) { t.Emulate = mode }
+}
+
+// WithNodes shards the register across p emulated cluster nodes (power of
+// two) running the communication-avoiding placement scheduler. p <= 1
+// keeps the single-address-space engine.
+func WithNodes(p int) OpenOption {
+	return func(t *backend.Target) {
+		t.Nodes = p
+		if p > 1 {
+			t.Kind = backend.Cluster
+		}
+	}
+}
+
+// WithMaxLocalQubits caps the per-node shard size of a distributed
+// backend: the node count is raised (beyond WithNodes if needed) until
+// each node holds at most 2^l amplitudes.
+func WithMaxLocalQubits(l uint) OpenOption {
+	return func(t *backend.Target) {
+		t.MaxLocalQubits = l
+		t.Kind = backend.Cluster
+	}
+}
+
+// WithWorkers caps the state-vector kernel parallelism (per shard on
+// distributed backends); 1 forces the single-threaded variants.
+func WithWorkers(k int) OpenOption {
+	return func(t *backend.Target) { t.Workers = k }
+}
+
+// WithGenericKernels selects the qHiPSTER-class structure-blind baseline:
+// every gate through the dense 2x2 kernel, no fusion.
+func WithGenericKernels() OpenOption {
+	return func(t *backend.Target) { t.Kind = backend.Generic }
+}
+
+// WithSparseKernels selects the LIQUi|>-class baseline: every gate as an
+// explicit sparse matrix-vector product.
+func WithSparseKernels() OpenOption {
+	return func(t *backend.Target) { t.Kind = backend.Sparse }
+}
+
+// WithDiagonalCutoff tunes the emulation cost model: a recognised
+// diagonal run with fewer than minGates gates whose support fits in
+// maxWidth qubits stays on the fused gate path (which executes it in the
+// same single sweep). Zero values pick the defaults; a negative minGates
+// disables the cutoff so every recognised run dispatches.
+func WithDiagonalCutoff(minGates int, maxWidth uint) OpenOption {
+	return func(t *backend.Target) {
+		t.DiagMinGates = minGates
+		t.DiagMaxWidth = maxWidth
+	}
+}
+
+// Open returns a Backend over a fresh |0...0> register of n qubits,
+// configured by the options. It is the single entrypoint for every
+// engine; see the package comment for the option-to-engine mapping.
+func Open(n uint, opts ...OpenOption) (Backend, error) {
+	t := backend.Target{NumQubits: n, Kind: backend.Fused}
+	for _, o := range opts {
+		o(&t)
+	}
+	return backend.New(t)
+}
+
+// Compile runs the pass pipeline (recognize -> cost model -> fuse ->
+// placement) over a circuit for a backend's Target, returning an
+// Executable reusable across runs: b.Run(x) executes it. Use
+// backend.Execute (or b.Run(must(Compile(...)))) for one-shot runs.
+func Compile(c *Circuit, t Target) (*Executable, error) {
+	return backend.Compile(c, t)
+}
+
+// Emulator is the paper's primary contribution; see internal/core. Its
+// imperative shortcut methods (Multiply, ApplyPhaseOracle, QFTRange, ...)
+// complement the circuit-level dispatch of Open's backends.
 type Emulator = core.Emulator
 
 // Simulator is the optimised gate-level simulator; see internal/sim.
@@ -69,14 +215,14 @@ type SimOptions = sim.Options
 // commutation-aware gate-fusion scheduler; see internal/fuse.
 type FusionPlan = fuse.Plan
 
-// EmulateMode selects the emulation-dispatch behaviour of SimOptions:
-// EmulateOff (default), EmulateAnnotated (trust circuit region
-// annotations) or EmulateAuto (also pattern-match unannotated QFT
-// ladders, revlib arithmetic shapes, phase oracles and diagonal runs).
-// See internal/recognize.
+// EmulateMode selects the emulation-dispatch behaviour: EmulateOff
+// (default), EmulateAnnotated (trust circuit region annotations) or
+// EmulateAuto (also pattern-match unannotated QFT ladders, revlib
+// arithmetic shapes, phase oracles and diagonal runs). See
+// internal/recognize.
 type EmulateMode = sim.EmulateMode
 
-// Emulation-dispatch modes for SimOptions.Emulate.
+// Emulation-dispatch modes for WithEmulation and SimOptions.Emulate.
 const (
 	EmulateOff       = sim.EmulateOff
 	EmulateAnnotated = sim.EmulateAnnotated
@@ -94,34 +240,44 @@ type Region = circuit.Region
 
 // NewEmulator returns an emulator over a fresh |0...0> register of n
 // qubits.
+//
+// Deprecated: for circuit-level programs use Open(n,
+// WithEmulation(EmulateAuto)); NewEmulator remains for the imperative
+// shortcut methods of core.Emulator.
 func NewEmulator(n uint) *Emulator { return core.New(n) }
 
 // NewSimulator returns the optimised gate-level simulator over a fresh
 // register of n qubits.
+//
+// Deprecated: use Open(n).
 func NewSimulator(n uint) *Simulator { return sim.New(n) }
 
 // NewSimulatorWithOptions returns a simulator with explicit optimisation
 // settings, e.g. SimOptions{Specialize: true, FuseWidth: 4} for
 // multi-qubit block fusion.
+//
+// Deprecated: use Open(n, WithFusion(w), WithWorkers(k), ...).
 func NewSimulatorWithOptions(n uint, opts SimOptions) *Simulator {
 	return sim.NewWithOptions(n, opts)
 }
 
 // PlanFusion builds a width-k fused execution schedule for c, reusable
-// across runs via Simulator.RunPlan; see internal/fuse.
+// across runs via Simulator.RunPlan; see internal/fuse. Open's backends
+// plan fusion through Compile instead.
 func PlanFusion(c *Circuit, width int) *FusionPlan { return fuse.New(c, width) }
 
 // NewEmulatingSimulator returns a simulator with emulation dispatch in
-// Auto mode on top of the default optimisations: circuits run through the
-// paper's Section 3 shortcuts wherever subroutines are annotated or
-// recognised, and through the fused gate kernels elsewhere.
+// Auto mode on top of the default optimisations.
+//
+// Deprecated: use Open(n, WithEmulation(EmulateAuto)).
 func NewEmulatingSimulator(n uint) *Simulator {
 	return sim.NewWithOptions(n, sim.Options{Specialize: true, Fuse: true, Emulate: sim.EmulateAuto})
 }
 
 // PlanEmulation analyses a circuit for emulatable subroutines at the
 // given mode; the plan is reusable across runs via
-// Simulator.RunEmulationPlan.
+// Simulator.RunEmulationPlan. Open's backends run the same analysis as
+// the first pass of Compile.
 func PlanEmulation(c *Circuit, mode EmulateMode) *EmulationPlan {
 	return sim.PlanEmulation(c, mode)
 }
@@ -131,13 +287,18 @@ func NewCircuit(n uint) *Circuit { return circuit.New(n) }
 
 // NewCluster returns a p-node emulated distributed machine holding an
 // n-qubit register.
+//
+// Deprecated: use Open(n, WithNodes(p)); the raw machine remains
+// available via internal/cluster for placement-level work.
 func NewCluster(n uint, p int) (*Cluster, error) { return cluster.New(n, p) }
 
 // NewDistributedSimulator returns a simulator whose register is sharded
 // across emulated cluster nodes, e.g. SimOptions{Nodes: 8, FuseWidth: 4}.
-// Circuits run through the communication-avoiding scheduler: remote-qubit
-// gates are batched into all-to-all placement-remap rounds instead of
-// exchanging shards gate by gate.
+// Emulation dispatch (Options.Emulate) is honoured: recognised regions
+// lower to the distributed substrates.
+//
+// Deprecated: use Open(n, WithNodes(p), WithFusion(w),
+// WithEmulation(mode)).
 func NewDistributedSimulator(n uint, opts SimOptions) (*DistributedSimulator, error) {
 	return sim.NewDistributed(n, opts)
 }
@@ -145,7 +306,7 @@ func NewDistributedSimulator(n uint, opts SimOptions) (*DistributedSimulator, er
 // PlanCluster builds the distributed communication schedule for a fusion
 // plan on a (n, localQubits) cluster shape without executing it — the way
 // to inspect how many remap rounds a circuit needs before committing to a
-// node count.
+// node count. Compile does this per gate segment for distributed targets.
 func PlanCluster(p *FusionPlan, n, localQubits uint) (*ClusterSchedule, error) {
 	return cluster.BuildSchedule(p, n, localQubits, true)
 }
