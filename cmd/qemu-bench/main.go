@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	qemu-bench [-experiment all|fig1|...|fig6|table2|measure|mathfunc|fusion|cluster|cluster-emulate]
+//	qemu-bench [-experiment all|fig1|...|fig6|table2|measure|mathfunc|fusion|cluster|cluster-emulate|serve]
 //	           [-quick] [-max-sim-m M] [-max-emu-m M] [-local-qubits L]
 //	           [-max-nodes P] [-max-qubits N] [-max-measured-n N] [-fuse-width K]
 //
@@ -111,6 +111,15 @@ func (c *collector) addEmulate(rows []experiments.EmulateRow) {
 	}
 }
 
+func (c *collector) addServe(rows []experiments.ServeRow) {
+	for _, r := range rows {
+		c.add("serve", r.Name, "cold-compile", r.Qubits, r.TColdCompile, 0)
+		c.add("serve", r.Name, "cache-hit", r.Qubits, r.TCacheHit, 0)
+		c.add("serve", r.Name, "per-request", r.Qubits, r.TPerRequest, 0)
+		c.add("serve", r.Name, "batched", r.Qubits, r.TBatched, 0)
+	}
+}
+
 func (c *collector) addMeasure(rows []experiments.MeasureRow) {
 	for i, r := range rows {
 		if i == 0 {
@@ -129,7 +138,7 @@ func (c *collector) write(path string) error {
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "which experiment to run (all, fig1, fig2, fig3, fig4, fig5, fig6, table2, measure, mathfunc, fusion, emulate, cluster, cluster-emulate)")
+		experiment   = flag.String("experiment", "all", "which experiment to run (all, fig1, fig2, fig3, fig4, fig5, fig6, table2, measure, mathfunc, fusion, emulate, cluster, cluster-emulate, serve)")
 		quick        = flag.Bool("quick", false, "shrink every sweep for a fast smoke run")
 		maxSimM      = flag.Uint("max-sim-m", 0, "override: largest simulated operand width for fig1/fig2")
 		maxEmuM      = flag.Uint("max-emu-m", 0, "override: largest emulated operand width for fig1/fig2")
@@ -325,6 +334,22 @@ func main() {
 		rows := experiments.ClusterEmulate(cfg)
 		col.addClusterEmulate(rows)
 		fmt.Println(experiments.FormatClusterEmulate(rows))
+	}
+	if run("serve") {
+		ran = true
+		cfg := experiments.DefaultServe()
+		if *quick {
+			cfg = experiments.QuickServe()
+		}
+		if *maxQubits > 0 {
+			cfg.Qubits = *maxQubits
+		}
+		if *fuseWidth > 0 {
+			cfg.FuseWidth = *fuseWidth
+		}
+		rows := experiments.Serve(cfg)
+		col.addServe(rows)
+		fmt.Println(experiments.FormatServe(rows))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)

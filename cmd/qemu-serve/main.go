@@ -1,0 +1,129 @@
+// Command qemu-serve is the compile-once/run-many simulation daemon: an
+// HTTP service that accepts qasm circuits, compiles each one exactly
+// once through the backend pass pipeline, and serves every later shot
+// request from the cached compiled artifact and its prepared state (see
+// internal/serve for the API and cache policy).
+//
+// Usage:
+//
+//	qemu-serve [-addr :8451] [-cache-qubits N | -cache-bytes B]
+//	           [-persist DIR] [-workers K] [-max-shots K]
+//	           [-fuse-width K] [-emulate off|annotated|auto] [-nodes P]
+//
+// The cache budget is expressed either directly in bytes or as
+// -cache-qubits N, the working set of one N-qubit session (16<<N
+// bytes). -persist DIR keeps admitted artifacts on disk as <key>.qexe
+// and warm-starts the cache from them on restart.
+//
+// Quickstart:
+//
+//	qemu-serve -emulate auto &
+//	curl -s localhost:8451/v1/run -d '{"qasm":"qubits 2\nh 0\ncnot 0 1\n","shots":5,"seed":1}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/recognize"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8451", "listen address")
+		cacheBytes  = flag.Uint64("cache-bytes", 0, "cache budget in session-state bytes (0 = use -cache-qubits)")
+		cacheQubits = flag.Uint("cache-qubits", 0, "cache budget as one N-qubit session, 16<<N bytes (0 = the 2 GiB default)")
+		persist     = flag.String("persist", "", "artifact persistence directory (enables warm starts)")
+		workers     = flag.Int("workers", 0, "total concurrent worker budget (0 = GOMAXPROCS)")
+		maxShots    = flag.Int("max-shots", 0, "per-request shot limit (0 = 1<<20)")
+		fuseWidth   = flag.Int("fuse-width", 0, "multi-qubit fusion width (0 = classic same-target fusion)")
+		emulate     = flag.String("emulate", "auto", "emulation dispatch: off, annotated, auto")
+		nodes       = flag.Int("nodes", 0, "shard across this many emulated cluster nodes (power of two)")
+	)
+	flag.Parse()
+
+	mode, err := parseEmulate(*emulate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tgt := backend.Target{FuseWidth: *fuseWidth, Emulate: mode}
+	if *nodes > 1 {
+		tgt.Kind = backend.Cluster
+		tgt.Nodes = *nodes
+	}
+	budget := *cacheBytes
+	if budget == 0 && *cacheQubits > 0 {
+		budget = 16 << *cacheQubits
+	}
+	if *persist != "" {
+		if err := os.MkdirAll(*persist, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	svc, err := serve.New(serve.Config{
+		Target:       tgt,
+		CacheBytes:   budget,
+		PersistDir:   *persist,
+		TotalWorkers: *workers,
+		MaxShots:     *maxShots,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	fmt.Printf("qemu-serve listening on %s (cache %s, target %s)\n",
+		*addr, formatBytes(svc.Stats().Cache.Budget), tgt.Kind)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case <-sig:
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+	}
+	svc.Close()
+}
+
+func parseEmulate(s string) (recognize.Mode, error) {
+	switch s {
+	case "off":
+		return recognize.Off, nil
+	case "annotated":
+		return recognize.Annotated, nil
+	case "auto", "":
+		return recognize.Auto, nil
+	}
+	return recognize.Off, fmt.Errorf("qemu-serve: unknown -emulate mode %q", s)
+}
+
+func formatBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	}
+	return fmt.Sprintf("%d B", b)
+}

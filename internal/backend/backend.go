@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"time"
@@ -207,10 +208,17 @@ type Backend interface {
 	SampleMany(k int, src *rng.Source) []uint64
 	// Stats returns the cumulative execution counters.
 	Stats() Stats
-	// Close releases backend resources. The backend must not be used
-	// afterwards.
+	// Close releases backend resources. Close is idempotent and safe to
+	// call concurrently with itself and with in-flight Runs: every call
+	// returns nil, Runs already executing complete normally, and Runs
+	// started after the first Close fail with ErrClosed. The serving path
+	// (internal/serve) relies on this contract to retire cache-evicted
+	// backends without fencing readers.
 	Close() error
 }
+
+// ErrClosed is the error Run returns on a backend that has been closed.
+var ErrClosed = errors.New("backend: closed")
 
 // New opens a backend of the target's kind over a fresh |0...0> register.
 func New(t Target) (Backend, error) {

@@ -1,0 +1,129 @@
+package backend_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/qft"
+	"repro/internal/recognize"
+)
+
+// closeTargets are the shapes the Close contract is pinned on: one local
+// and one distributed backend.
+func closeTargets() []backend.Target {
+	return []backend.Target{
+		{NumQubits: 10, FuseWidth: 3, Emulate: recognize.Auto},
+		{NumQubits: 10, Kind: backend.Cluster, Nodes: 2, Emulate: recognize.Auto},
+	}
+}
+
+// TestCloseIdempotent: every Close call returns nil, including repeated
+// and concurrent ones.
+func TestCloseIdempotent(t *testing.T) {
+	for _, tgt := range closeTargets() {
+		b, err := backend.New(tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := b.Close(); err != nil {
+					t.Errorf("%v: Close returned %v", tgt.Kind, err)
+				}
+			}()
+		}
+		wg.Wait()
+		if err := b.Close(); err != nil {
+			t.Fatalf("%v: Close after Close returned %v", tgt.Kind, err)
+		}
+	}
+}
+
+// TestRunAfterCloseRejected: Runs started after Close fail with
+// ErrClosed instead of touching retired state.
+func TestRunAfterCloseRejected(t *testing.T) {
+	c := prep(10)
+	c.Extend(qft.Circuit(10))
+	for _, tgt := range closeTargets() {
+		b, err := backend.New(tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := backend.Compile(c, b.Target())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Run(x); !errors.Is(err, backend.ErrClosed) {
+			t.Fatalf("%v: Run after Close returned %v, want ErrClosed", tgt.Kind, err)
+		}
+	}
+}
+
+// TestCloseDuringRun: a Close racing in-flight Runs never disturbs them
+// — every Run that started before the close completes normally, and the
+// eventual steady state is that new Runs get ErrClosed. The serving
+// cache relies on this to retire evicted artifacts without fencing
+// readers; the test is meaningful under -race.
+func TestCloseDuringRun(t *testing.T) {
+	c := prep(10)
+	c.Extend(qft.Circuit(10))
+	for _, tgt := range closeTargets() {
+		b, err := backend.New(tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := backend.Compile(c, b.Target())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// First run before any Close must succeed.
+		if _, err := b.Run(x); err != nil {
+			t.Fatalf("%v: pre-close run: %v", tgt.Kind, err)
+		}
+
+		// Run is not itself concurrent with Run (callers serialise it; the
+		// serving layer holds a per-session lock), so one goroutine issues
+		// sequential Runs while several Closes race against them.
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 10; i++ {
+				// Runs racing Close either complete normally or report
+				// ErrClosed — never any other failure, never a panic.
+				if _, err := b.Run(x); err != nil {
+					if !errors.Is(err, backend.ErrClosed) {
+						t.Errorf("%v: racing run failed with %v", tgt.Kind, err)
+					}
+					return
+				}
+			}
+		}()
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				if err := b.Close(); err != nil {
+					t.Errorf("%v: racing close: %v", tgt.Kind, err)
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+
+		if _, err := b.Run(x); !errors.Is(err, backend.ErrClosed) {
+			t.Fatalf("%v: post-race run returned %v, want ErrClosed", tgt.Kind, err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package backend
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -14,9 +15,10 @@ import (
 // gate segments through the communication-avoiding placement scheduler,
 // recognised ops through the distributed emulation substrates.
 type clusterBackend struct {
-	t  Target
-	c  *cluster.Cluster
-	em uint64 // emulated ops executed
+	t      Target
+	c      *cluster.Cluster
+	em     uint64 // emulated ops executed
+	closed atomic.Bool
 }
 
 func newClusterBackend(t Target) (Backend, error) {
@@ -61,13 +63,22 @@ func (b *clusterBackend) Stats() Stats {
 	}
 }
 
-func (b *clusterBackend) Close() error { return nil }
+// Close implements the Backend contract: idempotent, returns nil, and
+// never fences in-flight Runs — shards are garbage-collected, so closing
+// only marks the backend retired and rejects future Runs.
+func (b *clusterBackend) Close() error {
+	b.closed.Store(true)
+	return nil
+}
 
 // Run dispatches the executable: recognised ops lower through
 // Cluster.ApplyOp (four-step FFT, cluster-wide permutations, shard-local
 // diagonals), gate segments execute their precompiled communication
 // schedules.
 func (b *clusterBackend) Run(x *Executable) (*Result, error) {
+	if b.closed.Load() {
+		return nil, ErrClosed
+	}
 	if !sameShape(x.Target, b.t) {
 		return nil, fmt.Errorf("backend: executable compiled for %s P=%d/%d qubits, backend is %s P=%d/%d",
 			x.Target.Kind, x.Target.Nodes, x.Target.NumQubits, b.t.Kind, b.t.Nodes, b.t.NumQubits)

@@ -89,35 +89,55 @@ func Compile(c *circuit.Circuit, t Target) (*Executable, error) {
 			if t.Kind == Cluster {
 				sub, _ = cluster.Lowerable(seg.Op, t.NumQubits, t.LocalQubits(), t.Nodes)
 			}
-			x.Units = append(x.Units, Unit{Op: seg.Op, Substrate: sub, Lo: seg.Lo, Hi: seg.Hi})
-			x.EmulatedGates += seg.Hi - seg.Lo
+			x.addOpUnit(seg.Op, sub, seg.Lo, seg.Hi)
 			continue
 		}
-		u := Unit{Gates: c.Gates[seg.Lo:seg.Hi], Lo: seg.Lo, Hi: seg.Hi}
-		segCirc := &circuit.Circuit{NumQubits: c.NumQubits, Gates: u.Gates}
-		switch t.Kind {
-		case Fused, Cluster:
-			u.Fused = fuse.New(segCirc, int(t.effectiveFuseWidth()))
-			for i := range u.Fused.Blocks {
-				if u.Fused.Blocks[i].Fused() {
-					x.FusedBlocks++
-				}
-			}
-			if t.Kind == Cluster {
-				sched, err := cluster.BuildSchedule(u.Fused, t.NumQubits, t.LocalQubits(), true)
-				if err != nil {
-					return nil, err
-				}
-				u.Sched = sched
-				x.PlannedRemaps += sched.Remaps
-				x.PlannedRounds += sched.Rounds
-			}
-		case Generic, Sparse:
-			// Structure-blind baselines replay the raw gate stream.
+		if err := x.addGateUnit(c.Gates[seg.Lo:seg.Hi], seg.Lo, seg.Hi); err != nil {
+			return nil, err
 		}
-		x.Units = append(x.Units, u)
 	}
 	return x, nil
+}
+
+// addOpUnit appends a recognised-shortcut unit, maintaining the summary
+// counters. It is shared by Compile and the artifact decoder
+// (codec.go), so both construct identical executables.
+func (x *Executable) addOpUnit(op *recognize.Op, substrate string, lo, hi int) {
+	x.Units = append(x.Units, Unit{Op: op, Substrate: substrate, Lo: lo, Hi: hi})
+	x.EmulatedGates += hi - lo
+}
+
+// addGateUnit appends a gate-segment unit, lowering it for the target:
+// fusion planning (Fused and Cluster kinds) and placement scheduling
+// (Cluster kind) — deterministic pure functions of (gates, target), which
+// is what lets the artifact decoder rebuild them instead of shipping
+// them on the wire.
+func (x *Executable) addGateUnit(gs []gates.Gate, lo, hi int) error {
+	t := x.Target
+	u := Unit{Gates: gs, Lo: lo, Hi: hi}
+	segCirc := &circuit.Circuit{NumQubits: x.NumQubits, Gates: u.Gates}
+	switch t.Kind {
+	case Fused, Cluster:
+		u.Fused = fuse.New(segCirc, int(t.effectiveFuseWidth()))
+		for i := range u.Fused.Blocks {
+			if u.Fused.Blocks[i].Fused() {
+				x.FusedBlocks++
+			}
+		}
+		if t.Kind == Cluster {
+			sched, err := cluster.BuildSchedule(u.Fused, t.NumQubits, t.LocalQubits(), true)
+			if err != nil {
+				return err
+			}
+			u.Sched = sched
+			x.PlannedRemaps += sched.Remaps
+			x.PlannedRounds += sched.Rounds
+		}
+	case Generic, Sparse:
+		// Structure-blind baselines replay the raw gate stream.
+	}
+	x.Units = append(x.Units, u)
+	return nil
 }
 
 // result builds the compile-time part of a Result; Run fills Wall and

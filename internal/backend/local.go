@@ -2,6 +2,7 @@ package backend
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/gates"
@@ -14,10 +15,11 @@ import (
 // with the gate kernel chosen by the target kind (specialised, generic
 // dense, or sparse matrix products).
 type local struct {
-	t     Target
-	st    *statevec.State
-	apply func(gates.Gate)
-	stats Stats
+	t      Target
+	st     *statevec.State
+	apply  func(gates.Gate)
+	stats  Stats
+	closed atomic.Bool
 }
 
 func newLocalBackend(t Target) (Backend, error) {
@@ -44,8 +46,15 @@ func (b *local) NumQubits() uint            { return b.t.NumQubits }
 func (b *local) Target() Target             { return b.t }
 func (b *local) State() *statevec.State     { return b.st }
 func (b *local) Stats() Stats               { return b.stats }
-func (b *local) Close() error               { return nil }
 func (b *local) Probability(q uint) float64 { return b.st.Probability(q) }
+
+// Close implements the Backend contract: idempotent, returns nil, and
+// never fences in-flight Runs — the state vector is garbage-collected, so
+// closing only marks the backend retired and rejects future Runs.
+func (b *local) Close() error {
+	b.closed.Store(true)
+	return nil
+}
 
 func (b *local) ApplyGate(g gates.Gate) {
 	b.stats.Gates++
@@ -62,6 +71,9 @@ func (b *local) SampleMany(k int, src *rng.Source) []uint64 {
 // shortcut, gate segments run their fused plan (Fused kind) or replay
 // gate by gate through the kind's kernel.
 func (b *local) Run(x *Executable) (*Result, error) {
+	if b.closed.Load() {
+		return nil, ErrClosed
+	}
 	if !sameShape(x.Target, b.t) {
 		return nil, fmt.Errorf("backend: executable compiled for %s/%d qubits, backend is %s/%d",
 			x.Target.Kind, x.Target.NumQubits, b.t.Kind, b.t.NumQubits)

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/backend"
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/qasm"
+	"repro/internal/qft"
+	"repro/internal/recognize"
+	"repro/internal/rng"
+	"repro/internal/serve"
+)
+
+// ServeRow is one workload of the serving benchmark: the
+// compile-once/run-many daemon against the pre-daemon baseline that
+// opens, compiles and executes the circuit for every request.
+type ServeRow struct {
+	Name   string
+	Qubits uint
+	Shots  int // per request
+	// TColdCompile is one cold compile + cache admission; TCacheHit one
+	// shot request served entirely from the cache (no pipeline).
+	TColdCompile float64
+	TCacheHit    float64
+	// TPerRequest is one request the old way (Open + Compile + Run +
+	// Sample per request); TBatched the amortised per-request cost of a
+	// batch sharing one compiled artifact.
+	TPerRequest float64
+	TBatched    float64
+	Speedup     float64 // TPerRequest / TBatched — acceptance floor 5x
+}
+
+// ServeConfig bounds the serving benchmark.
+type ServeConfig struct {
+	Qubits    uint // register width of the QFT workload
+	Batch     int  // requests per batch
+	Shots     int  // shots per request
+	FuseWidth int
+}
+
+// DefaultServe sizes the sweep so the compile+execute cost the daemon
+// amortises is unambiguous but a run still fits CI time.
+func DefaultServe() ServeConfig {
+	return ServeConfig{Qubits: 18, Batch: 32, Shots: 8, FuseWidth: 4}
+}
+
+// QuickServe shrinks the register and batch for a smoke run.
+func QuickServe() ServeConfig {
+	return ServeConfig{Qubits: 14, Batch: 8, Shots: 8, FuseWidth: 4}
+}
+
+// Serve measures the serving path: cold compiles, cache-hit requests,
+// and the batched-vs-per-request amortisation headline.
+func Serve(cfg ServeConfig) []ServeRow {
+	n := cfg.Qubits
+	c := circuit.New(n)
+	for q := uint(0); q < n; q++ {
+		c.Append(gates.H(q))
+		if q%3 == 0 {
+			c.Append(gates.Phase(q, 0.37+float64(q)))
+		}
+	}
+	c.Extend(qft.Circuit(n))
+	var b strings.Builder
+	if err := qasm.Write(&b, c); err != nil {
+		panic(err)
+	}
+	src := b.String()
+	tgt := backend.Target{FuseWidth: cfg.FuseWidth, Emulate: recognize.Auto}
+
+	row := ServeRow{Name: "qft", Qubits: n, Shots: cfg.Shots}
+
+	// Cold compile: pipeline + admission on a fresh service every time.
+	row.TColdCompile = timeIt(shortTime, nil, func() {
+		s := mustService(serve.Config{Target: tgt})
+		if _, err := s.Compile(src); err != nil {
+			panic(err)
+		}
+		s.Close()
+	})
+
+	// Cache hit: one warm service, one shot request per op.
+	warm := mustService(serve.Config{Target: tgt})
+	if _, err := warm.Run(serve.RunRequest{Qasm: src, Shots: cfg.Shots, Seed: 1}); err != nil {
+		panic(err)
+	}
+	seed := uint64(1)
+	row.TCacheHit = timeIt(shortTime, nil, func() {
+		seed++
+		if _, err := warm.Run(serve.RunRequest{Qasm: src, Shots: cfg.Shots, Seed: seed}); err != nil {
+			panic(err)
+		}
+	})
+	warm.Close()
+
+	// Batched: a fresh service serving the whole batch (first request
+	// compiles, the rest share the artifact), amortised per request.
+	row.TBatched = timeIt(shortTime, nil, func() {
+		s := mustService(serve.Config{Target: tgt})
+		for i := 0; i < cfg.Batch; i++ {
+			if _, err := s.Run(serve.RunRequest{Qasm: src, Shots: cfg.Shots, Seed: uint64(i)}); err != nil {
+				panic(err)
+			}
+		}
+		s.Close()
+	}) / float64(cfg.Batch)
+
+	// Per-request baseline: the pre-daemon way — every request parses,
+	// compiles, executes and samples from scratch.
+	row.TPerRequest = timeIt(shortTime, nil, func() {
+		cc, err := qasm.ParseString(src)
+		if err != nil {
+			panic(err)
+		}
+		t := tgt
+		t.NumQubits = cc.NumQubits
+		bk, err := backend.New(t)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := backend.Execute(bk, cc); err != nil {
+			panic(err)
+		}
+		bk.SampleMany(cfg.Shots, rng.New(seed))
+		bk.Close()
+	})
+
+	if row.TBatched > 0 {
+		row.Speedup = row.TPerRequest / row.TBatched
+	}
+	return []ServeRow{row}
+}
+
+func mustService(cfg serve.Config) *serve.Service {
+	s, err := serve.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// FormatServe renders the serving sweep as an aligned table.
+func FormatServe(rows []ServeRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name,
+			fmt.Sprintf("%d", r.Qubits),
+			fmt.Sprintf("%d", r.Shots),
+			secs(r.TColdCompile),
+			secs(r.TCacheHit),
+			secs(r.TPerRequest),
+			secs(r.TBatched),
+			fmt.Sprintf("%.1fx", r.Speedup),
+		})
+	}
+	return "Serving: compile-once/run-many daemon vs per-request open+compile\n" +
+		Table([]string{"circuit", "qubits", "shots/req", "cold-compile", "cache-hit",
+			"per-request", "batched", "speedup"}, out)
+}

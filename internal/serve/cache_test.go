@@ -1,0 +1,239 @@
+package serve_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/serve"
+)
+
+// execOf compiles a minimal n-qubit circuit — cache cost accounting
+// depends only on the register width, so one gate is enough.
+func execOf(t *testing.T, n uint) *backend.Executable {
+	t.Helper()
+	c := circuit.New(n)
+	c.Append(gates.H(0))
+	x, err := backend.Compile(c, backend.Target{NumQubits: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// TestCacheCostAccounting pins the unit of memory accounting: the
+// 2^n-amplitude session state, 16<<n bytes.
+func TestCacheCostAccounting(t *testing.T) {
+	if got := serve.CostOf(execOf(t, 22)); got != 1<<26 {
+		t.Fatalf("22-qubit artifact costed %d bytes, want 2^26", got)
+	}
+	if got := serve.CostOf(execOf(t, 10)); got != 16<<10 {
+		t.Fatalf("10-qubit artifact costed %d bytes, want 16<<10", got)
+	}
+}
+
+// TestCacheAdmissionRejectsOversized: a 2^26-cost artifact offered to a
+// 2^25-budget cache is rejected outright — the resident set stays
+// untouched and nothing thrashes.
+func TestCacheAdmissionRejectsOversized(t *testing.T) {
+	cache := serve.NewCache(1<<25, "")
+	small, err := cache.Put("small", execOf(t, 18)) // 2^22 bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Release(small)
+
+	if _, err := cache.Put("huge", execOf(t, 22)); !errors.Is(err, serve.ErrTooLarge) {
+		t.Fatalf("2^26 artifact into 2^25 budget: got %v, want ErrTooLarge", err)
+	}
+
+	s := cache.Stats()
+	if s.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", s.Rejected)
+	}
+	if s.Entries != 1 || s.Bytes != 1<<22 || s.Evictions != 0 {
+		t.Fatalf("resident set disturbed by the rejection: %+v", s)
+	}
+	if _, ok := cache.Get("small"); !ok {
+		t.Fatal("resident artifact lost after an admission rejection")
+	}
+}
+
+// TestCacheLRUEvictionOrder: with room for three artifacts, admitting a
+// fourth evicts the least recently used — where a Get refreshes
+// recency.
+func TestCacheLRUEvictionOrder(t *testing.T) {
+	unit := uint64(16 << 12) // cost of a 12-qubit artifact
+	cache := serve.NewCache(3*unit, "")
+	for _, key := range []string{"a", "b", "c"} {
+		a, err := cache.Put(key, execOf(t, 12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache.Release(a)
+	}
+	// Touch a: recency becomes a > c > b.
+	if a, ok := cache.Get("a"); ok {
+		cache.Release(a)
+	} else {
+		t.Fatal("a missing")
+	}
+
+	d, err := cache.Put("d", execOf(t, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Release(d)
+
+	if _, ok := cache.Get("b"); ok {
+		t.Fatal("b survived eviction despite being least recently used")
+	}
+	for _, key := range []string{"a", "c", "d"} {
+		a, ok := cache.Get(key)
+		if !ok {
+			t.Fatalf("%s evicted out of LRU order", key)
+		}
+		cache.Release(a)
+	}
+	if s := cache.Stats(); s.Evictions != 1 || s.Entries != 3 || s.Bytes != 3*unit {
+		t.Fatalf("post-eviction stats %+v", s)
+	}
+}
+
+// TestCachePinnedNeverEvicted: entries held by in-flight requests are
+// skipped by eviction; when pins leave no reclaimable room the
+// newcomer is rejected instead of blocking or freeing a live session.
+func TestCachePinnedNeverEvicted(t *testing.T) {
+	unit := uint64(16 << 12)
+	cache := serve.NewCache(2*unit, "")
+	pinned, err := cache.Put("pinned", execOf(t, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Release(pinned)
+	// Keep the pin. LRU order would evict "pinned" first; eviction must
+	// skip it and take "idle".
+	idle, err := cache.Put("idle", execOf(t, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Release(idle)
+
+	if s := cache.Stats(); s.Pinned != 1 || s.PinnedBytes != unit {
+		t.Fatalf("pinned accounting %+v, want 1 entry / %d bytes", s, unit)
+	}
+
+	next, err := cache.Put("next", execOf(t, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Release(next)
+	if _, ok := cache.Get("pinned"); !ok {
+		t.Fatal("pinned artifact was evicted")
+	}
+	if _, ok := cache.Get("idle"); ok {
+		t.Fatal("idle artifact survived while a pinned one was up for eviction")
+	}
+
+	// Pin everything resident: now nothing is reclaimable.
+	n2, _ := cache.Get("next")
+	if n2 == nil {
+		t.Fatal("next missing")
+	}
+	if _, err := cache.Put("overflow", execOf(t, 12)); !errors.Is(err, serve.ErrNoRoom) {
+		t.Fatalf("fully pinned cache admitted an artifact: %v", err)
+	}
+}
+
+// TestCacheHitMissCounters pins the exact counter arithmetic.
+func TestCacheHitMissCounters(t *testing.T) {
+	cache := serve.NewCache(1<<30, "")
+	if _, ok := cache.Get("absent"); ok {
+		t.Fatal("empty cache returned an artifact")
+	}
+	a, err := cache.Put("k", execOf(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Release(a)
+	for i := 0; i < 3; i++ {
+		h, ok := cache.Get("k")
+		if !ok {
+			t.Fatal("hit missing")
+		}
+		cache.Release(h)
+	}
+	s := cache.Stats()
+	if s.Hits != 3 || s.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1", s.Hits, s.Misses)
+	}
+	if s.Bytes != 16<<10 || s.Entries != 1 || s.Pinned != 0 || s.PinnedBytes != 0 {
+		t.Fatalf("byte accounting %+v", s)
+	}
+}
+
+// TestCachePersistenceAndWarmStart: admitted artifacts land on disk,
+// evicted ones are removed, a fresh cache warm-starts from the
+// directory, and corrupt files are skipped and deleted.
+func TestCachePersistenceAndWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	cache := serve.NewCache(1<<30, dir)
+	a, err := cache.Put("alpha", execOf(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Release(a)
+	b, err := cache.Put("beta", execOf(t, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Release(b)
+	for _, name := range []string{"alpha.qexe", "beta.qexe"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("admitted artifact not persisted: %v", err)
+		}
+	}
+
+	// Plant a corrupt artifact next to the real ones.
+	corrupt := filepath.Join(dir, "corrupt.qexe")
+	if err := os.WriteFile(corrupt, []byte("QEXEgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := serve.NewCache(1<<30, dir)
+	loaded, err := warm.WarmStart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 2 {
+		t.Fatalf("warm start restored %d artifacts, want 2", loaded)
+	}
+	for _, key := range []string{"alpha", "beta"} {
+		h, ok := warm.Get(key)
+		if !ok {
+			t.Fatalf("%s missing after warm start", key)
+		}
+		warm.Release(h)
+	}
+	if _, err := os.Stat(corrupt); !os.IsNotExist(err) {
+		t.Fatal("corrupt artifact not removed during warm start")
+	}
+
+	// Eviction removes the file: shrink by re-admitting into a tiny cache.
+	tiny := serve.NewCache(16<<11, dir) // room for the 11-qubit artifact only
+	if _, err := tiny.WarmStart(); err != nil {
+		t.Fatal(err)
+	}
+	s := tiny.Stats()
+	if s.Entries != 1 {
+		t.Fatalf("tiny warm start holds %d entries, want 1", s.Entries)
+	}
+	onDisk, _ := filepath.Glob(filepath.Join(dir, "*.qexe"))
+	if len(onDisk) != 1 {
+		t.Fatalf("expected 1 artifact on disk after eviction, found %v", onDisk)
+	}
+}

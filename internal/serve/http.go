@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// maxRequestBytes bounds one request body; circuits beyond this are a
+// client error, not a memory obligation.
+const maxRequestBytes = 16 << 20
+
+// compileRequest is the POST /v1/compile body.
+type compileRequest struct {
+	Qasm string `json:"qasm"`
+}
+
+// errorResponse is the uniform JSON error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP API over the service.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req compileRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Qasm == "" {
+		writeError(w, http.StatusBadRequest, errNeedQasm)
+		return
+	}
+	res, err := s.Compile(req.Qasm)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	res, err := s.Run(req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+var errNeedQasm = errors.New("serve: compile request needs qasm")
+
+// statusFor maps service errors to HTTP statuses: client mistakes
+// (unparseable qasm, unknown keys, shot limits) are 4xx, everything
+// else 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownKey):
+		return http.StatusNotFound
+	case IsBadRequest(err):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,143 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/recognize"
+	"repro/internal/serve"
+)
+
+// postJSON posts a JSON body and decodes the JSON reply into out.
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s reply: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestHTTPEndpoints drives the full API over a real listener: compile,
+// run by qasm, run by key, stats and health.
+func TestHTTPEndpoints(t *testing.T) {
+	s, err := serve.New(serve.Config{Target: backend.Target{Emulate: recognize.Auto}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	src := qasmOf(t, testCircuit(8, 0))
+
+	var cr serve.CompileResult
+	if code := postJSON(t, srv.URL+"/v1/compile", map[string]string{"qasm": src}, &cr); code != http.StatusOK {
+		t.Fatalf("compile returned %d", code)
+	}
+	if cr.Key == "" || cr.NumQubits != 8 || cr.EmulatedGates == 0 {
+		t.Fatalf("compile result %+v", cr)
+	}
+
+	var r1 serve.RunResult
+	if code := postJSON(t, srv.URL+"/v1/run",
+		serve.RunRequest{Qasm: src, Shots: 10, Seed: 5}, &r1); code != http.StatusOK {
+		t.Fatalf("run by qasm returned %d", code)
+	}
+	if len(r1.Samples) != 10 || r1.Key != cr.Key || !r1.Cached {
+		t.Fatalf("run result %+v", r1)
+	}
+
+	var r2 serve.RunResult
+	if code := postJSON(t, srv.URL+"/v1/run",
+		serve.RunRequest{Key: cr.Key, Shots: 10, Seed: 5}, &r2); code != http.StatusOK {
+		t.Fatalf("run by key returned %d", code)
+	}
+	for i := range r1.Samples {
+		if r2.Samples[i] != r1.Samples[i] {
+			t.Fatalf("key-addressed stream diverges at draw %d", i)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Compiles != 1 || st.Requests != 2 || st.Shots != 20 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	health, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health.Body.Close()
+	if health.StatusCode != http.StatusOK {
+		t.Fatalf("healthz returned %d", health.StatusCode)
+	}
+}
+
+// TestHTTPErrorMapping: client mistakes come back as 4xx with a JSON
+// error body, never 500 and never a dropped connection.
+func TestHTTPErrorMapping(t *testing.T) {
+	s, err := serve.New(serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	cases := []struct {
+		name string
+		url  string
+		body any
+		want int
+	}{
+		{"bad qasm", "/v1/run", serve.RunRequest{Qasm: "qubits 2\nbogus 0\n"}, http.StatusBadRequest},
+		{"empty run", "/v1/run", serve.RunRequest{}, http.StatusBadRequest},
+		{"unknown key", "/v1/run", serve.RunRequest{Key: "missing"}, http.StatusNotFound},
+		{"empty compile", "/v1/compile", map[string]string{}, http.StatusBadRequest},
+		{"unknown field", "/v1/compile", map[string]string{"qsam": "typo"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if code := postJSON(t, srv.URL+tc.url, tc.body, &e); code != tc.want {
+			t.Fatalf("%s: status %d, want %d", tc.name, code, tc.want)
+		}
+		if e.Error == "" {
+			t.Fatalf("%s: empty error body", tc.name)
+		}
+	}
+
+	// Method mismatches 405, unknown paths 404.
+	resp, err := http.Get(srv.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/run returned %d", resp.StatusCode)
+	}
+}

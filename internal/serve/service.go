@@ -1,0 +1,357 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/qasm"
+	"repro/internal/rng"
+)
+
+// Config shapes a Service.
+type Config struct {
+	// Target is the execution shape every circuit compiles for (kind,
+	// fusion width, node count, emulation mode); NumQubits is taken from
+	// each circuit. The zero value is the single-node fused simulator.
+	Target backend.Target
+	// CacheBytes is the session-memory budget of the artifact cache
+	// (CostOf accounting); 0 defaults to 2 GiB (a 27-qubit state).
+	CacheBytes uint64
+	// PersistDir, when non-empty, enables on-disk artifact persistence
+	// and warm starts.
+	PersistDir string
+	// TotalWorkers caps the summed workers weight of concurrently
+	// executing requests; 0 defaults to GOMAXPROCS.
+	TotalWorkers int
+	// MaxShots bounds one request's sample draw; 0 defaults to 1<<20.
+	MaxShots int
+}
+
+// DefaultCacheBytes is the cache budget when Config leaves it zero.
+const DefaultCacheBytes = 1 << 31
+
+// defaultMaxShots bounds a single request's draw when unconfigured.
+const defaultMaxShots = 1 << 20
+
+// Service is the compile-once/run-many engine behind the HTTP daemon:
+// a fingerprint-keyed artifact cache, one prepared session per cached
+// circuit, a single-flight compile path and a weighted admission
+// semaphore. Safe for concurrent use.
+type Service struct {
+	cfg   Config
+	cache *Cache
+	sem   *wsem
+
+	mu       sync.Mutex // guards inflight
+	inflight map[string]*flight
+
+	compiles atomic.Uint64 // pass-pipeline invocations (cache hits skip it)
+	requests atomic.Uint64
+	shots    atomic.Uint64
+}
+
+// flight is one in-progress compile other requests for the same key
+// wait on instead of compiling again.
+type flight struct {
+	done chan struct{}
+	err  error
+}
+
+// New builds a service and, when persistence is configured, warm-starts
+// the cache from disk.
+func New(cfg Config) (*Service, error) {
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
+	if cfg.TotalWorkers <= 0 {
+		cfg.TotalWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxShots <= 0 {
+		cfg.MaxShots = defaultMaxShots
+	}
+	s := &Service{
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheBytes, cfg.PersistDir),
+		sem:      newWsem(cfg.TotalWorkers),
+		inflight: make(map[string]*flight),
+	}
+	if _, err := s.cache.WarmStart(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Cache exposes the artifact cache (stats, tests).
+func (s *Service) Cache() *Cache { return s.cache }
+
+// Compiles returns how many times the pass pipeline actually ran —
+// the counter the cache-hit tests pin at 1 across repeated requests.
+func (s *Service) Compiles() uint64 { return s.compiles.Load() }
+
+// CompileResult reports one compile (or cache hit) to the client.
+type CompileResult struct {
+	Key           string `json:"key"`
+	Cached        bool   `json:"cached"`
+	NumQubits     uint   `json:"num_qubits"`
+	NumGates      int    `json:"num_gates"`
+	EmulatedGates int    `json:"emulated_gates"`
+	FusedBlocks   int    `json:"fused_blocks"`
+	PlannedRounds int    `json:"planned_rounds"`
+}
+
+// Compile parses qasm source, compiles it once (or hits the cache) and
+// reports the artifact key run requests can use.
+func (s *Service) Compile(qasmSrc string) (*CompileResult, error) {
+	art, compiled, err := s.resolve(qasmSrc)
+	if err != nil {
+		return nil, err
+	}
+	defer s.cache.Release(art)
+	x := art.Executable()
+	return &CompileResult{
+		Key: art.Key(), Cached: !compiled,
+		NumQubits: x.NumQubits, NumGates: x.NumGates,
+		EmulatedGates: x.EmulatedGates, FusedBlocks: x.FusedBlocks,
+		PlannedRounds: x.PlannedRounds,
+	}, nil
+}
+
+// RunRequest asks for shot samples from a circuit, addressed by qasm
+// source or by a previously returned key.
+type RunRequest struct {
+	Qasm string `json:"qasm,omitempty"`
+	Key  string `json:"key,omitempty"`
+	// Shots is the number of samples to draw (default 1).
+	Shots int `json:"shots,omitempty"`
+	// Seed fixes the sample stream: one seed always yields the same
+	// draws for a circuit, independent of request interleaving.
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers is the share of the service's worker budget this request
+	// occupies while executing (default 1, clamped to the budget).
+	Workers int `json:"workers,omitempty"`
+}
+
+// RunResult carries the drawn samples.
+type RunResult struct {
+	Key           string   `json:"key"`
+	Cached        bool     `json:"cached"`
+	NumQubits     uint     `json:"num_qubits"`
+	EmulatedGates int      `json:"emulated_gates"`
+	Samples       []uint64 `json:"samples"`
+	WallNs        int64    `json:"wall_ns"`
+}
+
+// ErrUnknownKey rejects run requests naming a key the cache does not
+// hold (expired or never compiled) without qasm source to fall back on.
+var ErrUnknownKey = errors.New("serve: unknown artifact key")
+
+// badRequestError marks client mistakes (unparseable qasm, malformed
+// requests) so the HTTP layer can map them to 4xx statuses.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+func badRequest(err error) error { return badRequestError{err} }
+
+// IsBadRequest reports whether err is the client's fault.
+func IsBadRequest(err error) bool {
+	var b badRequestError
+	return errors.As(err, &b)
+}
+
+// Run serves one shot request: resolve the artifact (compiling only on
+// a cache miss), take the request's share of the worker budget, ensure
+// the session has executed the circuit, and draw the samples.
+func (s *Service) Run(req RunRequest) (*RunResult, error) {
+	s.requests.Add(1)
+	start := time.Now()
+	shots := req.Shots
+	if shots <= 0 {
+		shots = 1
+	}
+	if shots > s.cfg.MaxShots {
+		return nil, badRequest(fmt.Errorf("serve: %d shots exceeds the per-request limit %d", shots, s.cfg.MaxShots))
+	}
+
+	var art *Artifact
+	var compiled bool
+	switch {
+	case req.Key != "":
+		a, ok := s.cache.Get(req.Key)
+		if !ok {
+			return nil, ErrUnknownKey
+		}
+		art = a
+	case req.Qasm != "":
+		a, c, err := s.resolve(req.Qasm)
+		if err != nil {
+			return nil, err
+		}
+		art, compiled = a, c
+	default:
+		return nil, badRequest(errors.New("serve: run request needs qasm or key"))
+	}
+	defer s.cache.Release(art)
+
+	weight := s.sem.acquire(req.Workers)
+	defer s.sem.release(weight)
+
+	samples, err := art.sample(shots, req.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s.shots.Add(uint64(len(samples)))
+	x := art.Executable()
+	return &RunResult{
+		Key: art.Key(), Cached: !compiled,
+		NumQubits: x.NumQubits, EmulatedGates: x.EmulatedGates,
+		Samples: samples, WallNs: time.Since(start).Nanoseconds(),
+	}, nil
+}
+
+// sample ensures the session has executed the artifact, then draws
+// shots from the held state. Sampling does not collapse the state, so
+// one seed yields one stream regardless of interleaving; the session
+// lock serialises access to the backend.
+func (a *Artifact) sample(shots int, seed uint64) ([]uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.prepared {
+		b, err := backend.New(a.exec.Target)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := b.Run(a.exec); err != nil {
+			b.Close()
+			return nil, err
+		}
+		a.b = b
+		a.prepared = true
+	}
+	return a.b.SampleMany(shots, rng.New(seed)), nil
+}
+
+// resolve parses qasm, fingerprints it against the service target and
+// returns the pinned artifact — from the cache when resident, else
+// compiled exactly once across concurrent requests (single-flight).
+// compiled reports whether this call ran the pass pipeline.
+func (s *Service) resolve(qasmSrc string) (art *Artifact, compiled bool, err error) {
+	c, err := qasm.ParseString(qasmSrc)
+	if err != nil {
+		return nil, false, badRequest(err)
+	}
+	t := s.cfg.Target
+	t.NumQubits = c.NumQubits
+	key, err := backend.Fingerprint(c, t)
+	if err != nil {
+		return nil, false, err
+	}
+	for {
+		if a, ok := s.cache.Get(key); ok {
+			return a, false, nil
+		}
+		s.mu.Lock()
+		if f, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			<-f.done
+			if f.err != nil {
+				return nil, false, f.err
+			}
+			continue // the owner admitted it; hit the cache this time
+		}
+		f := &flight{done: make(chan struct{})}
+		s.inflight[key] = f
+		s.mu.Unlock()
+
+		x, cerr := backend.Compile(c, t)
+		var a *Artifact
+		if cerr == nil {
+			s.compiles.Add(1)
+			a, cerr = s.cache.Put(key, x)
+			if errors.Is(cerr, ErrTooLarge) || errors.Is(cerr, ErrNoRoom) {
+				// Serve the request from an uncached one-shot session
+				// rather than thrashing the resident working set.
+				a, cerr = Ephemeral(key, x), nil
+			}
+		}
+		f.err = cerr
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		close(f.done)
+		if cerr != nil {
+			return nil, false, cerr
+		}
+		return a, true, nil
+	}
+}
+
+// Stats is the service-level counter snapshot.
+type Stats struct {
+	Cache    CacheStats `json:"cache"`
+	Compiles uint64     `json:"compiles"`
+	Requests uint64     `json:"requests"`
+	Shots    uint64     `json:"shots"`
+}
+
+// Stats returns the current counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Cache:    s.cache.Stats(),
+		Compiles: s.compiles.Load(),
+		Requests: s.requests.Load(),
+		Shots:    s.shots.Load(),
+	}
+}
+
+// Close retires the cache; sessions pinned by in-flight requests close
+// as those requests finish.
+func (s *Service) Close() error { return s.cache.Close() }
+
+// wsem is a weighted semaphore: the summed weight of admitted holders
+// never exceeds the capacity. Hand-rolled (no external deps) on a
+// condition variable; fairness is best-effort, which is fine for
+// bounding simulator concurrency.
+type wsem struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	cap  int
+	used int
+}
+
+func newWsem(capacity int) *wsem {
+	s := &wsem{cap: capacity}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// acquire blocks until n units are free and returns the weight actually
+// granted (n clamped to [1, cap]); pass it to release.
+func (s *wsem) acquire(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.cap {
+		n = s.cap
+	}
+	s.mu.Lock()
+	for s.used+n > s.cap {
+		s.cond.Wait()
+	}
+	s.used += n
+	s.mu.Unlock()
+	return n
+}
+
+func (s *wsem) release(n int) {
+	s.mu.Lock()
+	s.used -= n
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}

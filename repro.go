@@ -174,6 +174,23 @@ func Compile(c *Circuit, t Target) (*Executable, error) {
 	return backend.Compile(c, t)
 }
 
+// EncodeExecutable serialises a compiled Executable to the versioned
+// binary artifact format (magic/version/crc container; see
+// internal/backend's codec) so it can persist to disk or warm-start a
+// serving cache.
+func EncodeExecutable(x *Executable) ([]byte, error) { return x.Encode() }
+
+// DecodeExecutable parses an encoded Executable, rebuilding its fusion
+// plans and communication schedules. It returns an error — never
+// panics — on truncated, corrupt or version-skewed input.
+func DecodeExecutable(data []byte) (*Executable, error) { return backend.Decode(data) }
+
+// Fingerprint returns the canonical cache key of compiling c for t: two
+// (circuit, target) pairs share a fingerprint exactly when Compile
+// produces interchangeable executables (the Workers run-time knob is
+// excluded). cmd/qemu-serve keys its artifact cache with it.
+func Fingerprint(c *Circuit, t Target) (string, error) { return backend.Fingerprint(c, t) }
+
 // Emulator is the paper's primary contribution; see internal/core. Its
 // imperative shortcut methods (Multiply, ApplyPhaseOracle, QFTRange, ...)
 // complement the circuit-level dispatch of Open's backends.
