@@ -84,6 +84,7 @@ func (b *clusterBackend) Run(x *Executable) (*Result, error) {
 			x.Target.Kind, x.Target.Nodes, x.Target.NumQubits, b.t.Kind, b.t.Nodes, b.t.NumQubits)
 	}
 	before := b.c.Stats.Snapshot()
+	//lint:ignore detrng wall time is reported in Result, never fed into amplitudes
 	start := time.Now()
 	for i := range x.Units {
 		u := &x.Units[i]
@@ -97,6 +98,7 @@ func (b *clusterBackend) Run(x *Executable) (*Result, error) {
 		b.c.RunSchedule(u.Sched)
 	}
 	res := x.result()
+	//lint:ignore detrng wall time is reported in Result, never fed into amplitudes
 	res.Wall = time.Since(start)
 	after := b.c.Stats.Snapshot()
 	res.Comm = Comm{

@@ -78,6 +78,7 @@ func (b *local) Run(x *Executable) (*Result, error) {
 		return nil, fmt.Errorf("backend: executable compiled for %s/%d qubits, backend is %s/%d",
 			x.Target.Kind, x.Target.NumQubits, b.t.Kind, b.t.NumQubits)
 	}
+	//lint:ignore detrng wall time is reported in Result, never fed into amplitudes
 	start := time.Now()
 	for i := range x.Units {
 		u := &x.Units[i]
@@ -96,6 +97,7 @@ func (b *local) Run(x *Executable) (*Result, error) {
 		}
 	}
 	res := x.result()
+	//lint:ignore detrng wall time is reported in Result, never fed into amplitudes
 	res.Wall = time.Since(start)
 	return res, nil
 }

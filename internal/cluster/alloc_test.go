@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/gates"
+)
+
+// TestGatherShardDoesNotAllocate pins the //qemu:hotpath contract on
+// the remap gather loop: the planning tables (byte-scatter tables,
+// cross-node accounting) are built by applyRemap once per round, and
+// the per-destination sweep that actually moves the state must not
+// allocate. The tables here encode the identity scatter, so every
+// destination gathers from itself.
+func TestGatherShardDoesNotAllocate(t *testing.T) {
+	const n = 8
+	c, err := New(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nchunks := (n + 7) / 8
+	tabs := make([][256]uint64, nchunks)
+	for k := 0; k < nchunks; k++ {
+		for b := 0; b < 256; b++ {
+			tabs[k][b] = uint64(b) << (8 * k) & ((1 << n) - 1)
+		}
+	}
+	localChunks := int(c.L+7) / 8
+	out := make([]complex128, c.LocalSize())
+	seen := make([]uint64, (c.P+63)/64)
+	dst := 1
+	base := uint64(dst) << c.L
+	if allocs := testing.AllocsPerRun(50, func() {
+		c.gatherShard(out, dst, base, tabs, localChunks, seen)
+	}); allocs != 0 {
+		t.Errorf("gatherShard: %v allocs per run, want 0", allocs)
+	}
+}
+
+// BenchmarkRemapRound reports the full remap round under -benchmem:
+// the planning tables amortise, the gather dominates.
+func BenchmarkRemapRound(b *testing.B) {
+	const n = 12
+	c, err := New(n, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.ApplyGate(gates.H(0))
+	swap := make([]uint, n)
+	for q := range swap {
+		swap[q] = uint(q)
+	}
+	swap[0], swap[n-1] = swap[n-1], swap[0]
+	ident := make([]uint, n)
+	for q := range ident {
+		ident[q] = uint(q)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			c.applyRemap(swap)
+		} else {
+			c.applyRemap(ident)
+		}
+	}
+}

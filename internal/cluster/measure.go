@@ -35,7 +35,7 @@ func (c *Cluster) Norm() float64 {
 // communicates beyond the P partial sums.
 func (c *Cluster) Probability(q uint) float64 {
 	if q >= c.NumQubits() {
-		panic("statevec: qubit out of range")
+		panic("cluster: qubit out of range")
 	}
 	return c.conditionalMass(q, 1)
 }
@@ -71,11 +71,11 @@ func (c *Cluster) conditionalMass(q uint, outcome uint64) float64 {
 // probability, with the statevec kernel message.
 func (c *Cluster) Collapse(q uint, outcome uint64) {
 	if q >= c.NumQubits() {
-		panic("statevec: qubit out of range")
+		panic("cluster: qubit out of range")
 	}
 	keep := c.conditionalMass(q, outcome&1)
 	if keep == 0 {
-		panic("statevec: collapse onto zero-probability outcome")
+		panic("cluster: collapse onto zero-probability outcome")
 	}
 	c.collapseScaled(q, outcome&1, keep)
 }
@@ -92,7 +92,7 @@ func (c *Cluster) Measure(q uint, src *rng.Source) uint64 {
 	}
 	keep := c.conditionalMass(q, 0)
 	if keep == 0 {
-		panic("statevec: collapse onto zero-probability outcome")
+		panic("cluster: collapse onto zero-probability outcome")
 	}
 	c.collapseScaled(q, 0, keep)
 	return 0
@@ -132,7 +132,7 @@ func (c *Cluster) lastSupported() uint64 {
 			}
 		}
 	}
-	panic("statevec: sampling from the zero vector")
+	panic("cluster: sampling from the zero vector")
 }
 
 // Sample draws one full-register measurement outcome without collapsing
@@ -179,7 +179,7 @@ func (c *Cluster) sampleSorted(rs []float64, out []uint64) {
 		prefix[p+1] = prefix[p] + m
 	}
 	if prefix[c.P] == 0 {
-		panic("statevec: sampling from the zero vector")
+		panic("cluster: sampling from the zero vector")
 	}
 	c.eachNode(func(p int) {
 		lo := sort.SearchFloat64s(rs, prefix[p])

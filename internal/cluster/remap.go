@@ -70,29 +70,13 @@ func (c *Cluster) applyRemap(newPos []uint) {
 	}
 	localChunks := int(c.L+7) / 8
 
-	local := c.LocalSize()
 	next := c.grabScratch(false) // every destination element is assigned
 	words := (c.P + 63) / 64
 	crossing := make([]uint64, c.P)
 	srcSeen := make([][]uint64, c.P)
 	c.eachNode(func(dst int) {
-		out := next[dst]
 		seen := make([]uint64, words)
-		var cross uint64
-		baseContrib := scatter(uint64(dst) << c.L)
-		for jl := uint64(0); jl < local; jl++ {
-			i := baseContrib
-			for k := 0; k < localChunks; k++ {
-				i |= tabs[k][(jl>>(8*k))&255]
-			}
-			src := int(i >> c.L)
-			out[jl] = c.shard(src)[i&(local-1)]
-			if src != dst {
-				cross++
-				seen[src>>6] |= 1 << (uint(src) & 63)
-			}
-		}
-		crossing[dst] = cross
+		crossing[dst] = c.gatherShard(next[dst], dst, scatter(uint64(dst)<<c.L), tabs, localChunks, seen)
 		srcSeen[dst] = seen
 	})
 	c.installShards(next)
@@ -109,6 +93,35 @@ func (c *Cluster) applyRemap(newPos []uint) {
 	c.Stats.Messages.Add(pairs)
 	c.Stats.AllToAlls.Add(1)
 	c.Stats.Rounds.Add(1)
+}
+
+// gatherShard fills destination node dst's next shard in one pass:
+// out[jl] receives the source amplitude of destination index
+// (dst<<L)|jl, where the source index is the byte-table scatter
+// baseContrib | Σ tabs[k][byte k of jl]. It returns how many
+// amplitudes crossed nodes and sets the bit of every source node
+// touched in seen — the per-pair message accounting applyRemap
+// coalesces afterwards. This loop moves the entire state once per
+// remap round, so it must not allocate; the planning tables are built
+// by the caller.
+//
+//qemu:hotpath
+func (c *Cluster) gatherShard(out []complex128, dst int, baseContrib uint64, tabs [][256]uint64, localChunks int, seen []uint64) uint64 {
+	local := c.LocalSize()
+	var cross uint64
+	for jl := uint64(0); jl < local; jl++ {
+		i := baseContrib
+		for k := 0; k < localChunks; k++ {
+			i |= tabs[k][(jl>>(8*k))&255]
+		}
+		src := int(i >> c.L)
+		out[jl] = c.shard(src)[i&(local-1)]
+		if src != dst {
+			cross++
+			seen[src>>6] |= 1 << (uint(src) & 63)
+		}
+	}
+	return cross
 }
 
 // Canonicalize restores the identity placement (logical qubit q at

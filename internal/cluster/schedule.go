@@ -373,7 +373,7 @@ func (c *Cluster) applyBlock(b *fuse.Block) {
 	phys := make([]uint, len(b.Qubits))
 	for i, q := range b.Qubits {
 		if q >= c.NumQubits() {
-			panic("statevec: qubit out of range")
+			panic("cluster: qubit out of range")
 		}
 		p := c.pos[q]
 		if p >= c.L {
@@ -401,7 +401,7 @@ func (c *Cluster) applyDiagBlock(b *fuse.Block) {
 	var localM, nodeM []member
 	for i, q := range b.Qubits {
 		if q >= c.NumQubits() {
-			panic("statevec: qubit out of range")
+			panic("cluster: qubit out of range")
 		}
 		p := c.pos[q]
 		if p < c.L {

@@ -1,0 +1,47 @@
+package fft
+
+import "testing"
+
+// TestTransformDoesNotAllocate pins the per-call allocation profile of
+// the stage drivers: the stage tiling is computed once in NewPlan, so a
+// transform over an existing buffer must not touch the heap. Sizes
+// cover every head radix (2^10 → radix-2 head, 2^11 → radix-4 head,
+// 2^12 → radix-8 only), all below minParallel so the serial path is
+// measured.
+func TestTransformDoesNotAllocate(t *testing.T) {
+	for _, lg := range []uint{10, 11, 12} {
+		p, err := NewPlan(1 << lg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]complex128, p.Size())
+		data[1] = 1
+		for name, run := range map[string]func([]complex128){
+			"Forward":            p.Forward,
+			"Inverse":            p.Inverse,
+			"Unitary":            p.Unitary,
+			"UnitaryBitReversed": p.UnitaryBitReversed,
+		} {
+			if n := testing.AllocsPerRun(20, func() { run(data) }); n != 0 {
+				t.Errorf("size 2^%d %s: %v allocs per run, want 0", lg, name, n)
+			}
+		}
+	}
+}
+
+// BenchmarkForward reports allocations alongside throughput so a
+// regression in the drivers shows up under -benchmem.
+func BenchmarkForward(b *testing.B) {
+	p, err := NewPlan(1 << 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]complex128, p.Size())
+	data[1] = 1
+	b.ReportAllocs()
+	b.SetBytes(int64(16 * p.Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(data)
+	}
+}

@@ -30,6 +30,7 @@ type Plan struct {
 	size    uint64
 	forward []complex128 // exp(+2 pi i j / size) for j in [0, size/2)
 	inverse []complex128 // conjugates
+	groups  []stageGroup // stage tiling, fixed by n; computed once here
 }
 
 // NewPlan builds a plan for transforms of the given power-of-two size.
@@ -50,6 +51,7 @@ func NewPlan(size uint64) (*Plan, error) {
 		p.forward[j] = w
 		p.inverse[j] = cmplx.Conj(w)
 	}
+	p.groups = p.stageGroups()
 	return p, nil
 }
 
@@ -133,7 +135,9 @@ type stageGroup struct {
 }
 
 // stageGroups tiles the n stages into the fewest full-vector passes: a
-// radix-2 or radix-4 head to fix the residue, then radix-8 groups.
+// radix-2 or radix-4 head to fix the residue, then radix-8 groups. The
+// tiling depends only on n, so NewPlan computes it once into p.groups
+// and the transform drivers stay allocation-free per call.
 func (p *Plan) stageGroups() []stageGroup {
 	var gs []stageGroup
 	s := uint(0)
@@ -185,10 +189,9 @@ func (p *Plan) transformDIT(data []complex128, tw []complex128, parallel bool, s
 		}
 		return
 	}
-	groups := p.stageGroups()
-	for i, g := range groups {
+	for i, g := range p.groups {
 		sc := complex128(1)
-		if i == len(groups)-1 {
+		if i == len(p.groups)-1 {
 			sc = scale
 		}
 		p.runGroupDIT(data, tw, g, parallel, sc)
@@ -209,80 +212,113 @@ func (p *Plan) transformDIF(data []complex128, tw []complex128, parallel bool, s
 		}
 		return
 	}
-	groups := p.stageGroups()
-	for i := len(groups) - 1; i >= 0; i-- {
+	for i := len(p.groups) - 1; i >= 0; i-- {
 		sc := complex128(1)
 		if i == 0 {
 			sc = scale
 		}
-		p.runGroupDIF(data, tw, groups[i], parallel, sc)
+		p.runGroupDIF(data, tw, p.groups[i], parallel, sc)
 	}
 }
 
-// runFlat schedules a butterfly kernel over the flat butterfly index
-// space of one stage group (size/radix butterflies): one call when
-// serial, contiguous chunks under parallelFor otherwise. Kernels decode
-// (block, offset) from the flat index with a shift and a mask, so there
-// is no per-block call overhead even when blocks are tiny.
-func (p *Plan) runFlat(total uint64, parallel bool, kernel func(lo, hi uint64)) {
-	if !parallel || p.size < minParallel {
-		kernel(0, total)
-		return
-	}
-	parallelFor(total, kernel)
+// useParallel reports whether a stage should dispatch chunks to
+// goroutines. The serial branch of each stage driver calls its
+// butterfly directly — building the chunk closure only on the parallel
+// branch keeps the serial path allocation-free, since a closure handed
+// to parallelFor escapes to the heap. Kernels decode (block, offset)
+// from the flat butterfly index with a shift and a mask, so there is
+// no per-block call overhead even when blocks are tiny.
+func (p *Plan) useParallel(parallel bool) bool {
+	return parallel && p.size >= minParallel
 }
 
 // runStage2 executes one radix-2 DIT stage s over the whole vector.
+//
+//qemu:hotpath
 func (p *Plan) runStage2(data, tw []complex128, s uint, parallel bool, scale complex128) {
 	wstep := p.size >> (s + 1)
-	p.runFlat(p.size/2, parallel, func(lo, hi uint64) {
+	if !p.useParallel(parallel) {
+		butterfly2Flat(data, tw, s, 0, p.size/2, wstep, scale, false)
+		return
+	}
+	parallelFor(p.size/2, func(lo, hi uint64) {
 		butterfly2Flat(data, tw, s, lo, hi, wstep, scale, false)
 	})
 }
 
 // runStage2DIF executes one radix-2 DIF stage s over the whole vector.
+//
+//qemu:hotpath
 func (p *Plan) runStage2DIF(data, tw []complex128, s uint, parallel bool, scale complex128) {
 	wstep := p.size >> (s + 1)
-	p.runFlat(p.size/2, parallel, func(lo, hi uint64) {
+	if !p.useParallel(parallel) {
+		butterfly2Flat(data, tw, s, 0, p.size/2, wstep, scale, true)
+		return
+	}
+	parallelFor(p.size/2, func(lo, hi uint64) {
 		butterfly2Flat(data, tw, s, lo, hi, wstep, scale, true)
 	})
 }
 
 // runStage4 executes the fused DIT pair of stages (s, s+1).
+//
+//qemu:hotpath
 func (p *Plan) runStage4(data, tw []complex128, s uint, parallel bool, scale complex128) {
 	w1step := p.size >> (s + 1)
 	w2step := p.size >> (s + 2)
-	p.runFlat(p.size/4, parallel, func(lo, hi uint64) {
+	if !p.useParallel(parallel) {
+		butterfly4Flat(data, tw, s, 0, p.size/4, w1step, w2step, scale)
+		return
+	}
+	parallelFor(p.size/4, func(lo, hi uint64) {
 		butterfly4Flat(data, tw, s, lo, hi, w1step, w2step, scale)
 	})
 }
 
 // runStage4DIF executes the fused DIF pair of stages (s+1, s) — the
 // transpose of runStage4.
+//
+//qemu:hotpath
 func (p *Plan) runStage4DIF(data, tw []complex128, s uint, parallel bool, scale complex128) {
 	w1step := p.size >> (s + 1)
 	w2step := p.size >> (s + 2)
-	p.runFlat(p.size/4, parallel, func(lo, hi uint64) {
+	if !p.useParallel(parallel) {
+		butterfly4DIFFlat(data, tw, s, 0, p.size/4, w1step, w2step, scale)
+		return
+	}
+	parallelFor(p.size/4, func(lo, hi uint64) {
 		butterfly4DIFFlat(data, tw, s, lo, hi, w1step, w2step, scale)
 	})
 }
 
 // runStage8 executes the fused DIT triple of stages (s, s+1, s+2).
+//
+//qemu:hotpath
 func (p *Plan) runStage8(data, tw []complex128, s uint, parallel bool, scale complex128) {
 	w1step := p.size >> (s + 1)
 	w2step := p.size >> (s + 2)
 	w3step := p.size >> (s + 3)
-	p.runFlat(p.size/8, parallel, func(lo, hi uint64) {
+	if !p.useParallel(parallel) {
+		butterfly8Flat(data, tw, s, 0, p.size/8, w1step, w2step, w3step, scale)
+		return
+	}
+	parallelFor(p.size/8, func(lo, hi uint64) {
 		butterfly8Flat(data, tw, s, lo, hi, w1step, w2step, w3step, scale)
 	})
 }
 
 // runStage8DIF executes the fused DIF triple of stages (s+2, s+1, s).
+//
+//qemu:hotpath
 func (p *Plan) runStage8DIF(data, tw []complex128, s uint, parallel bool, scale complex128) {
 	w1step := p.size >> (s + 1)
 	w2step := p.size >> (s + 2)
 	w3step := p.size >> (s + 3)
-	p.runFlat(p.size/8, parallel, func(lo, hi uint64) {
+	if !p.useParallel(parallel) {
+		butterfly8DIFFlat(data, tw, s, 0, p.size/8, w1step, w2step, w3step, scale)
+		return
+	}
+	parallelFor(p.size/8, func(lo, hi uint64) {
 		butterfly8DIFFlat(data, tw, s, lo, hi, w1step, w2step, w3step, scale)
 	})
 }

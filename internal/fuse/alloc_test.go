@@ -1,0 +1,41 @@
+package fuse
+
+import (
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/statevec"
+)
+
+// TestApplyReplayDoesNotAllocate pins the replay path of Plan.Apply:
+// executing an already-built plan against a state must not allocate —
+// the plan is built once per circuit and replayed per run, and the
+// //qemu:hotpath annotation on Apply holds the executor itself to
+// that. The gate callback is bound outside the measured region (method
+// values allocate on creation, once, not per call).
+func TestApplyReplayDoesNotAllocate(t *testing.T) {
+	s := statevec.NewZero(6)
+	s.SetParallelism(1)
+	p := &Plan{Blocks: []Block{
+		{replay: []gates.Gate{gates.H(0), gates.CNOT(0, 1), gates.Z(2)}},
+		{replay: []gates.Gate{gates.X(3), gates.H(1)}},
+	}}
+	apply := s.ApplyGate
+	if n := testing.AllocsPerRun(50, func() { p.Apply(s, apply) }); n != 0 {
+		t.Errorf("Plan.Apply (replay blocks): %v allocs per run, want 0", n)
+	}
+}
+
+// BenchmarkApplyReplay is the -benchmem witness for the replay path.
+func BenchmarkApplyReplay(b *testing.B) {
+	s := statevec.NewZero(12)
+	p := &Plan{Blocks: []Block{
+		{replay: []gates.Gate{gates.H(0), gates.CNOT(0, 1), gates.Z(2), gates.X(3)}},
+	}}
+	apply := s.ApplyGate
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Apply(s, apply)
+	}
+}

@@ -402,6 +402,8 @@ func diagonalOf(m []complex128, dim int) ([]complex128, bool) {
 // Apply executes the plan against a state vector: fused blocks through the
 // generic (or diagonal) multi-qubit kernels, unfused runs through apply,
 // which the caller points at its preferred single-gate path.
+//
+//qemu:hotpath
 func (p *Plan) Apply(s *statevec.State, apply func(gates.Gate)) {
 	for i := range p.Blocks {
 		b := &p.Blocks[i]

@@ -1,0 +1,92 @@
+// Package analysis is the engine-invariant lint framework qemu-lint is
+// built on: a deliberately small, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API. The container this repository is
+// grown in bakes in only the Go toolchain — no module proxy, no
+// x/tools — so the framework re-implements the two pieces the analyzers
+// need (the Analyzer/Pass contract and a type-checked package loader)
+// on the standard library alone. Analyzer implementations are written
+// against the same shape as upstream (Name/Doc/Run(*Pass)), so they
+// port to the real multichecker verbatim the day the dependency is
+// available.
+//
+// The loader (Load) shells out to `go list -json -deps`, then parses
+// and type-checks every package of the dependency closure in the
+// dependency order go list already emits — the same strategy
+// x/tools/go/packages uses, minus export-data shortcuts. Suppression
+// follows the staticcheck convention: a `//lint:ignore <analyzer>
+// <reason>` comment on the flagged line, or the line above it, drops
+// the finding; the reason is mandatory, so every waiver documents
+// itself.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker. The fields mirror
+// x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and in //lint:ignore
+	// directives. By convention it is a single lowercase word.
+	Name string
+	// Doc is the analyzer's documentation: first line summary, then the
+	// precise contract it enforces.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings
+	// through pass.Report.
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass carries one analyzed package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Package is one type-checked package the loader produced.
+type Package struct {
+	// PkgPath is the import path ("repro/internal/statevec").
+	PkgPath string
+	// Root reports whether the package matched the load patterns
+	// itself, rather than entering the set as a dependency. Analyzers
+	// run over roots only.
+	Root bool
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, with comments.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Finding is a resolved diagnostic: position translated, analyzer
+// attached, suppression already applied by RunAnalyzers.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}

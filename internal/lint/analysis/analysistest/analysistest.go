@@ -1,0 +1,239 @@
+// Package analysistest runs a lint analyzer over fixture packages and
+// checks its diagnostics against `// want "regexp"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// alone.
+//
+// Fixtures live under testdata/src/<pkg>/, one directory per package,
+// exactly like the upstream harness. A fixture file marks an expected
+// finding with a trailing comment on the offending line:
+//
+//	panic("oops")        // want `panicprefix: .*must be prefixed`
+//
+// Multiple quoted regexps may follow one `want`. Every diagnostic must
+// match a want on its line and every want must be matched — seeded
+// violations that stop firing fail the test just as loudly as false
+// positives. Fixture imports resolve against sibling fixture packages
+// first (testdata/src/binio, say), then against the real module and
+// standard library through the shared loader, so fixtures can exercise
+// analyzers that key on types from repro/internal packages.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// sharedLoader memoizes real-package type-checking across every test in
+// a process; fixture parsing shares its FileSet so positions stay
+// coherent.
+var (
+	loaderMu     sync.Mutex
+	sharedLoader *analysis.Loader
+)
+
+func loader() *analysis.Loader {
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	if sharedLoader == nil {
+		sharedLoader = analysis.NewLoader()
+	}
+	return sharedLoader
+}
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	p, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Run checks the analyzer against each named fixture package under
+// testdata/src.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld := loader()
+	imp := &fixtureImporter{testdata: testdata, loader: ld, cache: make(map[string]*fixturePkg)}
+	for _, name := range pkgs {
+		fp, err := imp.load(name)
+		if err != nil {
+			t.Fatalf("loading fixture %q: %v", name, err)
+		}
+		runOne(t, a, ld.Fset, fp)
+	}
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, fp *fixturePkg) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     fp.files,
+		Pkg:       fp.types,
+		TypesInfo: fp.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: running on fixture %s: %v", a.Name, fp.path, err)
+	}
+
+	wants := collectWants(t, fset, fp.files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		if !claimWant(wants[key], d.Message) {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.claimed {
+				t.Errorf("%s: no diagnostic at %s matched %q", a.Name, key, w.re.String())
+			}
+		}
+	}
+}
+
+// want is one expected-diagnostic regexp at a line.
+type want struct {
+	re      *regexp.Regexp
+	claimed bool
+}
+
+// claimWant marks the first unclaimed want matching msg.
+func claimWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.claimed && w.re.MatchString(msg) {
+			w.claimed = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantToken = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants parses `// want` comments from the fixture files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*want {
+	t.Helper()
+	out := make(map[string][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				toks := wantToken.FindAllString(rest, -1)
+				if len(toks) == 0 {
+					t.Fatalf("%s:%d: malformed want comment (no quoted regexp)", pos.Filename, pos.Line)
+				}
+				for _, tok := range toks {
+					s, err := strconv.Unquote(tok)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %s: %v", pos.Filename, pos.Line, tok, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s:%d: compiling want %q: %v", pos.Filename, pos.Line, s, err)
+					}
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					out[key] = append(out[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// fixturePkg is one parsed+checked fixture package.
+type fixturePkg struct {
+	path  string
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// fixtureImporter resolves imports for fixture packages: sibling
+// fixtures under testdata/src win, everything else goes through the
+// shared real-package loader.
+type fixtureImporter struct {
+	testdata string
+	loader   *analysis.Loader
+	cache    map[string]*fixturePkg
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(im.testdata, "src", path); dirExists(dir) {
+		fp, err := im.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.types, nil
+	}
+	return im.loader.Check(path)
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+// load parses and type-checks the fixture package testdata/src/<path>.
+func (im *fixtureImporter) load(path string) (*fixturePkg, error) {
+	if fp, ok := im.cache[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(im.testdata, "src", path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := im.loader.Fset
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s has no Go files", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: im}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
+	}
+	fp := &fixturePkg{path: path, files: files, types: pkg, info: info}
+	im.cache[path] = fp
+	return fp, nil
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// entry is one package moving through the loader: listed, then checked.
+type entry struct {
+	meta    *listPkg
+	files   []*ast.File
+	types   *types.Package
+	info    *types.Info
+	checked bool
+	err     error
+}
+
+// Loader parses and type-checks packages, memoizing the result so a
+// process type-checks any given package (and the standard library
+// closure underneath it) exactly once.
+type Loader struct {
+	Fset *token.FileSet
+	// Dir is the working directory go list runs in; it selects the
+	// module. Empty means the current directory.
+	Dir  string
+	pkgs map[string]*entry
+}
+
+// NewLoader returns an empty loader.
+func NewLoader() *Loader {
+	return &Loader{Fset: token.NewFileSet(), pkgs: make(map[string]*entry)}
+}
+
+// goList runs `go list -e -json -deps` over patterns and records the
+// metadata of every package in the closure. CGO is disabled so the
+// standard library resolves to its pure-Go file sets, which go/types
+// can check from source. It returns the closure in the dependency
+// order go list emits (dependencies before dependents).
+func (l *Loader) goList(patterns ...string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	var order []*listPkg
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		order = append(order, p)
+	}
+	return order, nil
+}
+
+// Load lists, parses and type-checks the packages matching patterns and
+// their whole dependency closure, returning the root (pattern-matched)
+// packages in listing order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	order, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var roots []*Package
+	for _, m := range order {
+		e, err := l.check(m)
+		if err != nil {
+			return nil, err
+		}
+		if m.DepOnly || m.ImportPath == "unsafe" {
+			continue
+		}
+		roots = append(roots, &Package{
+			PkgPath: m.ImportPath,
+			Root:    true,
+			Fset:    l.Fset,
+			Files:   e.files,
+			Types:   e.types,
+			Info:    e.info,
+		})
+	}
+	return roots, nil
+}
+
+// Check type-checks the single package named by an import path (loading
+// its closure on demand) and returns its types.Package. The fixture
+// harness uses it to resolve fixture imports of real packages.
+func (l *Loader) Check(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if e, ok := l.pkgs[path]; ok && e.checked {
+		return e.types, e.err
+	}
+	order, err := l.goList(path)
+	if err != nil {
+		return nil, err
+	}
+	var last *entry
+	for _, m := range order {
+		e, err := l.check(m)
+		if err != nil {
+			return nil, err
+		}
+		last = e
+	}
+	if last == nil {
+		return nil, fmt.Errorf("lint: go list resolved no package for %q", path)
+	}
+	return last.types, nil
+}
+
+// check parses and type-checks one listed package, assuming its
+// dependencies were checked first (go list -deps order guarantees it).
+func (l *Loader) check(m *listPkg) (*entry, error) {
+	if e, ok := l.pkgs[m.ImportPath]; ok && e.checked {
+		return e, e.err
+	}
+	e := &entry{meta: m, checked: true}
+	l.pkgs[m.ImportPath] = e
+	if m.ImportPath == "unsafe" {
+		e.types = types.Unsafe
+		return e, nil
+	}
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(m.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			e.err = fmt.Errorf("lint: parsing %s: %v", m.ImportPath, err)
+			return e, e.err
+		}
+		e.files = append(e.files, f)
+	}
+	e.info = newInfo()
+	conf := types.Config{
+		Importer: &mapImporter{loader: l, importMap: m.ImportMap},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		// The standard library occasionally leans on compiler behaviour
+		// go/types is stricter about; collect errors and fail only when
+		// the package is genuinely unusable (no types object).
+		Error: func(error) {},
+	}
+	pkg, err := conf.Check(m.ImportPath, l.Fset, e.files, e.info)
+	if err != nil && pkg == nil {
+		e.err = fmt.Errorf("lint: type-checking %s: %v", m.ImportPath, err)
+		return e, e.err
+	}
+	e.types = pkg
+	return e, nil
+}
+
+// newInfo returns a types.Info with every map analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// mapImporter resolves an importing package's import paths against the
+// loader's memoized results, honouring the package's vendor ImportMap.
+type mapImporter struct {
+	loader    *Loader
+	importMap map[string]string
+}
+
+func (im *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := im.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	e, ok := im.loader.pkgs[path]
+	if !ok || !e.checked {
+		return nil, fmt.Errorf("lint: import %q not loaded (go list -deps order violated?)", path)
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.types, nil
+}
+
+// compile-time guard: the importer satisfies the go/types contract.
+var _ types.Importer = (*mapImporter)(nil)

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// ignoreDirective is one parsed `//lint:ignore <analyzer> <reason>`
+// comment. It suppresses findings of the named analyzer on its own
+// line and on the line directly below it (the staticcheck convention:
+// the directive sits on or above the flagged statement). The reason is
+// mandatory — a bare directive suppresses nothing — so every waiver in
+// the tree documents why the invariant does not apply.
+type ignoreDirective struct {
+	analyzers map[string]bool
+	line      int
+}
+
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s+(\S.*)$`)
+
+// ignoresForFiles scans the comment sets of a package's files for
+// lint:ignore directives, keyed by filename.
+func ignoresForFiles(pkgs *Package) map[string][]ignoreDirective {
+	out := make(map[string][]ignoreDirective)
+	for _, f := range pkgs.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkgs.Fset.Position(c.Pos())
+				names := make(map[string]bool)
+				for _, n := range strings.Split(m[1], ",") {
+					names[n] = true
+				}
+				out[pos.Filename] = append(out[pos.Filename], ignoreDirective{analyzers: names, line: pos.Line})
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a finding is waived by a directive on its
+// line or the line above.
+func suppressed(ignores map[string][]ignoreDirective, f Finding) bool {
+	for _, d := range ignores[f.File] {
+		if d.analyzers[f.Analyzer] && (d.line == f.Line || d.line == f.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies every analyzer to every package, resolves
+// positions, drops lint:ignore-waived findings and returns the rest
+// sorted by file, line and analyzer.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ignores := ignoresForFiles(pkg)
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				f := Finding{
+					Analyzer: a.Name,
+					Pos:      pos,
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Message:  d.Message,
+				}
+				if !suppressed(ignores, f) {
+					findings = append(findings, f)
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// Inspect walks every file of the pass in depth-first order, calling fn
+// for each node; fn returning false prunes the subtree. It is the
+// ast.Inspect convenience every analyzer here is built on.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,12 @@
+package detrng_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/detrng"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detrng.Analyzer, "recognize", "timing")
+}

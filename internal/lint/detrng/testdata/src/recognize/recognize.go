@@ -1,0 +1,41 @@
+// Package recognize is a fixture for the determinism contract: it is
+// named after one of the deterministic engine packages, so every banned
+// construct below must be flagged.
+package recognize
+
+import (
+	"math/rand" // want `deterministic package imports math/rand; use repro/internal/rng`
+	"sort"
+	"time"
+)
+
+// draw leans on the global rand source and the wall clock.
+func draw() float64 {
+	start := time.Now() // want `wall-clock read \(time\.Now\) in a deterministic package`
+	v := rand.Float64()
+	_ = time.Since(start) // want `wall-clock read \(time\.Since\) in a deterministic package`
+	return v
+}
+
+// tally feeds results straight out of map iteration order.
+func tally(counts map[string]int) []int {
+	var out []int
+	for _, v := range counts { // want `map iteration order feeds results in a deterministic package`
+		out = append(out, v)
+	}
+	return out
+}
+
+// tallySorted collects keys and sorts them — the blessed idiom.
+func tallySorted(counts map[string]int) []int {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, counts[k])
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+// Package timing is the negative control: it is not one of the
+// deterministic engine packages, so wall clocks, global rand and map
+// iteration are all fine here.
+package timing
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp may read the wall clock freely.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Jitter may use the global source.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Sum may iterate a map in any order.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,26 @@
+// Package lint bundles the engine's repo-specific static analyzers —
+// the qemu-lint suite. Each analyzer turns a convention that used to
+// live in review comments into a compile-time check:
+//
+//   - panicprefix: panic string literals carry a "<pkg>: " prefix, so
+//     a crash names the subsystem that raised it.
+//   - kernelvalidate: exported statevec kernels validate their qubit
+//     arguments (via a check* helper) before touching the amplitude
+//     slice.
+//   - hotpathalloc: functions annotated //qemu:hotpath contain no
+//     allocating constructs; the zero-steady-state-allocation property
+//     of the kernels is structural, not benchmark folklore.
+//   - stickyerr: consumers of binio.Reader check Err() before trusting
+//     decoded values.
+//   - detrng: the deterministic engine packages never read wall
+//     clocks, the global math/rand source, or map iteration order.
+//   - guardedfield: struct fields documented "guarded by mu" are only
+//     accessed under that mutex.
+//
+// The analyzers are written against the stdlib-only framework in
+// internal/lint/analysis, which mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Reportf) and loads
+// packages with `go list` + go/parser + go/types. cmd/qemu-lint is the
+// multichecker; `//lint:ignore <analyzer> <reason>` waives a finding
+// at one site with an auditable justification.
+package lint

@@ -1,0 +1,217 @@
+// Package guardedfield enforces documented mutex discipline: a struct
+// field whose comment says "guarded by <mu>" — where <mu> is a sibling
+// sync.Mutex or sync.RWMutex field — may only be accessed in functions
+// that visibly lock that mutex on the same receiver expression. The
+// serve cache and worker-pool semaphore carry these comments; this
+// analyzer turns them from prose into a checked contract, so a new
+// accessor that forgets the lock fails CI instead of racing under
+// load.
+//
+// The check is per-function and syntactic: the enclosing function must
+// contain a <base>.<mu>.Lock() or RLock() call for the same base
+// expression as the field access. Helper functions that are only ever
+// called with the lock held follow the convention of a name ending in
+// "Locked", which exempts them (and documents the precondition at
+// every call site).
+package guardedfield
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer checks guarded-by field comments against lock usage.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedfield",
+	Doc: "fields documented \"guarded by mu\" must be accessed under that mutex\n\n" +
+		"A field comment matching `guarded by <name>` binds the field to a\n" +
+		"sibling mutex field. Every selector access to the field must sit in a\n" +
+		"function that locks <base>.<name> (Lock or RLock) on the same base\n" +
+		"expression, or in a function whose name ends in \"Locked\".",
+	Run: run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardKey identifies one guarded field of one struct type.
+type guardKey struct {
+	typ   *types.Named
+	field string
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			checkFunc(pass, fd, guards)
+		}
+	}
+	return nil, nil
+}
+
+// collectGuards finds guarded-by annotated fields in the package's
+// struct declarations and validates the named mutex sibling.
+func collectGuards(pass *analysis.Pass) map[guardKey]string {
+	guards := make(map[guardKey]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Defs[ts.Name]
+			if obj == nil {
+				return true
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu, ok := guardDirective(field)
+				if !ok {
+					continue
+				}
+				if !hasMutexField(st, mu) {
+					pass.Reportf(field.Pos(), "guarded-by comment names %q, which is not a sibling sync.Mutex/RWMutex field", mu)
+					continue
+				}
+				for _, name := range field.Names {
+					guards[guardKey{named, name.Name}] = mu
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardDirective extracts the mutex name from a field's line comment or
+// doc comment.
+func guardDirective(field *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1], true
+		}
+	}
+	return "", false
+}
+
+// hasMutexField reports whether the struct literally declares a mutex
+// field with the given name.
+func hasMutexField(st *ast.StructType, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name == name {
+				return isMutexExpr(field.Type)
+			}
+		}
+	}
+	return false
+}
+
+// isMutexExpr matches sync.Mutex, sync.RWMutex and pointers to them,
+// syntactically (fixtures mirror the sync package shape).
+func isMutexExpr(e ast.Expr) bool {
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = star.X
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex"
+}
+
+// checkFunc reports guarded-field accesses whose enclosing function
+// never locks the guarding mutex on the same base expression.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guards map[guardKey]string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		named := namedOf(pass.TypesInfo.TypeOf(sel.X))
+		if named == nil {
+			return true
+		}
+		mu, ok := guards[guardKey{named, sel.Sel.Name}]
+		if !ok {
+			return true
+		}
+		base := types.ExprString(sel.X)
+		if !locksMutex(fd.Body, base, mu) {
+			pass.Reportf(sel.Pos(), "%s.%s is documented as guarded by %s, but %s never locks %s.%s",
+				base, sel.Sel.Name, mu, fd.Name.Name, base, mu)
+		}
+		return true
+	})
+}
+
+// namedOf unwraps pointers to a named struct type.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return nil
+	}
+	return named
+}
+
+// locksMutex reports whether the body contains base.mu.Lock() or
+// base.mu.RLock() for the textually identical base expression.
+func locksMutex(body *ast.BlockStmt, base, mu string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || muSel.Sel.Name != mu {
+			return true
+		}
+		if types.ExprString(muSel.X) == base {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

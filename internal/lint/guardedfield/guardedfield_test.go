@@ -1,0 +1,12 @@
+package guardedfield_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/guardedfield"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), guardedfield.Analyzer, "guarded")
+}

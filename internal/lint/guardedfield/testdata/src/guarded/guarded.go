@@ -1,0 +1,62 @@
+// Package guarded exercises the guarded-by mutex discipline check on
+// both Mutex and RWMutex guards, the Locked-suffix exemption and the
+// invalid-directive diagnostic.
+package guarded
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func newCounter() *counter {
+	return &counter{}
+}
+
+// inc locks the guarding mutex before touching n.
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// racyRead reads n without ever locking c.mu.
+func (c *counter) racyRead() int {
+	return c.n // want `c\.n is documented as guarded by mu, but racyRead never locks c\.mu`
+}
+
+// snapshotLocked documents its precondition in its name: callers hold
+// the lock, so the access is exempt.
+func (c *counter) snapshotLocked() int {
+	return c.n
+}
+
+type registry struct {
+	rw sync.RWMutex
+	m  map[string]int // guarded by rw
+}
+
+// get takes the read lock, which satisfies the guard.
+func (g *registry) get(k string) int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.m[k]
+}
+
+// put forgets the lock entirely.
+func (g *registry) put(k string, v int) {
+	g.m[k] = v // want `g\.m is documented as guarded by rw, but put never locks g\.rw`
+}
+
+type broken struct {
+	mu sync.Mutex
+	// guarded by mux
+	v int // want `guarded-by comment names "mux", which is not a sibling`
+}
+
+func use(b *broken) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.v
+}

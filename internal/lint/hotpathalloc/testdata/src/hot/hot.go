@@ -1,0 +1,72 @@
+// Package hot exercises the //qemu:hotpath allocation check: every
+// allocating construct the analyzer knows about, plus the dispatch
+// idiom it must keep allowing.
+package hot
+
+import "fmt"
+
+//qemu:hotpath
+func badMake(n int) []int {
+	return make([]int, n) // want `hot path calls make`
+}
+
+//qemu:hotpath
+func badAppend(s []int, v int) []int {
+	return append(s, v) // want `hot path calls append`
+}
+
+//qemu:hotpath
+func badNew() *int {
+	return new(int) // want `hot path calls new`
+}
+
+//qemu:hotpath
+func badFmt(x int) {
+	fmt.Println(x) // want `hot path calls fmt.Println`
+}
+
+//qemu:hotpath
+func badSliceLit() []int {
+	return []int{1, 2, 3} // want `hot path builds a slice literal`
+}
+
+//qemu:hotpath
+func badMapLit() map[string]int {
+	return map[string]int{"a": 1} // want `hot path builds a map literal`
+}
+
+//qemu:hotpath
+func badClosure(xs []int) func() int {
+	f := func() int { return len(xs) } // want `hot path creates an escaping closure`
+	return f
+}
+
+// goodDispatch passes its literal straight to a runner — the kernel
+// dispatch idiom; the runner owns any allocation.
+//
+//qemu:hotpath
+func goodDispatch(xs []float64) {
+	runRange(len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xs[i] *= 2
+		}
+	})
+}
+
+// goodSweep is a plain allocation-free loop.
+//
+//qemu:hotpath
+func goodSweep(xs []float64) {
+	for i := range xs {
+		xs[i]++
+	}
+}
+
+// unannotated functions may allocate freely.
+func unannotated(n int) []int {
+	return make([]int, n)
+}
+
+func runRange(n int, fn func(lo, hi int)) {
+	fn(0, n)
+}

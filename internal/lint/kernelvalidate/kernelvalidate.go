@@ -1,0 +1,154 @@
+// Package kernelvalidate enforces the statevec kernel validation
+// contract: an exported kernel that takes qubit-index arguments must
+// validate them — by calling one of the package's check*/Check*
+// helpers — before it reads or writes a single amplitude. The contract
+// ("same panics, same messages, before any amplitude is touched") is
+// what lets sharded owners like internal/cluster mirror the kernels'
+// behaviour exactly, and what guarantees a bad index can never corrupt
+// a state it then abandons half-swept.
+package kernelvalidate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer checks that exported statevec kernels validate qubit
+// arguments before touching the amplitude slice.
+var Analyzer = &analysis.Analyzer{
+	Name: "kernelvalidate",
+	Doc: "exported statevec kernels must validate qubit indices before touching amplitudes\n\n" +
+		"In package statevec, every exported method on State with a parameter of\n" +
+		"type uint or []uint (a qubit index or index list) that accesses the amp\n" +
+		"slice must first call a validation helper (a method or function whose\n" +
+		"name matches ^(check|Check|validate|Validate)). Validation must precede\n" +
+		"the first amplitude access in source order.",
+	Run: run,
+}
+
+var validatorRe = regexp.MustCompile(`^(check|Check|validate|Validate)`)
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() != "statevec" {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !isStateMethod(fd) || !hasQubitParam(pass, fd) {
+				continue
+			}
+			ampPos := firstAmpAccess(pass, fd.Body)
+			if ampPos == token.NoPos {
+				continue // delegating kernels validate in their target
+			}
+			if !validatedBefore(fd.Body, ampPos) {
+				pass.Reportf(fd.Name.Pos(),
+					"exported kernel %s touches the amplitude slice before validating its qubit arguments; call a check* helper first",
+					fd.Name.Name)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// isStateMethod reports whether fd is a method on State or *State.
+func isStateMethod(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.Name == "State"
+}
+
+// hasQubitParam reports whether any parameter has type uint or []uint.
+func hasQubitParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if isUint(t) {
+			return true
+		}
+		if sl, ok := t.Underlying().(*types.Slice); ok && isUint(sl.Elem()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isUint(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint
+}
+
+// firstAmpAccess returns the position of the first selector access to a
+// State's amp field, or NoPos.
+func firstAmpAccess(pass *analysis.Pass, body *ast.BlockStmt) token.Pos {
+	first := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if first != token.NoPos {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "amp" {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(sel.X)
+		if t == nil {
+			return true
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if ok && named.Obj().Name() == "State" {
+			first = sel.Pos()
+			return false
+		}
+		return true
+	})
+	return first
+}
+
+// validatedBefore reports whether a validation-helper call occurs at a
+// position strictly before limit.
+func validatedBefore(body *ast.BlockStmt, limit token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= limit {
+			return true
+		}
+		var name string
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		default:
+			return true
+		}
+		if validatorRe.MatchString(name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package kernelvalidate_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/kernelvalidate"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), kernelvalidate.Analyzer, "statevec")
+}

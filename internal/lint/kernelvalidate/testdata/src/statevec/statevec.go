@@ -1,0 +1,71 @@
+// Package statevec is a miniature of the real kernel package: a State
+// with an amplitude slice, a validation helper, and kernels on both
+// sides of the validate-before-access contract.
+package statevec
+
+type State struct {
+	n   uint
+	amp []complex128
+}
+
+func (s *State) checkTarget(k uint) {
+	if k >= s.n {
+		panic("statevec: target qubit out of range")
+	}
+}
+
+// ApplyGood validates through the helper before its first amplitude
+// access.
+func (s *State) ApplyGood(k uint) {
+	s.checkTarget(k)
+	s.amp[uint64(1)<<k] = 0
+}
+
+// ApplyBad touches the amplitude slice before validating.
+func (s *State) ApplyBad(k uint) { // want `exported kernel ApplyBad touches the amplitude slice before validating`
+	s.amp[uint64(1)<<k] = 0
+	s.checkTarget(k)
+}
+
+// ApplyInline validates inline; the contract requires a helper so the
+// panic messages stay uniform across kernels.
+func (s *State) ApplyInline(k uint) { // want `exported kernel ApplyInline touches the amplitude slice before validating`
+	if k >= s.n {
+		panic("statevec: target qubit out of range")
+	}
+	s.amp[uint64(1)<<k] = 0
+}
+
+// ApplyMany covers the []uint parameter form.
+func (s *State) ApplyMany(qubits []uint) {
+	s.checkMany(qubits)
+	for _, q := range qubits {
+		s.amp[uint64(1)<<q] = 0
+	}
+}
+
+func (s *State) checkMany(qubits []uint) {
+	for _, q := range qubits {
+		s.checkTarget(q)
+	}
+}
+
+// Delegate never touches amp itself; its target validates.
+func (s *State) Delegate(k uint) {
+	s.ApplyGood(k)
+}
+
+// Norm has no qubit parameter, so the contract does not apply.
+func (s *State) Norm() float64 {
+	var acc float64
+	for _, a := range s.amp {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return acc
+}
+
+// apply is unexported and exempt: only the public kernel surface
+// carries the contract.
+func (s *State) apply(k uint) {
+	s.amp[uint64(1)<<k] = 0
+}

@@ -1,0 +1,26 @@
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/detrng"
+	"repro/internal/lint/guardedfield"
+	"repro/internal/lint/hotpathalloc"
+	"repro/internal/lint/kernelvalidate"
+	"repro/internal/lint/panicprefix"
+	"repro/internal/lint/stickyerr"
+)
+
+// Analyzers returns the full qemu-lint suite in reporting order. The
+// multichecker, the repo-wide lint test and any future tooling all
+// consume this one registry, so an analyzer added here is enforced
+// everywhere at once.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		panicprefix.Analyzer,
+		kernelvalidate.Analyzer,
+		hotpathalloc.Analyzer,
+		stickyerr.Analyzer,
+		detrng.Analyzer,
+		guardedfield.Analyzer,
+	}
+}

@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+// TestLintRepo runs the full analyzer suite over the module, the same
+// sweep CI performs with cmd/qemu-lint. The tree must stay clean: any
+// finding here is a real invariant violation (or needs an explicit
+// //lint:ignore waiver with a reason).
+func TestLintRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	pkgs, err := analysis.NewLoader().Load("repro/...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages for repro/...")
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,105 @@
+// Package panicprefix enforces the error-provenance convention every
+// package in this repository follows: a panic raised with a string
+// literal must prefix that literal with the owning package's name
+// ("statevec: qubit out of range"), so a recovered panic always names
+// the layer whose contract was violated. The motivating bug is real:
+// internal/cluster shipped validation panics copied from the statevec
+// kernels, statevec: prefix and all, so a crash in the distributed
+// engine pointed debuggers at the wrong package.
+package panicprefix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer checks panic string literals for the package-name prefix.
+var Analyzer = &analysis.Analyzer{
+	Name: "panicprefix",
+	Doc: "panic string literals must be prefixed with the owning package's name\n\n" +
+		"Every panic(\"...\") or panic(fmt.Sprintf(\"...\", ...)) whose message is a\n" +
+		"string literal must start with \"<package>: \". Package main is exempt\n" +
+		"(provenance is the binary itself), as are panics of non-literal values.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pkgName := pass.Pkg.Name()
+	if pkgName == "main" {
+		return nil, nil
+	}
+	want := pkgName + ": "
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		if !isBuiltinPanic(pass, call.Fun) {
+			return true
+		}
+		lit, pos, ok := messageLiteral(pass, call.Args[0])
+		if !ok {
+			return true
+		}
+		if !strings.HasPrefix(lit, want) {
+			pass.Reportf(pos, "panic message %q must start with %q so error provenance names the owning package", lit, want)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// isBuiltinPanic reports whether fun resolves to the predeclared panic.
+func isBuiltinPanic(pass *analysis.Pass, fun ast.Expr) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// messageLiteral extracts the panic message when it is a string literal,
+// either directly or as the format argument of fmt.Sprintf/fmt.Errorf.
+func messageLiteral(pass *analysis.Pass, arg ast.Expr) (string, token.Pos, bool) {
+	switch a := arg.(type) {
+	case *ast.BasicLit:
+		if a.Kind != token.STRING {
+			return "", 0, false
+		}
+		s, err := strconv.Unquote(a.Value)
+		if err != nil {
+			return "", 0, false
+		}
+		return s, a.Pos(), true
+	case *ast.CallExpr:
+		sel, ok := a.Fun.(*ast.SelectorExpr)
+		if !ok || len(a.Args) == 0 {
+			return "", 0, false
+		}
+		if !isPkgFunc(pass, sel, "fmt", "Sprintf") && !isPkgFunc(pass, sel, "fmt", "Errorf") {
+			return "", 0, false
+		}
+		return messageLiteral(pass, a.Args[0])
+	}
+	return "", 0, false
+}
+
+// isPkgFunc reports whether sel is a selector for pkg.name.
+func isPkgFunc(pass *analysis.Pass, sel *ast.SelectorExpr, pkg, name string) bool {
+	if sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Name() == pkg
+}

@@ -1,0 +1,12 @@
+package panicprefix_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/panicprefix"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), panicprefix.Analyzer, "cluster", "mainprog")
+}

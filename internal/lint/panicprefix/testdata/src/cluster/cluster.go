@@ -1,0 +1,36 @@
+// Package cluster reproduces the real PR 7 finding verbatim: the
+// distributed measurement path shipped validation panics copied from
+// the statevec kernels, foreign prefix and all, so a crash in the
+// cluster engine pointed debuggers at the wrong package.
+package cluster
+
+import "fmt"
+
+func collapse(k, n uint) {
+	if k >= n {
+		panic("statevec: qubit out of range") // want `panic message "statevec: qubit out of range" must start with "cluster: "`
+	}
+}
+
+func collapseFixed(k, n uint) {
+	if k >= n {
+		panic("cluster: qubit out of range")
+	}
+}
+
+func remap(got, want int) {
+	if got != want {
+		panic(fmt.Sprintf("placement has %d entries, want %d", got, want)) // want `must start with "cluster: "`
+	}
+}
+
+func remapFixed(got, want int) {
+	if got != want {
+		panic(fmt.Errorf("cluster: placement has %d entries, want %d", got, want))
+	}
+}
+
+func rethrow(err error) {
+	// Non-literal panic values carry their own provenance.
+	panic(err)
+}

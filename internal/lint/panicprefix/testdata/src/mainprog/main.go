@@ -1,0 +1,7 @@
+// Command mainprog shows the package-main exemption: provenance of a
+// main-package panic is the binary itself.
+package main
+
+func main() {
+	panic("no prefix needed here")
+}

@@ -1,0 +1,94 @@
+// Package stickyerr enforces the sticky-error decoding contract of
+// internal/binio: a function that decodes values from a binio.Reader
+// must check Err() before its caller can trust what it decoded. The
+// Reader is deliberately forgiving mid-stream — every Read* returns a
+// usable zero value after a failure so decoders stay linear — which
+// makes the single Err() check at the end load-bearing: skip it and a
+// truncated or corrupt artifact decodes into a plausible-looking zero
+// Executable instead of an error.
+package stickyerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer checks that binio.Reader consumers check Err().
+var Analyzer = &analysis.Analyzer{
+	Name: "stickyerr",
+	Doc: "functions decoding from a binio.Reader must check Err()\n\n" +
+		"Any function that calls a decode method on a binio.Reader must also\n" +
+		"call Err() on it (directly, via `return r.Err()`, or in an error\n" +
+		"check), or return the reader itself for a caller to finish with.\n" +
+		"Methods of package binio itself are exempt.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "binio" {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var decodes, checksErr, returnsReader bool
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := node.Fun.(*ast.SelectorExpr)
+			if !ok || !isBinioReader(pass.TypesInfo.TypeOf(sel.X)) {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Err":
+				checksErr = true
+			case "Remaining":
+				// Neutral: inspects progress, decodes nothing.
+			default:
+				decodes = true
+			}
+		case *ast.ReturnStmt:
+			for _, res := range node.Results {
+				if isBinioReader(pass.TypesInfo.TypeOf(res)) {
+					returnsReader = true
+				}
+			}
+		}
+		return true
+	})
+	if decodes && !checksErr && !returnsReader {
+		pass.Reportf(fd.Name.Pos(),
+			"%s decodes from a binio.Reader but never checks Err(); decoded values are untrustworthy until the sticky error is examined",
+			fd.Name.Name)
+	}
+}
+
+// isBinioReader reports whether t is binio.Reader or *binio.Reader,
+// matched by type and package name so fixture mirrors of the package
+// exercise the analyzer.
+func isBinioReader(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Reader" && obj.Pkg() != nil && obj.Pkg().Name() == "binio"
+}

@@ -1,0 +1,12 @@
+package stickyerr_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/stickyerr"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), stickyerr.Analyzer, "decode")
+}

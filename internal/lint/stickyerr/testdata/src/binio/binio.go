@@ -1,0 +1,47 @@
+// Package binio mirrors the sticky-error reader of the real
+// repro/internal/binio closely enough for the stickyerr analyzer,
+// which matches the named type Reader in a package named binio.
+package binio
+
+// Reader decodes values from a byte slice with a sticky error: every
+// decode method returns a zero value after the first failure, and only
+// Err reports it.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps b.
+func NewReader(b []byte) *Reader {
+	return &Reader{buf: b}
+}
+
+// U8 decodes one byte.
+func (r *Reader) U8() byte {
+	if r.err != nil || r.off >= len(r.buf) {
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// U32 decodes a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		v |= uint32(r.U8()) << (8 * i)
+	}
+	return v
+}
+
+// Err returns the sticky error.
+func (r *Reader) Err() error {
+	return r.err
+}
+
+// Remaining reports undecoded bytes.
+func (r *Reader) Remaining() int {
+	return len(r.buf) - r.off
+}

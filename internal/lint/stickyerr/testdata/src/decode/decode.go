@@ -1,0 +1,47 @@
+// Package decode consumes the binio fixture on both sides of the
+// sticky-error contract.
+package decode
+
+import "binio"
+
+type header struct {
+	version uint32
+	qubits  uint32
+}
+
+// good checks the sticky error after decoding.
+func good(r *binio.Reader) (header, error) {
+	var h header
+	h.version = r.U32()
+	h.qubits = r.U32()
+	return h, r.Err()
+}
+
+// bad trusts decoded zero values without ever looking at Err.
+func bad(r *binio.Reader) header { // want `bad decodes from a binio.Reader but never checks Err`
+	var h header
+	h.version = r.U32()
+	h.qubits = r.U32()
+	return h
+}
+
+// progressOnly never decodes; Remaining is a neutral inspection.
+func progressOnly(r *binio.Reader) int {
+	return r.Remaining()
+}
+
+// handsBack decodes mid-stream but returns the reader, so the caller
+// finishes the sticky-error check.
+func handsBack(r *binio.Reader) (*binio.Reader, uint32) {
+	v := r.U32()
+	return r, v
+}
+
+// checksViaIf decodes and branches on Err directly.
+func checksViaIf(r *binio.Reader) uint32 {
+	v := r.U32()
+	if r.Err() != nil {
+		return 0
+	}
+	return v
+}

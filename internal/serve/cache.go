@@ -42,16 +42,17 @@ type Artifact struct {
 	exec *backend.Executable
 	cost uint64
 
-	// Session state, guarded by mu: prepared flips once, after the
-	// backend has run the executable.
+	// mu serialises the session: prepared flips once, after the backend
+	// has run the executable.
 	mu       sync.Mutex
-	b        backend.Backend
-	prepared bool
+	b        backend.Backend // guarded by mu
+	prepared bool            // guarded by mu
 
-	// Lifecycle, guarded by the owning cache's mutex: refs counts
-	// in-flight pins; retired marks an artifact no longer in the table
-	// (evicted, ephemeral or cache-closed) whose session closes when the
-	// last pin drops.
+	// Lifecycle, owned by the cache and mutated only under the owning
+	// cache's mutex (not annotatable here — the lock lives on another
+	// struct): refs counts in-flight pins; retired marks an artifact no
+	// longer in the table (evicted, ephemeral or cache-closed) whose
+	// session closes when the last pin drops.
 	refs    int
 	retired bool
 }
@@ -133,7 +134,7 @@ func (c *Cache) Put(key string, x *backend.Executable) (*Artifact, error) {
 		return nil, ErrTooLarge
 	}
 	for c.bytes+cost > c.budget {
-		if !c.evictOne() {
+		if !c.evictOneLocked() {
 			c.rejected++
 			return nil, ErrNoRoom
 		}
@@ -145,10 +146,10 @@ func (c *Cache) Put(key string, x *backend.Executable) (*Artifact, error) {
 	return a, nil
 }
 
-// evictOne drops the least-recently-used unpinned entry, closing its
-// session (no pins means no request is mid-run on it). Reports false
-// when every resident entry is pinned.
-func (c *Cache) evictOne() bool {
+// evictOneLocked drops the least-recently-used unpinned entry, closing
+// its session (no pins means no request is mid-run on it). Reports
+// false when every resident entry is pinned. Caller holds c.mu.
+func (c *Cache) evictOneLocked() bool {
 	for el := c.lru.Back(); el != nil; el = el.Prev() {
 		a := el.Value.(*Artifact)
 		if a.refs > 0 {

@@ -47,8 +47,8 @@ type Service struct {
 	cache *Cache
 	sem   *wsem
 
-	mu       sync.Mutex // guards inflight
-	inflight map[string]*flight
+	mu       sync.Mutex
+	inflight map[string]*flight // guarded by mu
 
 	compiles atomic.Uint64 // pass-pipeline invocations (cache hits skip it)
 	requests atomic.Uint64
@@ -322,7 +322,7 @@ type wsem struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	cap  int
-	used int
+	used int // guarded by mu
 }
 
 func newWsem(capacity int) *wsem {

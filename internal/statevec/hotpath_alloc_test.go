@@ -1,0 +1,52 @@
+package statevec
+
+import (
+	"testing"
+
+	"repro/internal/gates"
+)
+
+// TestHotpathKernelsDoNotAllocate pins the zero-steady-state-allocation
+// contract the //qemu:hotpath annotations document and the hotpathalloc
+// analyzer enforces syntactically: once a State exists, the annotated
+// kernels run without touching the heap. The state is kept below
+// parallelThreshold so the serial path is measured (the parallel path
+// amortises its worker pool separately).
+func TestHotpathKernelsDoNotAllocate(t *testing.T) {
+	s := NewZero(8)
+	s.SetParallelism(1)
+	s.ApplyHadamard(0) // spread some mass so collapse paths stay legal
+	controls := []uint{3, 4}
+	m4 := &[16]complex128{1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1}
+	cases := []struct {
+		name string
+		run  func()
+	}{
+		{"ApplyMatrix2", func() { s.ApplyMatrix2(gates.MatH, 1) }},
+		{"ApplyControlledMatrix2", func() { s.ApplyControlledMatrix2(gates.MatH, 1, controls) }},
+		{"ApplyX", func() { s.ApplyX(1) }},
+		{"ApplyControlledX", func() { s.ApplyControlledX(1, controls) }},
+		{"ApplyDiag", func() { s.ApplyDiag(1, -1, 1) }},
+		{"ApplyControlledDiag", func() { s.ApplyControlledDiag(1, -1, 1, controls) }},
+		{"ApplyHadamard", func() { s.ApplyHadamard(1) }},
+		{"ApplyMatrix4", func() { s.ApplyMatrix4(m4, 1, 2) }},
+		{"ApplySwap", func() { s.ApplySwap(1, 2) }},
+		{"collapseScaled", func() { s.collapseScaled(0, 0, 1) }},
+	}
+	for _, c := range cases {
+		if n := testing.AllocsPerRun(50, c.run); n != 0 {
+			t.Errorf("%s: %v allocs per run, want 0", c.name, n)
+		}
+	}
+}
+
+// BenchmarkHotpathApplyX is the -benchmem witness for the same
+// contract on a vector large enough to be bandwidth-bound.
+func BenchmarkHotpathApplyX(b *testing.B) {
+	s := NewZero(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ApplyX(uint(i) % 16)
+	}
+}

@@ -33,29 +33,56 @@ func (s *State) checkTargetControls(k uint, controls []uint) {
 	CheckTargetControls(s.n, k, controls)
 }
 
+// checkTarget panics when the target qubit k is out of range. Every
+// single-qubit kernel calls it (or a sibling check* helper) before its
+// first amplitude access — the contract the kernelvalidate analyzer
+// enforces — so all kernels fail identically, before any state is
+// touched.
+func (s *State) checkTarget(k uint) {
+	if k >= s.n {
+		panic("statevec: target qubit out of range")
+	}
+}
+
 // ApplyMatrix2 applies the dense 2x2 unitary m to qubit k. This is the
 // generic kernel a structure-blind simulator (the qHiPSTER-class baseline)
 // uses for every gate: two reads, two writes and a full complex 2x2
 // multiply per amplitude pair.
+//
+//qemu:hotpath
 func (s *State) ApplyMatrix2(m gates.Matrix2, k uint) {
-	if k >= s.n {
-		panic("statevec: target qubit out of range")
-	}
+	s.checkTarget(k)
 	half := s.Dim() >> 1
 	stride := uint64(1) << k
+	if s.parallelism(half) <= 1 {
+		matrix2Chunk(s.amp, m, k, stride, 0, half)
+		return
+	}
 	s.parallelRange(half, func(start, end uint64) {
-		for c := start; c < end; c++ {
-			i0 := bitops.InsertZeroBit(c, k)
-			i1 := i0 | stride
-			a0, a1 := s.amp[i0], s.amp[i1]
-			s.amp[i0] = m[0]*a0 + m[1]*a1
-			s.amp[i1] = m[2]*a0 + m[3]*a1
-		}
+		matrix2Chunk(s.amp, m, k, stride, start, end)
 	})
+}
+
+// matrix2Chunk runs the dense 2x2 butterfly over flat indices
+// [start, end). The kernels dispatch to chunk functions like this one
+// instead of closing over their parameters so the serial path — and
+// the per-chunk work on the parallel path — costs zero allocations: a
+// closure handed to the worker pool escapes and would otherwise
+// heap-allocate on every kernel call, serial or not.
+func matrix2Chunk(amp []complex128, m gates.Matrix2, k uint, stride, start, end uint64) {
+	for c := start; c < end; c++ {
+		i0 := bitops.InsertZeroBit(c, k)
+		i1 := i0 | stride
+		a0, a1 := amp[i0], amp[i1]
+		amp[i0] = m[0]*a0 + m[1]*a1
+		amp[i1] = m[2]*a0 + m[3]*a1
+	}
 }
 
 // ApplyControlledMatrix2 applies m to qubit k on the subspace where every
 // control qubit reads 1. Controls must not include k.
+//
+//qemu:hotpath
 func (s *State) ApplyControlledMatrix2(m gates.Matrix2, k uint, controls []uint) {
 	if len(controls) == 0 {
 		s.ApplyMatrix2(m, k)
@@ -65,36 +92,56 @@ func (s *State) ApplyControlledMatrix2(m gates.Matrix2, k uint, controls []uint)
 	cmask := bitops.ControlMask(controls)
 	half := s.Dim() >> 1
 	stride := uint64(1) << k
+	if s.parallelism(half) <= 1 {
+		ctrlMatrix2Chunk(s.amp, m, k, stride, cmask, 0, half)
+		return
+	}
 	s.parallelRange(half, func(start, end uint64) {
-		for c := start; c < end; c++ {
-			i0 := bitops.InsertZeroBit(c, k)
-			if i0&cmask != cmask {
-				continue
-			}
-			i1 := i0 | stride
-			a0, a1 := s.amp[i0], s.amp[i1]
-			s.amp[i0] = m[0]*a0 + m[1]*a1
-			s.amp[i1] = m[2]*a0 + m[3]*a1
-		}
+		ctrlMatrix2Chunk(s.amp, m, k, stride, cmask, start, end)
 	})
+}
+
+// ctrlMatrix2Chunk is matrix2Chunk restricted to pairs whose control
+// bits are all set.
+func ctrlMatrix2Chunk(amp []complex128, m gates.Matrix2, k uint, stride, cmask, start, end uint64) {
+	for c := start; c < end; c++ {
+		i0 := bitops.InsertZeroBit(c, k)
+		if i0&cmask != cmask {
+			continue
+		}
+		i1 := i0 | stride
+		a0, a1 := amp[i0], amp[i1]
+		amp[i0] = m[0]*a0 + m[1]*a1
+		amp[i1] = m[2]*a0 + m[3]*a1
+	}
 }
 
 // ApplyX applies a NOT to qubit k by swapping amplitude pairs — no complex
 // arithmetic at all. One of the specialised kernels that distinguish the
 // paper's simulator from the generic baseline.
+//
+//qemu:hotpath
 func (s *State) ApplyX(k uint) {
-	if k >= s.n {
-		panic("statevec: target qubit out of range")
-	}
+	s.checkTarget(k)
 	half := s.Dim() >> 1
 	stride := uint64(1) << k
+	if s.parallelism(half) <= 1 {
+		xChunk(s.amp, k, stride, 0, half)
+		return
+	}
 	s.parallelRange(half, func(start, end uint64) {
-		for c := start; c < end; c++ {
-			i0 := bitops.InsertZeroBit(c, k)
-			i1 := i0 | stride
-			s.amp[i0], s.amp[i1] = s.amp[i1], s.amp[i0]
-		}
+		xChunk(s.amp, k, stride, start, end)
 	})
+}
+
+// xChunk swaps the amplitude pairs of a NOT over flat indices
+// [start, end).
+func xChunk(amp []complex128, k uint, stride, start, end uint64) {
+	for c := start; c < end; c++ {
+		i0 := bitops.InsertZeroBit(c, k)
+		i1 := i0 | stride
+		amp[i0], amp[i1] = amp[i1], amp[i0]
+	}
 }
 
 // ApplyDiag applies the diagonal gate diag(d0, d1) to qubit k: a single
@@ -102,10 +149,10 @@ func (s *State) ApplyX(k uint) {
 // are skipped entirely, so a phase gate touches only half the vector — this
 // is the "read and write only a quarter of the state" optimisation of
 // Section 3.2 once a control is added.
+//
+//qemu:hotpath
 func (s *State) ApplyDiag(d0, d1 complex128, k uint) {
-	if k >= s.n {
-		panic("statevec: target qubit out of range")
-	}
+	s.checkTarget(k)
 	half := s.Dim() >> 1
 	stride := uint64(1) << k
 	scale0 := d0 != 1
@@ -113,23 +160,35 @@ func (s *State) ApplyDiag(d0, d1 complex128, k uint) {
 	if !scale0 && !scale1 {
 		return
 	}
+	if s.parallelism(half) <= 1 {
+		diagChunk(s.amp, d0, d1, k, stride, scale0, scale1, 0, half)
+		return
+	}
 	s.parallelRange(half, func(start, end uint64) {
-		for c := start; c < end; c++ {
-			i0 := bitops.InsertZeroBit(c, k)
-			if scale0 {
-				s.amp[i0] *= d0
-			}
-			if scale1 {
-				s.amp[i0|stride] *= d1
-			}
-		}
+		diagChunk(s.amp, d0, d1, k, stride, scale0, scale1, start, end)
 	})
+}
+
+// diagChunk scales the selected branches of diag(d0, d1) over flat
+// indices [start, end).
+func diagChunk(amp []complex128, d0, d1 complex128, k uint, stride uint64, scale0, scale1 bool, start, end uint64) {
+	for c := start; c < end; c++ {
+		i0 := bitops.InsertZeroBit(c, k)
+		if scale0 {
+			amp[i0] *= d0
+		}
+		if scale1 {
+			amp[i0|stride] *= d1
+		}
+	}
 }
 
 // ApplyControlledDiag applies diag(d0, d1) on qubit k conditioned on the
 // controls. For the conditional phase shift (d0 == 1) only the amplitudes
 // with target bit 1 AND all control bits 1 are touched: a quarter of the
 // state for one control, an eighth for two, and so on.
+//
+//qemu:hotpath
 func (s *State) ApplyControlledDiag(d0, d1 complex128, k uint, controls []uint) {
 	if len(controls) == 0 {
 		s.ApplyDiag(d0, d1, k)
@@ -144,26 +203,38 @@ func (s *State) ApplyControlledDiag(d0, d1 complex128, k uint, controls []uint) 
 	if !scale0 && !scale1 {
 		return
 	}
+	if s.parallelism(half) <= 1 {
+		ctrlDiagChunk(s.amp, d0, d1, k, stride, cmask, scale0, scale1, 0, half)
+		return
+	}
 	s.parallelRange(half, func(start, end uint64) {
-		for c := start; c < end; c++ {
-			i0 := bitops.InsertZeroBit(c, k)
-			if i0&cmask != cmask {
-				continue
-			}
-			if scale0 {
-				s.amp[i0] *= d0
-			}
-			if scale1 {
-				s.amp[i0|stride] *= d1
-			}
-		}
+		ctrlDiagChunk(s.amp, d0, d1, k, stride, cmask, scale0, scale1, start, end)
 	})
+}
+
+// ctrlDiagChunk is diagChunk restricted to indices whose control bits
+// are all set.
+func ctrlDiagChunk(amp []complex128, d0, d1 complex128, k uint, stride, cmask uint64, scale0, scale1 bool, start, end uint64) {
+	for c := start; c < end; c++ {
+		i0 := bitops.InsertZeroBit(c, k)
+		if i0&cmask != cmask {
+			continue
+		}
+		if scale0 {
+			amp[i0] *= d0
+		}
+		if scale1 {
+			amp[i0|stride] *= d1
+		}
+	}
 }
 
 // ApplyControlledX applies a (multi-)controlled NOT by swapping the
 // amplitude pairs whose controls are satisfied — no complex arithmetic at
 // all, where the generic kernel spends a full 2x2 complex multiply per
 // pair. CNOT and Toffoli both land here.
+//
+//qemu:hotpath
 func (s *State) ApplyControlledX(k uint, controls []uint) {
 	if len(controls) == 0 {
 		s.ApplyX(k)
@@ -173,36 +244,56 @@ func (s *State) ApplyControlledX(k uint, controls []uint) {
 	cmask := bitops.ControlMask(controls)
 	half := s.Dim() >> 1
 	stride := uint64(1) << k
+	if s.parallelism(half) <= 1 {
+		ctrlXChunk(s.amp, k, stride, cmask, 0, half)
+		return
+	}
 	s.parallelRange(half, func(start, end uint64) {
-		for c := start; c < end; c++ {
-			i0 := bitops.InsertZeroBit(c, k)
-			if i0&cmask != cmask {
-				continue
-			}
-			i1 := i0 | stride
-			s.amp[i0], s.amp[i1] = s.amp[i1], s.amp[i0]
-		}
+		ctrlXChunk(s.amp, k, stride, cmask, start, end)
 	})
+}
+
+// ctrlXChunk is xChunk restricted to pairs whose control bits are all
+// set.
+func ctrlXChunk(amp []complex128, k uint, stride, cmask, start, end uint64) {
+	for c := start; c < end; c++ {
+		i0 := bitops.InsertZeroBit(c, k)
+		if i0&cmask != cmask {
+			continue
+		}
+		i1 := i0 | stride
+		amp[i0], amp[i1] = amp[i1], amp[i0]
+	}
 }
 
 // ApplyHadamard applies H to qubit k with the multiply count minimised:
 // one scale and one add/sub per output instead of a generic 2x2 product.
+//
+//qemu:hotpath
 func (s *State) ApplyHadamard(k uint) {
-	if k >= s.n {
-		panic("statevec: target qubit out of range")
-	}
-	const invSqrt2 = 0.7071067811865476
+	s.checkTarget(k)
 	half := s.Dim() >> 1
 	stride := uint64(1) << k
+	if s.parallelism(half) <= 1 {
+		hadamardChunk(s.amp, k, stride, 0, half)
+		return
+	}
 	s.parallelRange(half, func(start, end uint64) {
-		for c := start; c < end; c++ {
-			i0 := bitops.InsertZeroBit(c, k)
-			i1 := i0 | stride
-			a0, a1 := s.amp[i0], s.amp[i1]
-			s.amp[i0] = complex(invSqrt2*(real(a0)+real(a1)), invSqrt2*(imag(a0)+imag(a1)))
-			s.amp[i1] = complex(invSqrt2*(real(a0)-real(a1)), invSqrt2*(imag(a0)-imag(a1)))
-		}
+		hadamardChunk(s.amp, k, stride, start, end)
 	})
+}
+
+// hadamardChunk runs the scale-and-add/sub Hadamard butterfly over
+// flat indices [start, end).
+func hadamardChunk(amp []complex128, k uint, stride, start, end uint64) {
+	const invSqrt2 = 0.7071067811865476
+	for c := start; c < end; c++ {
+		i0 := bitops.InsertZeroBit(c, k)
+		i1 := i0 | stride
+		a0, a1 := amp[i0], amp[i1]
+		amp[i0] = complex(invSqrt2*(real(a0)+real(a1)), invSqrt2*(imag(a0)+imag(a1)))
+		amp[i1] = complex(invSqrt2*(real(a0)-real(a1)), invSqrt2*(imag(a0)-imag(a1)))
+	}
 }
 
 // ApplyGate dispatches g to the most specialised kernel available. This is

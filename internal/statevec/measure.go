@@ -8,6 +8,14 @@ import (
 	"repro/internal/rng"
 )
 
+// checkQubit panics when measurement qubit k is out of range, with the
+// same message the measurement paths have always raised.
+func (s *State) checkQubit(k uint) {
+	if k >= s.n {
+		panic("statevec: qubit out of range")
+	}
+}
+
 // conditionalMass returns the probability mass of the branch where qubit k
 // reads the given outcome bit, reduced in parallel over the 2^(n-1)
 // amplitudes of that branch.
@@ -30,9 +38,7 @@ func (s *State) conditionalMass(k uint, outcome uint64) float64 {
 
 // Probability returns the probability that measuring qubit k yields 1.
 func (s *State) Probability(k uint) float64 {
-	if k >= s.n {
-		panic("statevec: qubit out of range")
-	}
+	s.checkQubit(k)
 	return s.conditionalMass(k, 1)
 }
 
@@ -41,9 +47,7 @@ func (s *State) Probability(k uint) float64 {
 // 1 - Probability(k), the outcome-0 branch is summed directly, so shard
 // owners get a non-negative mass in a single pass.
 func (s *State) BranchMass(k uint, outcome uint64) float64 {
-	if k >= s.n {
-		panic("statevec: qubit out of range")
-	}
+	s.checkQubit(k)
 	return s.conditionalMass(k, outcome&1)
 }
 
@@ -83,9 +87,7 @@ func (s *State) Measure(k uint, src *rng.Source) uint64 {
 // half-vector reduction for the kept branch's mass, then one sweep that
 // zeroes and rescales together.
 func (s *State) Collapse(k uint, outcome uint64) {
-	if k >= s.n {
-		panic("statevec: qubit out of range")
-	}
+	s.checkQubit(k)
 	keep := s.conditionalMass(k, outcome&1)
 	if keep == 0 {
 		panic("statevec: collapse onto zero-probability outcome")
@@ -100,9 +102,7 @@ func (s *State) Collapse(k uint, outcome uint64) {
 // branch mass is not the global one — the caller reduces masses across
 // shards first and hands every shard the same keep.
 func (s *State) CollapseScaled(k uint, outcome uint64, keep float64) {
-	if k >= s.n {
-		panic("statevec: qubit out of range")
-	}
+	s.checkQubit(k)
 	if keep == 0 {
 		panic("statevec: collapse onto zero-probability outcome")
 	}
@@ -111,24 +111,36 @@ func (s *State) CollapseScaled(k uint, outcome uint64, keep float64) {
 
 // collapseScaled zeroes the branch where qubit k differs from outcome and
 // multiplies the kept branch by 1/sqrt(keep), in one parallel sweep.
+//
+//qemu:hotpath
 func (s *State) collapseScaled(k uint, outcome uint64, keep float64) {
 	stride := uint64(1) << k
 	inv := complex(1/math.Sqrt(keep), 0)
 	half := s.Dim() >> 1
 	keepOne := outcome == 1
+	if s.parallelism(half) <= 1 {
+		collapseChunk(s.amp, k, stride, inv, keepOne, 0, half)
+		return
+	}
 	s.parallelRange(half, func(start, end uint64) {
-		for c := start; c < end; c++ {
-			i0 := bitops.InsertZeroBit(c, k)
-			i1 := i0 | stride
-			if keepOne {
-				s.amp[i0] = 0
-				s.amp[i1] *= inv
-			} else {
-				s.amp[i0] *= inv
-				s.amp[i1] = 0
-			}
-		}
+		collapseChunk(s.amp, k, stride, inv, keepOne, start, end)
 	})
+}
+
+// collapseChunk zeroes the discarded branch and rescales the kept one
+// over flat indices [start, end).
+func collapseChunk(amp []complex128, k uint, stride uint64, inv complex128, keepOne bool, start, end uint64) {
+	for c := start; c < end; c++ {
+		i0 := bitops.InsertZeroBit(c, k)
+		i1 := i0 | stride
+		if keepOne {
+			amp[i0] = 0
+			amp[i1] *= inv
+		} else {
+			amp[i0] *= inv
+			amp[i1] = 0
+		}
+	}
 }
 
 // massChunks computes the per-chunk probability masses of the amplitude

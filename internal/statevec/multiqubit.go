@@ -111,6 +111,27 @@ func (s *State) ApplyControlledMatrixN(m []complex128, qubits []uint, controls [
 // a single sweep regardless of how many phase gates were folded into d, so
 // a fused run of CR/Rz/T gates costs what a single diagonal gate costs.
 func (s *State) ApplyDiagN(d []complex128, qubits []uint) {
+	s.checkDiagN(d, qubits)
+	w := uint(len(qubits))
+	sorted, offs := localLayout(qubits)
+	dim := 1 << w
+	groups := s.Dim() >> w
+	s.parallelRange(groups, func(start, end uint64) {
+		for c := start; c < end; c++ {
+			base := bitops.InsertZeroBits(c, sorted...)
+			for x := 0; x < dim; x++ {
+				s.amp[base|offs[x]] *= d[x]
+			}
+		}
+	})
+}
+
+// checkDiagN panics unless d and qubits describe a valid diagonal
+// block: width in [1, MaxMatrixNQubits], 2^w diagonal entries, and
+// distinct in-range qubits. The panic messages are the kernel's
+// original inline ones; hoisting them into a helper satisfies the
+// validate-before-amplitude-access contract kernelvalidate checks.
+func (s *State) checkDiagN(d []complex128, qubits []uint) {
 	w := uint(len(qubits))
 	if w == 0 || w > MaxMatrixNQubits {
 		panic("statevec: ApplyDiagN width out of range")
@@ -128,17 +149,6 @@ func (s *State) ApplyDiagN(d []complex128, qubits []uint) {
 		}
 		seen |= 1 << q
 	}
-	sorted, offs := localLayout(qubits)
-	dim := 1 << w
-	groups := s.Dim() >> w
-	s.parallelRange(groups, func(start, end uint64) {
-		for c := start; c < end; c++ {
-			base := bitops.InsertZeroBits(c, sorted...)
-			for x := 0; x < dim; x++ {
-				s.amp[base|offs[x]] *= d[x]
-			}
-		}
-	})
 }
 
 // localLayout returns the ascending copy of qubits (the InsertZeroBits
