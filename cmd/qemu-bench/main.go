@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	qemu-bench [-experiment all|fig1|...|fig6|table2|measure|mathfunc|fusion|cluster|cluster-emulate|serve]
+//	qemu-bench [-experiment all|fig1|...|fig6|table2|measure|mathfunc|fusion|cluster|cluster-emulate|auto|serve]
 //	           [-quick] [-max-sim-m M] [-max-emu-m M] [-local-qubits L]
 //	           [-max-nodes P] [-max-qubits N] [-max-measured-n N] [-fuse-width K]
 //
@@ -120,6 +120,14 @@ func (c *collector) addServe(rows []experiments.ServeRow) {
 	}
 }
 
+func (c *collector) addAuto(rows []experiments.AutoRow) {
+	for _, r := range rows {
+		c.add("auto", r.Name, "auto", r.Qubits, r.TAuto, 0)
+		c.add("auto", r.Name, "best-manual", r.Qubits, r.TBest, 0)
+		c.add("auto", r.Name, "worst-manual", r.Qubits, r.TWorst, 0)
+	}
+}
+
 func (c *collector) addMeasure(rows []experiments.MeasureRow) {
 	for i, r := range rows {
 		if i == 0 {
@@ -138,7 +146,7 @@ func (c *collector) write(path string) error {
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "which experiment to run (all, fig1, fig2, fig3, fig4, fig5, fig6, table2, measure, mathfunc, fusion, emulate, cluster, cluster-emulate, serve)")
+		experiment   = flag.String("experiment", "all", "which experiment to run (all, fig1, fig2, fig3, fig4, fig5, fig6, table2, measure, mathfunc, fusion, emulate, cluster, cluster-emulate, auto, serve)")
 		quick        = flag.Bool("quick", false, "shrink every sweep for a fast smoke run")
 		maxSimM      = flag.Uint("max-sim-m", 0, "override: largest simulated operand width for fig1/fig2")
 		maxEmuM      = flag.Uint("max-emu-m", 0, "override: largest emulated operand width for fig1/fig2")
@@ -334,6 +342,23 @@ func main() {
 		rows := experiments.ClusterEmulate(cfg)
 		col.addClusterEmulate(rows)
 		fmt.Println(experiments.FormatClusterEmulate(rows))
+	}
+	if run("auto") {
+		ran = true
+		cfg := experiments.DefaultAuto()
+		if *quick {
+			cfg = experiments.QuickAuto()
+		}
+		if *maxQubits > 0 {
+			cfg.QFTQubits = *maxQubits
+		}
+		rows, err := experiments.Auto(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "auto experiment: %v\n", err)
+			os.Exit(1)
+		}
+		col.addAuto(rows)
+		fmt.Println(experiments.FormatAuto(rows))
 	}
 	if run("serve") {
 		ran = true

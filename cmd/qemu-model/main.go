@@ -1,15 +1,26 @@
 // Command qemu-model evaluates the paper's analytic performance models
 // (Eqs. 5 and 6) at full paper scale, printing the Figure 3 weak-scaling
-// prediction and the asymptotic QPE cross-over bounds of Section 3.3.
+// prediction and the asymptotic QPE cross-over bounds of Section 3.3 —
+// and, next to the analytic columns, the calibrated measured model the
+// auto-backend selector prices candidates with.
 //
 // Usage:
 //
 //	qemu-model [-min-qubits N] [-max-qubits N] [-eff-fft F] [-bmem B] [-bnet B]
+//	           [-calibrate] [-calibration-path FILE]
+//
+// -calibrate runs the micro-benchmarks of internal/perfmodel against the
+// live kernels (about a second) and writes the constants to the
+// calibration cache, where `repro.Open(n, WithAuto())` and `qemu-run
+// -backend auto` pick them up. -calibration-path overrides the cache
+// location (equivalent to setting QEMU_CALIBRATION_FILE); CI uses it to
+// keep headless runs out of the user cache directory.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/experiments"
 	"repro/internal/perfmodel"
@@ -17,13 +28,32 @@ import (
 
 func main() {
 	var (
-		minQ   = flag.Uint("min-qubits", 28, "weak-scaling start (1 node)")
-		maxQ   = flag.Uint("max-qubits", 36, "weak-scaling end")
-		effFFT = flag.Float64("eff-fft", 0, "override FFT efficiency (fraction of peak)")
-		bmem   = flag.Float64("bmem", 0, "override per-node memory bandwidth (bytes/s)")
-		bnet   = flag.Float64("bnet", 0, "override per-node network bandwidth (bytes/s)")
+		minQ      = flag.Uint("min-qubits", 28, "weak-scaling start (1 node)")
+		maxQ      = flag.Uint("max-qubits", 36, "weak-scaling end")
+		effFFT    = flag.Float64("eff-fft", 0, "override FFT efficiency (fraction of peak)")
+		bmem      = flag.Float64("bmem", 0, "override per-node memory bandwidth (bytes/s)")
+		bnet      = flag.Float64("bnet", 0, "override per-node network bandwidth (bytes/s)")
+		calibrate = flag.Bool("calibrate", false, "micro-benchmark the live kernels and write the calibration cache")
+		calPath   = flag.String("calibration-path", "", "calibration cache file (default: QEMU_CALIBRATION_FILE, else the user cache dir)")
 	)
 	flag.Parse()
+
+	if *calPath != "" {
+		// The env var is the single source of truth for the cache location;
+		// the flag is a convenience spelling of it.
+		if err := os.Setenv("QEMU_CALIBRATION_FILE", *calPath); err != nil {
+			fmt.Fprintln(os.Stderr, "qemu-model:", err)
+			os.Exit(1)
+		}
+	}
+	if *calibrate {
+		meas := perfmodel.Calibrate()
+		if err := meas.Save(); err != nil {
+			fmt.Fprintln(os.Stderr, "qemu-model: saving calibration:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("calibrated against the live kernels; cached at %s\n", perfmodel.Path())
+	}
 
 	m := perfmodel.Stampede()
 	if *effFFT > 0 {
@@ -36,8 +66,12 @@ func main() {
 		m.BNetNode = *bnet
 	}
 
-	fmt.Printf("machine %q: peak %.0f GF/s, FFT eff %.0f%%, Bmem %.0f GB/s, Bnet %.1f GB/s\n\n",
+	fmt.Printf("machine %q: peak %.0f GF/s, FFT eff %.0f%%, Bmem %.0f GB/s, Bnet %.1f GB/s\n",
 		m.Name, m.FLOPSPeak/1e9, m.EffFFT*100, m.BMemNode/1e9, m.BNetNode/1e9)
+
+	meas := perfmodel.Active()
+	fmt.Printf("measured model (%s): sweep %.2f, diag %.2f, perm %.2f, fft %.2f, generic %.2f, remap %.2f ns/amp\n\n",
+		meas.Source, meas.SweepNs, meas.DiagNs, meas.PermNs, meas.FFTNs, meas.GenericNs, meas.RemapNs)
 
 	pts := m.WeakScaling(*minQ, *maxQ)
 	var rows [][]string
@@ -48,11 +82,15 @@ func main() {
 			fmt.Sprintf("%.3f s", p.TQFT),
 			fmt.Sprintf("%.3f s", p.TFFT),
 			fmt.Sprintf("%.1fx", p.Speedup),
+			fmt.Sprintf("%.3f s", meas.TQFT(p.Qubits, p.Nodes)),
+			fmt.Sprintf("%.3f s", meas.TFFT(p.Qubits, p.Nodes)),
 		})
 	}
-	fmt.Println("Figure 3 model: distributed QFT simulation (Eq. 6) vs FFT emulation (Eq. 5)")
+	fmt.Println("Figure 3 model: distributed QFT simulation (Eq. 6) vs FFT emulation (Eq. 5),")
+	fmt.Println("with the calibrated measured model's predictions for this machine alongside")
 	fmt.Println(experiments.Table(
-		[]string{"qubits", "nodes", "T_QFT", "T_FFT", "speedup"}, rows))
+		[]string{"qubits", "nodes", "T_QFT (Eq.6)", "T_FFT (Eq.5)", "speedup",
+			"T_QFT (meas)", "T_FFT (meas)"}, rows))
 
 	fmt.Println("Section 3.3 asymptotic QPE cross-overs (precision bits b where emulation wins):")
 	var xrows [][]string

@@ -8,9 +8,18 @@
 //
 // Usage:
 //
-//	qemu-run [-backend ours|generic|sparse|emulator] [-fuse-width K]
+//	qemu-run [-backend auto|ours|generic|sparse|emulator] [-fuse-width K]
 //	         [-emulate off|annotated|auto] [-nodes P] [-shots K] [-top N]
 //	         [-seed S] circuit.qc
+//
+// -backend auto hands the whole configuration to the profile-driven
+// selector: the compiler profiles the circuit, prices every engine
+// (fused at several widths, generic, sparse, cluster) with the
+// calibrated cost model and runs the cheapest, printing the full
+// selection report — chosen target, candidate costs, per-region
+// emulate-vs-fuse verdicts. `-emulate auto` with no -fuse-width or
+// -nodes pins routes through the same selector; add pins to keep the
+// classic behaviour (emulation dispatch on the shape you chose).
 //
 // -fuse-width K enables multi-qubit block fusion: consecutive gates whose
 // combined support fits in K qubits are merged into one dense 2^K block
@@ -49,7 +58,7 @@ import (
 
 func main() {
 	var (
-		backendName = flag.String("backend", "ours", "back-end: ours, generic, sparse, emulator")
+		backendName = flag.String("backend", "ours", "back-end: auto, ours, generic, sparse, emulator")
 		fuseWidth   = flag.Int("fuse-width", 0, "multi-qubit fusion width (0 = classic same-target fusion)")
 		emulate     = flag.String("emulate", "", "emulation dispatch: off, annotated, auto (default off; -backend emulator implies auto)")
 		nodes       = flag.Int("nodes", 0, "shard the register across this many emulated cluster nodes (power of two)")
@@ -75,7 +84,26 @@ func options(backendName string, fuseWidth int, emulate string, nodes int) ([]re
 	baseline := false
 	emulatorBackend := false
 	switch backendName {
+	case "auto":
+		// Fully profile-driven: the compiler picks engine kind, fusion
+		// width and node count, so shape pins contradict it.
+		if fuseWidth >= 2 {
+			return nil, fmt.Errorf("-fuse-width contradicts -backend auto (auto picks the width)")
+		}
+		if nodes > 1 {
+			return nil, fmt.Errorf("-nodes contradicts -backend auto (auto picks the node count)")
+		}
+		if emulate == "off" || emulate == "annotated" {
+			return nil, fmt.Errorf("-emulate %s contradicts -backend auto (auto decides per region)", emulate)
+		}
+		return []repro.OpenOption{repro.WithAuto()}, nil
 	case "ours", "":
+		// -emulate auto with no shape pins means "decide for me": route
+		// through the profile-driven selector so the report explains the
+		// choice instead of silently defaulting the engine shape.
+		if emulate == "auto" && fuseWidth < 2 && nodes <= 1 {
+			return []repro.OpenOption{repro.WithAuto()}, nil
+		}
 	case "emulator":
 		emulatorBackend = true
 	case "generic":
@@ -85,7 +113,7 @@ func options(backendName string, fuseWidth int, emulate string, nodes int) ([]re
 		opts = append(opts, repro.WithSparseKernels())
 		baseline = true
 	default:
-		return nil, fmt.Errorf("unknown backend %q (ours, generic, sparse, emulator)", backendName)
+		return nil, fmt.Errorf("unknown backend %q (auto, ours, generic, sparse, emulator)", backendName)
 	}
 	if fuseWidth >= 2 {
 		if baseline {
@@ -161,6 +189,13 @@ func run(path, backendName string, fuseWidth int, emulate string, nodes, shots, 
 	res, err := b.Run(x)
 	if err != nil {
 		return err
+	}
+
+	// The selection report explains an auto run: chosen target, every
+	// candidate's predicted cost, and the per-region emulate-vs-fuse
+	// verdicts.
+	if res.Selection != nil {
+		fmt.Println(res.Selection.Report())
 	}
 
 	// The unified Result: emulated regions, fused blocks, communication.

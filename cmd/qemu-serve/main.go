@@ -9,6 +9,13 @@
 //	qemu-serve [-addr :8451] [-cache-qubits N | -cache-bytes B]
 //	           [-persist DIR] [-workers K] [-max-shots K]
 //	           [-fuse-width K] [-emulate off|annotated|auto] [-nodes P]
+//	           [-no-auto]
+//
+// By default (no -fuse-width, no -nodes, -emulate auto) the daemon
+// compiles every circuit through the profile-driven auto backend: each
+// artifact gets the engine the cost model picks for that circuit, so
+// mixed clients don't share one compromise shape. Pin -fuse-width or
+// -nodes (or pass -no-auto) to compile everything for one fixed target.
 //
 // The cache budget is expressed either directly in bytes or as
 // -cache-qubits N, the working set of one N-qubit session (16<<N
@@ -48,6 +55,7 @@ func main() {
 		fuseWidth   = flag.Int("fuse-width", 0, "multi-qubit fusion width (0 = classic same-target fusion)")
 		emulate     = flag.String("emulate", "auto", "emulation dispatch: off, annotated, auto")
 		nodes       = flag.Int("nodes", 0, "shard across this many emulated cluster nodes (power of two)")
+		noAuto      = flag.Bool("no-auto", false, "disable profile-driven selection; run the fixed default shape")
 	)
 	flag.Parse()
 
@@ -60,6 +68,13 @@ func main() {
 	if *nodes > 1 {
 		tgt.Kind = backend.Cluster
 		tgt.Nodes = *nodes
+	}
+	// With nothing pinned, each circuit picks its own engine: the daemon
+	// compiles through the profile-driven selector, so a QFT-heavy client
+	// gets emulation dispatch while a dense ansatz gets wide fusion —
+	// per artifact, decided at compile time and cached with it.
+	if !*noAuto && mode == recognize.Auto && *fuseWidth < 2 && *nodes <= 1 {
+		tgt = backend.Target{Auto: true}
 	}
 	budget := *cacheBytes
 	if budget == 0 && *cacheQubits > 0 {
@@ -87,8 +102,12 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
+	kind := tgt.Kind.String()
+	if tgt.Auto {
+		kind = "auto"
+	}
 	fmt.Printf("qemu-serve listening on %s (cache %s, target %s)\n",
-		*addr, formatBytes(svc.Stats().Cache.Budget), tgt.Kind)
+		*addr, formatBytes(svc.Stats().Cache.Budget), kind)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,8 +1,9 @@
 // Quickstart: open a backend through repro.Open (the single entrypoint
 // for every engine), build a GHZ state, inspect the exact measurement
 // distribution (the emulator's Section 3.4 shortcut), draw hardware-style
-// samples, and verify the gate-level and emulating backends agree
-// gate-for-gate.
+// samples, and verify the explicit gate-level backend and the
+// profile-driven auto backend (WithAuto: Compile picks the engine)
+// agree gate-for-gate.
 package main
 
 import (
@@ -37,10 +38,12 @@ func main() {
 		panic(err)
 	}
 
-	// The same program through an emulating backend: recognised
-	// subroutines run as classical shortcuts (this tiny circuit has none,
+	// The same program through the auto backend: Compile profiles the
+	// circuit, prices every engine with the calibrated cost model and
+	// picks the cheapest — engine kind, fusion width and node count are
+	// all decided for you (this tiny circuit has nothing recognisable,
 	// so both paths execute the same kernels — which is the check).
-	e, err := repro.Open(n, repro.WithEmulation(repro.EmulateAuto))
+	e, err := repro.Open(n, repro.WithAuto())
 	if err != nil {
 		panic(err)
 	}
@@ -52,7 +55,7 @@ func main() {
 		panic(err)
 	}
 
-	fmt.Printf("gate-level/emulating backend max amplitude difference: %.2e\n",
+	fmt.Printf("gate-level/auto backend max amplitude difference: %.2e\n",
 		s.State().MaxDiff(e.State()))
 
 	// Exact distribution in one pass — no repeated runs needed.

@@ -3,9 +3,9 @@
 // modular exponentiation |x>|1> -> |x>|a^x mod N>, which a simulator would
 // have to run as an enormous reversible circuit, is emulated as a single
 // classical permutation on the repro.Open backend's state; the inverse
-// QFT on the counting register runs as a circuit whose "iqft" region the
-// emulating backend lowers to the FFT; the final readout uses the exact
-// distribution plus continued fractions.
+// QFT on the counting register runs as a circuit the profile-driven auto
+// backend (repro.WithAuto) chooses to lower to the FFT; the final
+// readout uses the exact distribution plus continued fractions.
 package main
 
 import (
@@ -36,7 +36,11 @@ func factorOnce(N, a uint64) {
 	total := t + w
 	fmt.Printf("  %d counting qubits + %d work qubits = %d total\n", t, w, total)
 
-	b, err := repro.Open(total, repro.WithEmulation(repro.EmulateAnnotated))
+	// The auto backend: Compile profiles the inverse-QFT circuit below,
+	// prices every engine and picks the shape itself — here a fused
+	// engine with the Fourier region dispatched to the FFT, the same
+	// choice WithEmulation(EmulateAnnotated) used to hard-code.
+	b, err := repro.Open(total, repro.WithAuto())
 	if err != nil {
 		panic(err)
 	}

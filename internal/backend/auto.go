@@ -1,0 +1,106 @@
+package backend
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/gates"
+	"repro/internal/rng"
+	"repro/internal/statevec"
+)
+
+// auto is the backend a Target{Auto: true} opens: a shell that defers
+// engine construction until the first Run, when the executable's
+// resolved target (chosen by compileAuto's profile+select passes) says
+// which engine to build. Target() returns the auto target, so
+// Execute(b, c) compiles through the auto path; Run then materialises
+// exactly the shape the selector picked.
+type auto struct {
+	t Target // the canonical auto target (normalize'd)
+
+	mu  sync.Mutex
+	eng Backend // guarded by mu; nil until materialised
+	// closed is separate from eng so Close works before first Run.
+	closed atomic.Bool
+}
+
+func newAutoBackend(t Target) Backend {
+	return &auto{t: t}
+}
+
+func (b *auto) NumQubits() uint { return b.t.NumQubits }
+func (b *auto) Target() Target  { return b.t }
+
+// engine returns the materialised engine, building def when none exists
+// yet. Run passes the executable's resolved target; the direct-execution
+// methods pass the default concrete shape below.
+func (b *auto) engine(def Target) (Backend, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.eng == nil {
+		if def.Workers == 0 {
+			def.Workers = b.t.Workers
+		}
+		eng, err := New(def)
+		if err != nil {
+			return nil, err
+		}
+		b.eng = eng
+	}
+	return b.eng, nil
+}
+
+// defaultEngine materialises the shape used for gate-at-a-time work
+// before any Run has pinned one: the plain fused simulator. Selection
+// proper needs a compiled circuit; single gates have nothing to select
+// on.
+func (b *auto) defaultEngine() Backend {
+	eng, err := b.engine(Target{NumQubits: b.t.NumQubits, Kind: Fused})
+	if err != nil {
+		// Unreachable: the fused default accepts any register width New
+		// accepted for the auto target.
+		panic("backend: " + err.Error())
+	}
+	return eng
+}
+
+// Run materialises the engine from the executable's resolved target on
+// first use, then delegates. Later Runs reuse the engine, which enforces
+// sameShape itself — an auto backend runs circuits of one selected
+// shape, like any other backend; compile per circuit (or open a fresh
+// backend) when selections differ.
+func (b *auto) Run(x *Executable) (*Result, error) {
+	if b.closed.Load() {
+		return nil, ErrClosed
+	}
+	eng, err := b.engine(x.Target)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(x)
+}
+
+func (b *auto) ApplyGate(g gates.Gate)     { b.defaultEngine().ApplyGate(g) }
+func (b *auto) State() *statevec.State     { return b.defaultEngine().State() }
+func (b *auto) Probability(q uint) float64 { return b.defaultEngine().Probability(q) }
+func (b *auto) Stats() Stats               { return b.defaultEngine().Stats() }
+func (b *auto) Measure(q uint, src *rng.Source) uint64 {
+	return b.defaultEngine().Measure(q, src)
+}
+func (b *auto) Sample(src *rng.Source) uint64 { return b.defaultEngine().Sample(src) }
+func (b *auto) SampleMany(k int, src *rng.Source) []uint64 {
+	return b.defaultEngine().SampleMany(k, src)
+}
+
+// Close implements the Backend contract: idempotent, nil, safe against
+// in-flight Runs (delegated to the engine's own Close contract).
+func (b *auto) Close() error {
+	b.closed.Store(true)
+	b.mu.Lock()
+	eng := b.eng
+	b.mu.Unlock()
+	if eng != nil {
+		return eng.Close()
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package backend_test
+
+import (
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/cluster"
+	"repro/internal/qft"
+	"repro/internal/recognize"
+)
+
+// TestAutoCompileEndToEnd runs the whole auto pipeline: Compile resolves
+// the auto target to a concrete one and attaches the selection report,
+// Run materialises the selected engine, and the final state matches a
+// hand-configured emulating backend exactly.
+func TestAutoCompileEndToEnd(t *testing.T) {
+	c := prep(16)
+	c.Extend(qft.Circuit(16))
+	autoT := backend.Target{NumQubits: 16, Auto: true}
+
+	x, err := backend.Compile(c, autoT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Target.Auto {
+		t.Fatal("compiled executable still carries Auto: selection did not resolve")
+	}
+	if x.Selection == nil {
+		t.Fatal("auto-compiled executable has no selection report")
+	}
+	// x.Target is the normalized form of the selection (defaults filled
+	// in), so compare the shape fields the selector decides.
+	if ch := x.Selection.Chosen; ch.Kind != x.Target.Kind || ch.FuseWidth != x.Target.FuseWidth {
+		t.Fatalf("selection chose %+v but executable targets %+v", ch, x.Target)
+	}
+
+	b, err := backend.New(autoT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	res, err := b.Run(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selection == nil {
+		t.Fatal("auto Result has no selection report")
+	}
+	if res.Selection.Report() == "" {
+		t.Fatal("empty selection report")
+	}
+
+	ref, err := backend.New(backend.Target{NumQubits: 16, Emulate: recognize.Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if _, err := backend.Execute(ref, c); err != nil {
+		t.Fatal(err)
+	}
+	if d := b.State().MaxDiff(ref.State()); d > 1e-10 {
+		t.Fatalf("auto state diverges from manual emulating backend by %g", d)
+	}
+}
+
+// TestAutoExecuteViaBackend pins the Execute path: opening an auto
+// backend and handing it a raw circuit must compile through the auto
+// pipeline (b.Target() keeps the Auto bit) and report the selection.
+func TestAutoExecuteViaBackend(t *testing.T) {
+	c := prep(12)
+	c.Extend(qft.CircuitNoSwap(12))
+	b, err := backend.New(backend.Target{NumQubits: 12, Auto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	res, err := backend.Execute(b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selection == nil {
+		t.Fatal("Execute on an auto backend produced no selection report")
+	}
+	if len(res.Selection.Candidates) == 0 {
+		t.Fatal("selection report lists no candidates")
+	}
+}
+
+// TestMidWidthFieldLowersToFieldFFT is the acceptance assertion for the
+// carried-over distributed gap: a QFT on a 7-qubit sub-register of an
+// 8-qubit register sharded over 4 nodes (6 local qubits) is wider than a
+// shard but narrower than the register — before the field-axis four-step
+// substrate it fell back to gate level. The Result must now report the
+// region on SubstrateFieldFFT, with state parity against a single node.
+func TestMidWidthFieldLowersToFieldFFT(t *testing.T) {
+	c := prep(8)
+	c.Extend(qft.Circuit(7))
+	tgt := backend.Target{NumQubits: 8, Kind: backend.Cluster, Nodes: 4,
+		FuseWidth: 4, Emulate: recognize.Auto}
+
+	b, err := backend.New(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	res, err := backend.Execute(b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res.Emulated {
+		if r.Kind == "qft" && r.Substrate == cluster.SubstrateFieldFFT {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mid-width QFT field did not lower to %s: %+v",
+			cluster.SubstrateFieldFFT, res.Emulated)
+	}
+
+	ref, err := backend.New(backend.Target{NumQubits: 8, Emulate: recognize.Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if _, err := backend.Execute(ref, c); err != nil {
+		t.Fatal(err)
+	}
+	if d := b.State().MaxDiff(ref.State()); d > 1e-10 {
+		t.Fatalf("field-FFT state diverges from single node by %g", d)
+	}
+}

@@ -48,6 +48,15 @@ func (k Kind) String() string {
 type Target struct {
 	// NumQubits is the register width.
 	NumQubits uint
+	// Auto delegates every remaining knob to the profile-driven selector:
+	// Compile profiles the circuit, scores candidate shapes with the
+	// calibrated cost model (internal/perfmodel) and compiles for the
+	// cheapest — kind, node count, fusion width and per-region
+	// emulate-vs-fuse decisions all come from the model. When set, the
+	// fields below (except Workers) are ignored and normalize clears
+	// them, so every auto target of a given width has one canonical form
+	// (and one artifact fingerprint).
+	Auto bool
 	// Kind selects the engine.
 	Kind Kind
 	// FuseWidth >= 2 enables multi-qubit block fusion at that width
@@ -95,6 +104,13 @@ func (t Target) normalize(n uint) (Target, error) {
 	}
 	if t.NumQubits != n {
 		return t, fmt.Errorf("backend: target is %d qubits, circuit %d", t.NumQubits, n)
+	}
+	if t.Auto {
+		// Canonical auto form: the selector owns every knob but the
+		// register width and worker cap. Clearing the rest here means
+		// equivalent auto targets compare and fingerprint identically.
+		return Target{NumQubits: t.NumQubits, Auto: true, Workers: t.Workers,
+			Emulate: recognize.Auto, DiagMinGates: -1}, nil
 	}
 	if t.Kind == Generic || t.Kind == Sparse {
 		// The baselines exist to measure structure-blind execution;
@@ -229,6 +245,9 @@ func New(t Target) (Backend, error) {
 	if t.NumQubits == 0 {
 		return nil, fmt.Errorf("backend: target needs a register width")
 	}
+	if t.Auto {
+		return newAutoBackend(t), nil
+	}
 	if t.Kind == Cluster {
 		return newClusterBackend(t)
 	}
@@ -300,6 +319,11 @@ type Result struct {
 	PlannedRemaps int
 	// Comm is the communication the run actually paid.
 	Comm Comm
+	// Selection, on executables compiled for an Auto target, is the
+	// profile-driven choice that produced the execution shape: the
+	// chosen target, every candidate's predicted cost, and the
+	// per-region verdicts. Nil on explicitly-targeted compiles.
+	Selection *Selection
 }
 
 func (r *Result) String() string {

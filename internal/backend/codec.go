@@ -41,7 +41,7 @@ import (
 // recompiles on mismatch, which is always correct.
 const (
 	codecMagic   = "QEXE"
-	CodecVersion = 1
+	CodecVersion = 2 // v2: Target.Auto bit in the target section
 )
 
 // unit type tags of the encoded index.
@@ -243,6 +243,16 @@ func Decode(data []byte) (*Executable, error) {
 // encodeTarget writes every compilation-relevant target field.
 func encodeTarget(w *binio.Writer, t Target) {
 	w.U64(uint64(t.NumQubits))
+	auto := uint8(0)
+	if t.Auto {
+		// Compiled executables always carry the resolved concrete target
+		// (compileAuto sets Auto=false), but Fingerprint hashes requested
+		// targets too — the bit keeps an auto request distinct from the
+		// concrete shape it happens to resolve to. The Selection report
+		// itself is metadata and is deliberately not serialised.
+		auto = 1
+	}
+	w.U8(auto)
 	w.U8(uint8(t.Kind))
 	w.I64(int64(t.FuseWidth))
 	w.I64(int64(t.Workers))
@@ -256,6 +266,7 @@ func encodeTarget(w *binio.Writer, t Target) {
 func decodeTarget(r *binio.Reader) (Target, error) {
 	var t Target
 	t.NumQubits = uint(r.U64())
+	t.Auto = r.U8() != 0
 	t.Kind = Kind(r.U8())
 	t.FuseWidth = int(r.I64())
 	t.Workers = int(r.I64())

@@ -5,6 +5,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/fuse"
 	"repro/internal/gates"
+	"repro/internal/perfmodel"
 	"repro/internal/recognize"
 )
 
@@ -45,6 +46,12 @@ type Executable struct {
 	// for the gate segments (remaps + exchange gates); recognised ops add
 	// their own collective rounds at run time.
 	PlannedRounds int
+	// Selection records the auto backend's target search when the
+	// executable was compiled for an Auto target (Target above is then
+	// the resolved concrete shape). It is report metadata, not execution
+	// state, and is not serialized by the artifact codec — a decoded
+	// executable runs identically without it.
+	Selection *Selection
 }
 
 // substrateLocal names the single-node execution substrate of a
@@ -53,14 +60,21 @@ const substrateLocal = "statevec"
 
 // Compile runs the pass pipeline over c for the given target: recognize
 // (emulation regions), the diagonal cost model, distributed lowerability,
-// fuse (residual gate runs), and placement scheduling. See the package
-// comment for the pass contract.
+// fuse (residual gate runs), and placement scheduling. Auto targets run
+// the profile and select passes first (profile.go, select.go): the
+// selector resolves the concrete shape and replaces the static diagonal
+// cutoff with per-region model verdicts, and the executable's Target is
+// the resolved shape (Auto=false) so every downstream consumer — Run,
+// the codec, the serving cache — sees an ordinary concrete executable.
+// See the package comment for the pass contract.
 func Compile(c *circuit.Circuit, t Target) (*Executable, error) {
 	t, err := t.normalize(c.NumQubits)
 	if err != nil {
 		return nil, err
 	}
-	x := &Executable{NumQubits: c.NumQubits, NumGates: c.Len(), Target: t}
+	if t.Auto {
+		return compileAuto(c, t)
+	}
 
 	// Pass 1: recognition.
 	plan := recognize.Analyze(c, recognize.DefaultOptions(t.Emulate))
@@ -71,6 +85,49 @@ func Compile(c *circuit.Circuit, t Target) (*Executable, error) {
 		plan = plan.Filter(recognize.KeepAboveDiagCutoff(t.DiagMinGates, t.DiagMaxWidth),
 			"cost model: below the dispatch cutoff, the fused kernel runs it in one sweep")
 	}
+	return finishCompile(c, t, plan, nil)
+}
+
+// compileAuto is the auto target's front half of the pipeline: profile
+// the circuit (one recognition pass, reused below), score the candidate
+// shapes with the calibrated model, and filter the recognition plan by
+// the per-region verdicts before handing the resolved concrete target to
+// the shared back half.
+func compileAuto(c *circuit.Circuit, t Target) (*Executable, error) {
+	prof, plan := ProfileCircuit(c)
+	sel := SelectTarget(prof, perfmodel.Active())
+
+	resolved := sel.Chosen
+	resolved.Workers = t.Workers
+	resolved, err := resolved.normalize(c.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+
+	if resolved.Emulate == recognize.Off {
+		// A structure-blind baseline won; regions run gate-level.
+		plan = plan.Filter(func(*recognize.Op) bool { return false },
+			"auto cost model: structure-blind baseline predicted faster")
+	} else {
+		// Per-region verdicts replace the static diagonal cutoff. Match
+		// by gate range: the verdicts were computed from this same plan.
+		emulate := make(map[[2]int]bool, len(sel.Verdicts))
+		for _, v := range sel.Verdicts {
+			emulate[[2]int{v.Lo, v.Hi}] = v.Emulate
+		}
+		plan = plan.Filter(func(op *recognize.Op) bool {
+			return emulate[[2]int{op.Lo, op.Hi}]
+		}, "auto cost model: fused gate path predicted faster")
+	}
+	return finishCompile(c, resolved, plan, &sel)
+}
+
+// finishCompile is the pipeline's shared back half: distributed
+// lowerability filtering, then fusion and placement scheduling per gate
+// segment. Both the explicit and the auto path end here, so compiled
+// executables are identical however the target was chosen.
+func finishCompile(c *circuit.Circuit, t Target, plan *recognize.Plan, sel *Selection) (*Executable, error) {
+	x := &Executable{NumQubits: c.NumQubits, NumGates: c.Len(), Target: t, Selection: sel}
 
 	// Pass 3: distributed lowerability.
 	if t.Kind == Cluster {
@@ -149,6 +206,7 @@ func (x *Executable) result() *Result {
 		Skipped:       x.Skipped,
 		FusedBlocks:   x.FusedBlocks,
 		PlannedRemaps: x.PlannedRemaps,
+		Selection:     x.Selection,
 	}
 	for _, u := range x.Units {
 		if u.Op == nil {

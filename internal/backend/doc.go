@@ -15,11 +15,10 @@
 //     subroutines (annotated regions and, in Auto mode, pattern-matched
 //     QFT ladders, reversible arithmetic, phase oracles, diagonal runs),
 //     each verified against its own gates where the support is small.
-//  2. cost model — recognised diagonal runs below the Target's
-//     gate-count/width cutoff are returned to the gate path: the fused
-//     kernels execute them in the same single sweep, so dispatch would
-//     buy nothing (ROADMAP "emulation-aware cost model", as a threshold
-//     stub).
+//  2. cost model — recognised regions are priced against their gate-level
+//     alternative. On explicit targets this is the Target's diagonal
+//     gate-count/width cutoff; on auto targets (Target.Auto, below) it is
+//     a per-region verdict from the calibrated cost model.
 //  3. lowerability — on distributed targets, ops without a cluster
 //     substrate (see internal/cluster.Lowerable) fall back to gate level,
 //     recorded in the plan's Skipped list.
@@ -29,6 +28,29 @@
 //  5. placement — on distributed targets each fused segment additionally
 //     gets a communication schedule (internal/cluster.BuildSchedule)
 //     batching remote-qubit work into all-to-all remap rounds.
+//
+// # Profile-driven selection
+//
+// A Target with Auto set defers every shape decision to two extra passes
+// that run before the sequence above:
+//
+//   - profile — ProfileCircuit runs recognition once and summarises the
+//     circuit as a Profile: width, depth, diagonal fraction, recognised
+//     regions by kind, a sparsity (branching) estimate, and the fusion
+//     planner's estimated sweep units for the residual gate segments at
+//     every candidate width.
+//   - select — SelectTarget prices a fixed candidate list (fused at
+//     several widths, generic, sparse, cluster) with the calibrated
+//     constants of internal/perfmodel and picks the cheapest; for each
+//     recognised region it also rules emulate-vs-fuse by predicted time,
+//     replacing the static diagonal cutoff.
+//
+// Both passes are deterministic — pure functions of the circuit and the
+// model constants (perfmodel.Active never times anything; calibration is
+// an explicit offline step). The resolved concrete Target lands on the
+// Executable, and the full Selection — chosen target, every candidate's
+// predicted cost, per-region verdicts — rides along on Executable and
+// Result so a choice is always explainable (qemu-run prints it).
 //
 // The resulting Executable is immutable and reusable across runs and
 // across backends of the same Target shape. Backends are deliberately

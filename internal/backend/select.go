@@ -1,0 +1,317 @@
+package backend
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/perfmodel"
+	"repro/internal/recognize"
+)
+
+// The selection pass: the second half of the profile-driven auto backend.
+// SelectTarget scores every candidate execution shape — the fused engine
+// at each fusion width, the structure-blind and sparse baselines, and the
+// distributed engine — against a circuit Profile using the calibrated
+// constants of internal/perfmodel, and returns the cheapest together with
+// the full scoring table and the per-region emulate-vs-fuse verdicts that
+// replace the static WithDiagonalCutoff threshold. The pass is pure:
+// costs come from the Measured constants handed in (perfmodel.Active()
+// reads a cache, never a clock), so equal profiles always select the
+// same target and the detrng contract holds.
+
+// DefaultAutoMaxLocalQubits is the auto backend's per-node capacity
+// policy: registers needing more than 2^28 amplitudes per node (4 GiB of
+// complex128) shard across the distributed engine. Below it, single-node
+// candidates compete on predicted time alone.
+const DefaultAutoMaxLocalQubits uint = 28
+
+// Candidate is one scored execution shape. Cost is the model's predicted
+// wall time in seconds on this machine's calibration; +Inf marks a shape
+// the capacity policy rules out, with Note saying why.
+type Candidate struct {
+	Target Target
+	Cost   float64
+	Note   string
+}
+
+// RegionVerdict is the model's per-region decision for the chosen
+// target: emulate the recognised op, or keep its gates on the fused
+// path. Both predicted costs are retained so the decision is auditable.
+type RegionVerdict struct {
+	Kind    string
+	Lo, Hi  int
+	Emulate bool
+	// EmulateSecs and GateSecs are the modelled costs of the two ways to
+	// run the region; Reason states the comparison in words.
+	EmulateSecs float64
+	GateSecs    float64
+	Reason      string
+}
+
+// Selection is the explainable output of the auto backend's target
+// search: the chosen shape, its predicted cost, every candidate's score,
+// and the per-region verdicts applied during compilation.
+type Selection struct {
+	Chosen     Target
+	Cost       float64
+	Candidates []Candidate
+	Verdicts   []RegionVerdict
+}
+
+// SelectTarget scores the candidate shapes for p under the measured
+// model m and picks the cheapest. Candidates are evaluated in a fixed
+// order (fused by ascending width, generic, sparse, cluster) and ties go
+// to the earlier entry, so selection is deterministic; ascending width
+// first means a wider fusion block must strictly win to be chosen.
+func SelectTarget(p *Profile, m perfmodel.Measured) Selection {
+	n := p.NumQubits
+	fitsLocal := n <= DefaultAutoMaxLocalQubits
+
+	var cands []Candidate
+
+	// Fused engine, one candidate per fusion width. Each width prices the
+	// residual gate segments at that width plus, per recognised region,
+	// the cheaper of emulating it and fusing its gates.
+	for i, w := range AutoFuseWidths {
+		t := Target{NumQubits: n, Kind: Fused, FuseWidth: w,
+			Emulate: recognize.Auto, DiagMinGates: -1}
+		c := Candidate{Target: t}
+		if !fitsLocal {
+			c.Cost = math.Inf(1)
+			c.Note = "exceeds the single-node capacity budget"
+		} else {
+			c.Cost = fusedCost(p, m, i, false)
+		}
+		cands = append(cands, c)
+	}
+
+	// Structure-blind baselines. They exist for measurement, but nothing
+	// stops the model from choosing them when structure genuinely does
+	// not pay — e.g. the sparse engine on a circuit whose support stays
+	// exponentially small.
+	generic := Candidate{Target: Target{NumQubits: n, Kind: Generic}}
+	sparse := Candidate{Target: Target{NumQubits: n, Kind: Sparse}}
+	if !fitsLocal {
+		generic.Cost, generic.Note = math.Inf(1), "exceeds the single-node capacity budget"
+		sparse.Cost, sparse.Note = math.Inf(1), "exceeds the single-node capacity budget"
+	} else {
+		generic.Cost = float64(p.NumGates) * m.GenericGateSecs(n)
+		sparse.Cost = sparseCost(p, m)
+	}
+	cands = append(cands, generic, sparse)
+
+	// Distributed engine: node count is the capacity policy (smallest
+	// power of two keeping every shard within the budget), fusion width
+	// the best fused width clamped to the shard. It only enters the race
+	// when the register exceeds one node — in-process emulation of more
+	// nodes conserves total work, so sharding a register that fits is
+	// pure overhead.
+	clusterCand := Candidate{Target: Target{NumQubits: n, Kind: Cluster}}
+	if fitsLocal {
+		clusterCand.Cost = math.Inf(1)
+		clusterCand.Note = "register fits a single node"
+	} else {
+		nodes := 1
+		for n-nodeBits(nodes) > DefaultAutoMaxLocalQubits {
+			nodes *= 2
+		}
+		local := n - nodeBits(nodes)
+		wi := bestClusterWidth(local)
+		clusterCand.Target = Target{NumQubits: n, Kind: Cluster,
+			Nodes: nodes, MaxLocalQubits: DefaultAutoMaxLocalQubits,
+			FuseWidth: AutoFuseWidths[wi], Emulate: recognize.Auto, DiagMinGates: -1}
+		clusterCand.Cost = fusedCost(p, m, wi, true) +
+			float64(estimateClusterRounds(p, local))*m.RemapSecs(n)
+	}
+	cands = append(cands, clusterCand)
+
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Cost < cands[best].Cost {
+			best = i
+		}
+	}
+
+	sel := Selection{Chosen: cands[best].Target, Cost: cands[best].Cost, Candidates: cands}
+	switch sel.Chosen.Kind {
+	case Fused, Cluster:
+		sel.Verdicts = verdicts(p, m, widthIndex(sel.Chosen.FuseWidth))
+	case Generic, Sparse:
+		// The baselines run structure-blind; regions are dropped, not
+		// judged.
+	}
+	return sel
+}
+
+// widthIndex maps a fusion width back to its AutoFuseWidths slot.
+func widthIndex(w int) int {
+	for i, cw := range AutoFuseWidths {
+		if cw == w {
+			return i
+		}
+	}
+	// A clamped cluster width may fall between ladder rungs; price it at
+	// the widest rung not exceeding it.
+	best := 0
+	for i, cw := range AutoFuseWidths {
+		if cw <= w {
+			best = i
+		}
+	}
+	return best
+}
+
+// bestClusterWidth picks the fused-width ladder index for a shard of
+// `local` qubits: the widest rung that fits the shard (block fusion
+// cannot span the node cut).
+func bestClusterWidth(local uint) int {
+	best := 0
+	for i, w := range AutoFuseWidths {
+		if uint(w) <= local {
+			best = i
+		}
+	}
+	return best
+}
+
+// fusedCost prices the fused engine at width index wi: residual gate
+// segments at that width plus each region at the cheaper of its two
+// implementations. onCluster adds the distributed engine's bookkeeping
+// factor (shard boundaries fragment fusion blocks and every sweep pays
+// the exchange-buffer indirection).
+func fusedCost(p *Profile, m perfmodel.Measured, wi int, onCluster bool) float64 {
+	cost := m.SweepSecs(p.ResidualUnits[wi], p.NumQubits)
+	for i := range p.Regions {
+		emu, gate := regionCosts(p, m, &p.Regions[i], wi)
+		cost += math.Min(emu, gate)
+	}
+	if onCluster {
+		cost *= 1.15
+	}
+	return cost
+}
+
+// regionCosts returns the modelled cost of emulating a recognised region
+// and of running its gates fused at width index wi.
+func regionCosts(p *Profile, m perfmodel.Measured, r *RegionProfile, wi int) (emu, gate float64) {
+	n := p.NumQubits
+	switch r.Kind {
+	case "qft":
+		emu = m.FFTSecs(n, r.FieldWidth)
+	case "add", "sub", "addc", "mul", "div":
+		emu = m.PermSecs(n)
+	case "diagonal", "phaseflip":
+		emu = m.DiagSecs(n)
+	case "reflect":
+		emu = 2 * m.DiagSecs(n)
+	default:
+		emu = m.PermSecs(n)
+	}
+	return emu, m.SweepSecs(r.GateUnits[wi], n)
+}
+
+// sparseCost prices the sparse baseline: every gate touches the live
+// support, which at most doubles per dense (branching) gate — the
+// sparsity estimate 2^min(BranchGates, n).
+func sparseCost(p *Profile, m perfmodel.Measured) float64 {
+	supportBits := uint(p.BranchGates)
+	if supportBits > p.NumQubits {
+		supportBits = p.NumQubits
+	}
+	support := math.Pow(2, float64(supportBits))
+	return float64(p.NumGates) * support * m.SparseNs * 1e-9
+}
+
+// estimateClusterRounds is a coarse planning estimate of the all-to-all
+// rounds a cluster run pays: one canonicalization, the collective rounds
+// of each emulated region, and a placement remap per shard-width run of
+// branching residual gates. It is width-independent, so it never tips
+// the choice between cluster shapes — it exists to keep the cluster
+// candidate's absolute cost honest in the report.
+func estimateClusterRounds(p *Profile, local uint) int {
+	rounds := 1
+	for i := range p.Regions {
+		switch p.Regions[i].Kind {
+		case "qft":
+			rounds += 3 // distributed four-step: three transposes
+		case "add", "sub", "addc", "mul", "div":
+			rounds += 1 // one all-to-all basis permutation
+		}
+	}
+	if local > 0 {
+		rounds += p.BranchGates / int(local)
+	}
+	return rounds
+}
+
+// verdicts computes the per-region emulate-vs-fuse decisions at width
+// index wi — the model-driven replacement for the static diagonal
+// cutoff.
+func verdicts(p *Profile, m perfmodel.Measured, wi int) []RegionVerdict {
+	out := make([]RegionVerdict, 0, len(p.Regions))
+	for i := range p.Regions {
+		r := &p.Regions[i]
+		emu, gate := regionCosts(p, m, r, wi)
+		v := RegionVerdict{Kind: r.Kind, Lo: r.Lo, Hi: r.Hi,
+			Emulate: emu < gate, EmulateSecs: emu, GateSecs: gate}
+		if v.Emulate {
+			v.Reason = fmt.Sprintf("emulate: %s vs %s fused", fmtSecs(emu), fmtSecs(gate))
+		} else {
+			v.Reason = fmt.Sprintf("fuse: %s vs %s emulated", fmtSecs(gate), fmtSecs(emu))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// fmtSecs renders a modelled cost at report precision.
+func fmtSecs(s float64) string {
+	switch {
+	case math.IsInf(s, 1):
+		return "inf"
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	case s >= 1e-6:
+		return fmt.Sprintf("%.2fµs", s*1e6)
+	default:
+		return fmt.Sprintf("%.0fns", s*1e9)
+	}
+}
+
+// describeTarget renders a target for the selection report.
+func describeTarget(t Target) string {
+	switch t.Kind {
+	case Fused:
+		return fmt.Sprintf("fused w=%d", t.FuseWidth)
+	case Cluster:
+		return fmt.Sprintf("cluster p=%d w=%d", t.Nodes, t.FuseWidth)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Report renders the full selection for humans: the chosen target, every
+// candidate's predicted cost, and the per-region verdicts. qemu-run
+// prints this verbatim for auto targets.
+func (s *Selection) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "auto backend: chose %s (predicted %s)\n", describeTarget(s.Chosen), fmtSecs(s.Cost))
+	b.WriteString("  candidates:\n")
+	for _, c := range s.Candidates {
+		fmt.Fprintf(&b, "    %-16s %10s", describeTarget(c.Target), fmtSecs(c.Cost))
+		if c.Note != "" {
+			fmt.Fprintf(&b, "  (%s)", c.Note)
+		}
+		b.WriteByte('\n')
+	}
+	if len(s.Verdicts) > 0 {
+		b.WriteString("  regions:\n")
+		for _, v := range s.Verdicts {
+			fmt.Fprintf(&b, "    %-10s [%d,%d)  %s\n", v.Kind, v.Lo, v.Hi, v.Reason)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

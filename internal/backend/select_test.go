@@ -1,0 +1,103 @@
+package backend_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/experiments"
+	"repro/internal/perfmodel"
+	"repro/internal/qft"
+)
+
+// The pinned selections run against perfmodel.Default() — the model of
+// record — so they are machine-independent: no calibration cache, no
+// timing, just the deterministic profile -> select pipeline.
+
+// TestSelectQFTEmulates pins the canonical emulation win: a full QFT at
+// n=20 stays on a local engine with the Fourier region dispatched to the
+// classical FFT, not run gate by gate.
+func TestSelectQFTEmulates(t *testing.T) {
+	p, _ := backend.ProfileCircuit(qft.Circuit(20))
+	sel := backend.SelectTarget(p, perfmodel.Default())
+	if sel.Chosen.Kind != backend.Fused {
+		t.Fatalf("QFT n=20 chose %s, want fused", sel.Chosen.Kind)
+	}
+	if len(sel.Verdicts) != 1 || sel.Verdicts[0].Kind != "qft" {
+		t.Fatalf("expected one qft verdict, got %+v", sel.Verdicts)
+	}
+	if !sel.Verdicts[0].Emulate {
+		t.Errorf("QFT region not emulated: %s", sel.Verdicts[0].Reason)
+	}
+}
+
+// TestSelectShallowBrickworkFusesWide pins the fusion win: a shallow
+// brickwork of dense 4-qubit tiles at n=12 picks width-4 block fusion —
+// the regime where multi-qubit fusion beats both narrower fusion and
+// every baseline.
+func TestSelectShallowBrickworkFusesWide(t *testing.T) {
+	c := experiments.TiledAnsatz(12, 4, 3, 1, 5)
+	p, _ := backend.ProfileCircuit(c)
+	sel := backend.SelectTarget(p, perfmodel.Default())
+	if sel.Chosen.Kind != backend.Fused || sel.Chosen.FuseWidth != 4 {
+		t.Fatalf("shallow 4-qubit brickwork n=12 chose %s w=%d, want fused w=4",
+			sel.Chosen.Kind, sel.Chosen.FuseWidth)
+	}
+}
+
+// TestSelectWideRegisterClusters pins the capacity policy: n=30 exceeds
+// the per-node budget (2^28 amplitudes), so the selector shards — here
+// onto 4 nodes — and every single-node candidate is ruled out, not just
+// outscored.
+func TestSelectWideRegisterClusters(t *testing.T) {
+	p, _ := backend.ProfileCircuit(qft.Circuit(30))
+	sel := backend.SelectTarget(p, perfmodel.Default())
+	if sel.Chosen.Kind != backend.Cluster {
+		t.Fatalf("n=30 chose %s, want cluster", sel.Chosen.Kind)
+	}
+	if sel.Chosen.Nodes != 4 {
+		t.Errorf("n=30 chose %d nodes, want 4 (local budget %d qubits)",
+			sel.Chosen.Nodes, backend.DefaultAutoMaxLocalQubits)
+	}
+	for _, cand := range sel.Candidates {
+		if cand.Target.Kind != backend.Cluster && cand.Note == "" {
+			t.Errorf("single-node candidate %s has no exclusion note", cand.Target.Kind)
+		}
+	}
+}
+
+// TestSelectDeterministic pins the detrng contract end to end: profiling
+// and selection are pure functions of the circuit, so repeated runs agree
+// exactly — costs, ordering, verdicts, report text.
+func TestSelectDeterministic(t *testing.T) {
+	c := experiments.Brickwork(12, 4, 11)
+	p1, _ := backend.ProfileCircuit(c)
+	s1 := backend.SelectTarget(p1, perfmodel.Default())
+	for i := 0; i < 3; i++ {
+		p2, _ := backend.ProfileCircuit(c)
+		s2 := backend.SelectTarget(p2, perfmodel.Default())
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatal("profiles of the same circuit differ")
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatal("selections of the same profile differ")
+		}
+		if s1.Report() != s2.Report() {
+			t.Fatal("selection reports differ")
+		}
+	}
+}
+
+// TestSelectionReport sanity-checks the report surface qemu-run prints:
+// chosen target, one line per candidate, verdict lines.
+func TestSelectionReport(t *testing.T) {
+	p, _ := backend.ProfileCircuit(qft.Circuit(16))
+	sel := backend.SelectTarget(p, perfmodel.Default())
+	rep := sel.Report()
+	for _, want := range []string{"auto backend: chose", "candidates:", "generic", "sparse", "regions:", "qft"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

@@ -17,6 +17,10 @@ import (
 //     placement relabelling;
 //   - narrow Fourier fields (width <= L) run as per-shard transforms
 //     after at most one placement remap makes the field node-local;
+//   - mid-width Fourier fields (wider than a shard, narrower than the
+//     register) run the four-step factorisation along the field axis
+//     (fieldfft.go): two remap rounds, feasible up to twice the shard
+//     width;
 //   - arithmetic ops (add, sub, addc, mul, div) run as one cluster-wide
 //     basis permutation — a single all-to-all, the paper's Section 4.2;
 //   - diagonal ops (fused diagonal runs, phase flips) multiply each shard
@@ -27,6 +31,7 @@ import (
 // backend Result so callers can see how a region actually executed.
 const (
 	SubstrateFourStepFFT = "four-step-fft"
+	SubstrateFieldFFT    = "field-four-step-fft"
 	SubstrateLocalFFT    = "local-fft"
 	SubstratePermutation = "permutation"
 	SubstrateDiagonal    = "diagonal"
@@ -35,8 +40,8 @@ const (
 
 // Lowerable reports whether a recognised op can execute on a cluster of
 // shape (n total qubits, L local qubits, P nodes) and names the substrate
-// it lowers to. Ops it rejects (a Fourier field wider than a shard but
-// narrower than the register, or a register too small for the four-step
+// it lowers to. Ops it rejects (a Fourier field needing sub-transforms
+// wider than a shard, or a register too small for the four-step
 // factorisation) must stay on the gate-level scheduled path.
 func Lowerable(op *recognize.Op, n, L uint, P int) (string, bool) {
 	if q, ok := op.QFT(); ok {
@@ -51,6 +56,11 @@ func Lowerable(op *recognize.Op, n, L uint, P int) (string, bool) {
 		}
 		if q.Width <= L {
 			return SubstrateLocalFFT, true
+		}
+		if q.Width-q.Width/2 <= L {
+			// Mid-width: four-step along the field axis; both sub-fields
+			// must fit a shard.
+			return SubstrateFieldFFT, true
 		}
 		return "", false
 	}
@@ -89,6 +99,17 @@ func (c *Cluster) ApplyOp(op *recognize.Op) (string, error) {
 			c.reverseFieldPlacement(q.Pos, q.Width)
 		}
 		if err := c.distributedFFT(sign, true); err != nil {
+			return "", err
+		}
+		if !q.Inverse && q.NoSwap {
+			c.reverseFieldPlacement(q.Pos, q.Width)
+		}
+	case SubstrateFieldFFT:
+		q, _ := op.QFT()
+		if q.Inverse && q.NoSwap {
+			c.reverseFieldPlacement(q.Pos, q.Width)
+		}
+		if err := c.distributedFFTField(q.Pos, q.Width, q.Inverse); err != nil {
 			return "", err
 		}
 		if !q.Inverse && q.NoSwap {

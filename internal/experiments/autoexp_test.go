@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestAutoWithinBudget pins the headline acceptance contract: on every
+// benchmark workload the auto backend runs within 15% of the best
+// hand-picked configuration and strictly beats the worst one. Wall-clock
+// timing lives in the experiments test package, outside the detrng
+// surface.
+func TestAutoWithinBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing property: skipped with -short")
+	}
+	rows, err := Auto(QuickAuto())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no auto rows")
+	}
+	for _, r := range rows {
+		if r.VsBest > 1.15 {
+			t.Errorf("%s: auto %.3gs is %.2fx best manual %.3gs (%s), budget 1.15x",
+				r.Name, r.TAuto, r.VsBest, r.TBest, r.Best)
+		}
+		if r.TAuto >= r.TWorst {
+			t.Errorf("%s: auto %.3gs does not beat worst manual %.3gs (%s)",
+				r.Name, r.TAuto, r.TWorst, r.Worst)
+		}
+	}
+}

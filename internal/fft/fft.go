@@ -25,34 +25,89 @@ import (
 // Plan precomputes twiddle factors for transforms of a fixed length,
 // amortising the table across repeated transforms (the emulator applies
 // the QFT many times in phase estimation).
+//
+// Above maxEagerSize the tables are built lazily, on the first
+// transform: a plan also serves as the *description* of a transform —
+// the recognition pass attaches one to every matched Fourier region, and
+// compile-time work (profiling, selection, fingerprinting) never
+// transforms anything. At width 30 the tables are 2^29 entries x two
+// directions (16 GiB, half a minute of cmplx.Exp); building them when
+// only a compile pass wanted the plan's shape would dominate
+// compilation. At or below maxEagerSize NewPlan builds the tables
+// immediately, so the cost stays in the compile phase rather than
+// leaking into the first (often timed, often latency-sensitive) run.
 type Plan struct {
 	n       uint // log2(size)
 	size    uint64
+	once    sync.Once
 	forward []complex128 // exp(+2 pi i j / size) for j in [0, size/2)
 	inverse []complex128 // conjugates
 	groups  []stageGroup // stage tiling, fixed by n; computed once here
 }
 
+// maxEagerSize is the largest transform whose twiddle tables NewPlan
+// builds up front (a 2^19-entry table pair, 16 MiB, ~tens of ms).
+// Larger plans defer the build to the first transform so that
+// compile-only passes — profiling a width-30 Fourier field prices the
+// transform without ever running it — stay O(log size).
+const maxEagerSize = 1 << 20
+
 // NewPlan builds a plan for transforms of the given power-of-two size.
+// Up to maxEagerSize the twiddle tables are built here; beyond that they
+// are deferred to the first transform and NewPlan is O(log size).
 func NewPlan(size uint64) (*Plan, error) {
 	if !bitops.IsPowerOfTwo(size) {
 		return nil, fmt.Errorf("fft: size %d is not a power of two", size)
 	}
 	p := &Plan{n: bitops.Log2(size), size: size}
-	half := size / 2
-	if half == 0 {
-		half = 1
-	}
-	p.forward = make([]complex128, half)
-	p.inverse = make([]complex128, half)
-	for j := uint64(0); j < half; j++ {
-		theta := 2 * math.Pi * float64(j) / float64(size)
-		w := cmplx.Exp(complex(0, theta))
-		p.forward[j] = w
-		p.inverse[j] = cmplx.Conj(w)
-	}
 	p.groups = p.stageGroups()
+	if size <= maxEagerSize {
+		p.tables()
+	}
 	return p, nil
+}
+
+// tables returns the (forward, inverse) twiddle tables, building them on
+// first use. The build is parallelised: each worker owns a contiguous
+// block and computes exact per-element exponentials, so the values are
+// independent of the worker count.
+func (p *Plan) tables() (fw, inv []complex128) {
+	p.once.Do(func() {
+		half := p.size / 2
+		if half == 0 {
+			half = 1
+		}
+		p.forward = make([]complex128, half)
+		p.inverse = make([]complex128, half)
+		workers := uint64(runtime.GOMAXPROCS(0))
+		if workers > half {
+			workers = 1
+		}
+		var wg sync.WaitGroup
+		chunk := (half + workers - 1) / workers
+		for w := uint64(0); w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > half {
+				hi = half
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi uint64) {
+				defer wg.Done()
+				for j := lo; j < hi; j++ {
+					theta := 2 * math.Pi * float64(j) / float64(p.size)
+					t := cmplx.Exp(complex(0, theta))
+					p.forward[j] = t
+					p.inverse[j] = cmplx.Conj(t)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	})
+	return p.forward, p.inverse
 }
 
 // Size returns the transform length.
@@ -60,30 +115,44 @@ func (p *Plan) Size() uint64 { return p.size }
 
 // Forward computes the unnormalised transform with the +i sign convention,
 // in place. len(data) must equal the plan size.
-func (p *Plan) Forward(data []complex128) { p.transform(data, p.forward, true, 1) }
+func (p *Plan) Forward(data []complex128) {
+	fw, _ := p.tables()
+	p.transform(data, fw, true, 1)
+}
 
 // Inverse computes the unnormalised transform with the -i sign convention,
 // in place. Inverse(Forward(x)) == N*x.
-func (p *Plan) Inverse(data []complex128) { p.transform(data, p.inverse, true, 1) }
+func (p *Plan) Inverse(data []complex128) {
+	_, inv := p.tables()
+	p.transform(data, inv, true, 1)
+}
 
 // ForwardSerial is Forward restricted to the calling goroutine. The
 // cluster back-end uses it so each emulated node stays single-threaded.
-func (p *Plan) ForwardSerial(data []complex128) { p.transform(data, p.forward, false, 1) }
+func (p *Plan) ForwardSerial(data []complex128) {
+	fw, _ := p.tables()
+	p.transform(data, fw, false, 1)
+}
 
 // InverseSerial is Inverse restricted to the calling goroutine.
-func (p *Plan) InverseSerial(data []complex128) { p.transform(data, p.inverse, false, 1) }
+func (p *Plan) InverseSerial(data []complex128) {
+	_, inv := p.tables()
+	p.transform(data, inv, false, 1)
+}
 
 // Unitary computes the unitary (QFT) transform: Forward scaled by
 // 1/sqrt(N). Applying it to a state vector performs the paper's Eq. 4.
 // The scaling is folded into the final butterfly stage, not a separate
 // pass over the data.
 func (p *Plan) Unitary(data []complex128) {
-	p.transform(data, p.forward, true, complex(1/math.Sqrt(float64(p.size)), 0))
+	fw, _ := p.tables()
+	p.transform(data, fw, true, complex(1/math.Sqrt(float64(p.size)), 0))
 }
 
 // UnitaryInverse computes the inverse QFT: Inverse scaled by 1/sqrt(N).
 func (p *Plan) UnitaryInverse(data []complex128) {
-	p.transform(data, p.inverse, true, complex(1/math.Sqrt(float64(p.size)), 0))
+	_, inv := p.tables()
+	p.transform(data, inv, true, complex(1/math.Sqrt(float64(p.size)), 0))
 }
 
 // UnitaryBitReversed computes the unitary transform composed with the
@@ -94,7 +163,8 @@ func (p *Plan) UnitaryInverse(data []complex128) {
 // (qft.CircuitNoSwap), which is why the emulation dispatcher wants it as
 // a primitive.
 func (p *Plan) UnitaryBitReversed(data []complex128) {
-	p.transformDIF(data, p.forward, true, complex(1/math.Sqrt(float64(p.size)), 0))
+	fw, _ := p.tables()
+	p.transformDIF(data, fw, true, complex(1/math.Sqrt(float64(p.size)), 0))
 }
 
 // UnitaryInverseFromBitReversed computes F⁻¹·S: the inverse unitary
@@ -102,7 +172,8 @@ func (p *Plan) UnitaryBitReversed(data []complex128) {
 // with the reordering pass elided. It is the exact inverse of
 // UnitaryBitReversed and the operator of qft.CircuitNoSwap.Dagger().
 func (p *Plan) UnitaryInverseFromBitReversed(data []complex128) {
-	p.transformDIT(data, p.inverse, true, complex(1/math.Sqrt(float64(p.size)), 0))
+	_, inv := p.tables()
+	p.transformDIT(data, inv, true, complex(1/math.Sqrt(float64(p.size)), 0))
 }
 
 // transform runs the decimation-in-time butterfly network. Stages are

@@ -7,11 +7,19 @@
 //
 // Open is the single constructor for every execution engine:
 //
+//	b, err := repro.Open(n, repro.WithAuto())                  // profile-driven: the system picks
 //	b, err := repro.Open(n)                                    // the paper's fused simulator
 //	b, err := repro.Open(n, repro.WithFusion(4))               // multi-qubit block fusion
 //	b, err := repro.Open(n, repro.WithEmulation(repro.EmulateAuto)) // emulation dispatch
 //	b, err := repro.Open(n, repro.WithNodes(8),                // distributed engine,
 //	    repro.WithEmulation(repro.EmulateAuto))                //   emulating subroutines
+//
+// WithAuto is the paper's thesis as an API: Compile profiles the circuit,
+// scores every candidate engine with the calibrated cost model
+// (internal/perfmodel) and picks kind, node count, fusion width and the
+// per-region emulate-vs-fuse decisions itself; Result.Selection reports
+// the choice, every candidate's predicted cost, and the per-region
+// verdicts.
 //
 // Every backend speaks the same interface (Run, ApplyGate,
 // Sample/Measure, State, Stats, Close) and executes the same compiled
@@ -83,8 +91,33 @@ type Result = backend.Result
 // BackendStats is the cumulative counter snapshot every backend reports.
 type BackendStats = backend.Stats
 
+// Selection is the auto backend's explainable output: the chosen target,
+// its predicted cost, every candidate's score, and the per-region
+// emulate-vs-fuse verdicts. Result.Selection carries it on runs compiled
+// for an auto target.
+type Selection = backend.Selection
+
+// Candidate is one execution shape the auto backend scored.
+type Candidate = backend.Candidate
+
+// RegionVerdict is the cost model's per-region emulate-vs-fuse decision.
+type RegionVerdict = backend.RegionVerdict
+
 // OpenOption configures Open.
 type OpenOption func(*backend.Target)
+
+// WithAuto delegates engine choice to the profile-driven selector: at
+// Compile time the circuit is profiled (width, depth, diagonal fraction,
+// recognised-region coverage, per-width fused sweep counts) and the
+// calibrated cost model picks kind, node count, fusion width and the
+// per-region emulate-vs-fuse verdicts — no user thresholds. Other shape
+// options (WithFusion, WithNodes, WithEmulation, WithDiagonalCutoff,
+// kernel selectors) are ignored on an auto target; WithWorkers still
+// applies. Calibrate the model once with `qemu-model -calibrate` to
+// score with this machine's constants instead of the baked-in defaults.
+func WithAuto() OpenOption {
+	return func(t *backend.Target) { t.Auto = true }
+}
 
 // WithFusion enables multi-qubit block fusion at the given width (>= 2);
 // 0 or 1 keeps the classic same-target fusion. On distributed backends
@@ -143,11 +176,13 @@ func WithSparseKernels() OpenOption {
 	return func(t *backend.Target) { t.Kind = backend.Sparse }
 }
 
-// WithDiagonalCutoff tunes the emulation cost model: a recognised
-// diagonal run with fewer than minGates gates whose support fits in
-// maxWidth qubits stays on the fused gate path (which executes it in the
-// same single sweep). Zero values pick the defaults; a negative minGates
-// disables the cutoff so every recognised run dispatches.
+// WithDiagonalCutoff is the manual override of the emulation cost model:
+// a recognised diagonal run with fewer than minGates gates whose support
+// fits in maxWidth qubits stays on the fused gate path (which executes it
+// in the same single sweep). Zero values pick the defaults; a negative
+// minGates disables the cutoff so every recognised run dispatches. Under
+// WithAuto the static cutoff is replaced by per-region model verdicts
+// and this option is ignored.
 func WithDiagonalCutoff(minGates int, maxWidth uint) OpenOption {
 	return func(t *backend.Target) {
 		t.DiagMinGates = minGates
