@@ -1,0 +1,27 @@
+qubits 7
+h 0
+h 1
+h 2
+h 3
+h 4
+h 5
+region add 3 0 1 2 3 4 5 6
+cnot 0 3
+cnot 0 6
+toffoli 6 3 0
+cnot 1 4
+cnot 1 0
+toffoli 0 4 1
+cnot 2 5
+cnot 2 1
+toffoli 1 5 2
+toffoli 1 5 2
+cnot 2 1
+cnot 1 5
+toffoli 0 4 1
+cnot 1 0
+cnot 0 4
+toffoli 6 3 0
+cnot 0 6
+cnot 6 3
+endregion

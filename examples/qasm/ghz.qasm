@@ -1,0 +1,9 @@
+qubits 8
+h 0
+cnot 0 1
+cnot 0 2
+cnot 0 3
+cnot 0 4
+cnot 0 5
+cnot 0 6
+cnot 0 7

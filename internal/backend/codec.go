@@ -20,6 +20,7 @@ import (
 //
 //	magic "QEXE" | version u16 | crc32 u32 (of everything after this field)
 //	target       (register width, kind, fusion width, nodes, emulation mode, cost model)
+//	source key   (the compile-time Fingerprint — the serving cache's key; v3)
 //	gate count   | skipped-region list
 //	unit index   (count, then per unit: type byte + payload size)
 //	unit payloads
@@ -41,7 +42,7 @@ import (
 // recompiles on mismatch, which is always correct.
 const (
 	codecMagic   = "QEXE"
-	CodecVersion = 2 // v2: Target.Auto bit in the target section
+	CodecVersion = 3 // v3: SourceKey (compile-time Fingerprint) after the target section
 )
 
 // unit type tags of the encoded index.
@@ -57,6 +58,7 @@ var crcTable = crc32.MakeTable(crc32.IEEE)
 func (x *Executable) Encode() ([]byte, error) {
 	body := binio.NewWriter(nil)
 	encodeTarget(body, x.Target)
+	body.String(x.SourceKey)
 	body.I64(int64(x.NumGates))
 	body.U32(uint32(len(x.Skipped)))
 	for _, s := range x.Skipped {
@@ -139,6 +141,7 @@ func Decode(data []byte) (*Executable, error) {
 		return nil, fmt.Errorf("backend: decoded target invalid: %w", err)
 	}
 	x := &Executable{NumQubits: t.NumQubits, Target: t}
+	x.SourceKey = br.String()
 	x.NumGates = int(br.I64())
 	nSkip := int(br.U32())
 	if err := br.Err(); err != nil {

@@ -46,6 +46,12 @@ type Executable struct {
 	// for the gate segments (remaps + exchange gates); recognised ops add
 	// their own collective rounds at run time.
 	PlannedRounds int
+	// SourceKey is the Fingerprint of the (circuit, target) pair this
+	// executable was compiled from — the serving cache's key. It rides in
+	// the artifact (codec v3) so a decoded .qexe can prove it belongs
+	// under the filename it was loaded from: crc32 catches bit rot, the
+	// key catches a renamed or swapped artifact.
+	SourceKey string
 	// Selection records the auto backend's target search when the
 	// executable was compiled for an Auto target (Target above is then
 	// the resolved concrete shape). It is report metadata, not execution
@@ -72,20 +78,34 @@ func Compile(c *circuit.Circuit, t Target) (*Executable, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The cache key is fingerprinted from the *requested* target (auto
+	// targets included), matching what internal/serve computes before it
+	// ever calls Compile — so the key stamped into the artifact is the
+	// name the cache persists it under.
+	key, err := Fingerprint(c, t)
+	if err != nil {
+		return nil, err
+	}
+	var x *Executable
 	if t.Auto {
-		return compileAuto(c, t)
-	}
+		x, err = compileAuto(c, t)
+	} else {
+		// Pass 1: recognition.
+		plan := recognize.Analyze(c, recognize.DefaultOptions(t.Emulate))
 
-	// Pass 1: recognition.
-	plan := recognize.Analyze(c, recognize.DefaultOptions(t.Emulate))
-
-	// Pass 2: cost model — small diagonal runs the fused kernels already
-	// execute in one sweep stay on the gate path.
-	if t.Emulate != recognize.Off && t.DiagMinGates > 0 {
-		plan = plan.Filter(recognize.KeepAboveDiagCutoff(t.DiagMinGates, t.DiagMaxWidth),
-			"cost model: below the dispatch cutoff, the fused kernel runs it in one sweep")
+		// Pass 2: cost model — small diagonal runs the fused kernels already
+		// execute in one sweep stay on the gate path.
+		if t.Emulate != recognize.Off && t.DiagMinGates > 0 {
+			plan = plan.Filter(recognize.KeepAboveDiagCutoff(t.DiagMinGates, t.DiagMaxWidth),
+				"cost model: below the dispatch cutoff, the fused kernel runs it in one sweep")
+		}
+		x, err = finishCompile(c, t, plan, nil)
 	}
-	return finishCompile(c, t, plan, nil)
+	if err != nil {
+		return nil, err
+	}
+	x.SourceKey = key
+	return x, nil
 }
 
 // compileAuto is the auto target's front half of the pipeline: profile

@@ -223,6 +223,18 @@ func sparseCost(p *Profile, m perfmodel.Measured) float64 {
 	return float64(p.NumGates) * support * m.SparseNs * 1e-9
 }
 
+// PredictedRounds is the planning estimate of communication rounds a
+// profiled circuit costs on target t: zero for single-node targets, the
+// coarse all-to-all estimate for clusters. It is the number the static
+// resource estimator (internal/circvet) reports before anything is
+// compiled or run.
+func PredictedRounds(p *Profile, t Target) int {
+	if t.Kind != Cluster {
+		return 0
+	}
+	return estimateClusterRounds(p, t.LocalQubits())
+}
+
 // estimateClusterRounds is a coarse planning estimate of the all-to-all
 // rounds a cluster run pays: one canonicalization, the collective rounds
 // of each emulated region, and a placement remap per shard-width run of
@@ -280,6 +292,11 @@ func fmtSecs(s float64) string {
 		return fmt.Sprintf("%.0fns", s*1e9)
 	}
 }
+
+// DescribeTarget renders a target in the selection report's compact form
+// ("fused w=4", "cluster p=8 w=4", "generic"); the static resource
+// estimator (internal/circvet) and its CLI reuse it.
+func DescribeTarget(t Target) string { return describeTarget(t) }
 
 // describeTarget renders a target for the selection report.
 func describeTarget(t Target) string {

@@ -1,0 +1,231 @@
+package backend_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/qft"
+	"repro/internal/recognize"
+)
+
+// verifyWorkload compiles the representative serve artifact — gate-level
+// prep plus a recognised QFT region — under the given target shape.
+func verifyWorkload(t *testing.T, tgt backend.Target) *backend.Executable {
+	t.Helper()
+	c := prep(8)
+	c.Extend(qft.Circuit(8))
+	tgt.NumQubits = 8
+	x, err := backend.Compile(c, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// findUnit returns the index of the first unit satisfying pred.
+func findUnit(t *testing.T, x *backend.Executable, what string, pred func(u *backend.Unit) bool) int {
+	t.Helper()
+	for i := range x.Units {
+		if pred(&x.Units[i]) {
+			return i
+		}
+	}
+	t.Fatalf("workload compiled without a %s unit", what)
+	return -1
+}
+
+// TestVerifyCompiledExecutables: everything Compile emits passes the
+// structural verifier, under every codec target shape and for every
+// acceptance workload, both bare and keyed by its own fingerprint.
+func TestVerifyCompiledExecutables(t *testing.T) {
+	for _, w := range parityWorkloads() {
+		for _, tgt := range codecTargets(w.c.NumQubits) {
+			x, err := backend.Compile(w.c, tgt)
+			if err != nil {
+				t.Fatalf("%s/%s: compile: %v", w.name, tgt.Kind, err)
+			}
+			if err := backend.VerifyExecutable(x); err != nil {
+				t.Errorf("%s/%s: compiled executable fails verification: %v", w.name, tgt.Kind, err)
+			}
+			if err := backend.VerifyExecutableKey(x, x.SourceKey); err != nil {
+				t.Errorf("%s/%s: keyed verification under own key: %v", w.name, tgt.Kind, err)
+			}
+			wrong := strings.Repeat("ab", 32)
+			if err := backend.VerifyExecutableKey(x, wrong); err == nil {
+				t.Errorf("%s/%s: keyed verification accepted a foreign key", w.name, tgt.Kind)
+			}
+		}
+	}
+}
+
+// TestVerifyMutationCorpus is the semantic-corruption suite: each case
+// mutates a freshly compiled executable in a way the codec cannot see —
+// Encode recomputes the crc32, so every mutant is a perfectly checksummed
+// artifact — and requires that Decode accepts the bytes while
+// VerifyExecutable rejects the result. This is exactly the gap the
+// verifier exists to close.
+func TestVerifyMutationCorpus(t *testing.T) {
+	local := backend.Target{FuseWidth: 3, Emulate: recognize.Auto}
+	clustered := backend.Target{Kind: backend.Cluster, Nodes: 2, FuseWidth: 3, Emulate: recognize.Auto}
+	isOp := func(u *backend.Unit) bool { return u.Op != nil }
+	isGate := func(u *backend.Unit) bool { return u.Op == nil }
+
+	cases := []struct {
+		name   string
+		target backend.Target
+		mutate func(t *testing.T, x *backend.Executable)
+	}{
+		{"source key not hex", local, func(t *testing.T, x *backend.Executable) {
+			x.SourceKey = strings.Repeat("Z", 64)
+		}},
+		{"source key truncated", local, func(t *testing.T, x *backend.Executable) {
+			x.SourceKey = x.SourceKey[:40]
+		}},
+		{"implausible worker cap", local, func(t *testing.T, x *backend.Executable) {
+			x.Target.Workers = 1 << 21
+		}},
+		{"inverted skip range", local, func(t *testing.T, x *backend.Executable) {
+			x.Skipped = append(x.Skipped, recognize.Skip{Name: "fake", Lo: 5, Hi: 2, Reason: "planted"})
+		}},
+		{"skip range past the circuit", local, func(t *testing.T, x *backend.Executable) {
+			x.Skipped = append(x.Skipped, recognize.Skip{Name: "fake", Lo: 0, Hi: x.NumGates + 1})
+		}},
+		{"non-unitary gate matrix", local, func(t *testing.T, x *backend.Executable) {
+			i := findUnit(t, x, "gate", isGate)
+			x.Units[i].Gates[0].Matrix[0] *= 1.5
+		}},
+		{"op range disagrees with unit", local, func(t *testing.T, x *backend.Executable) {
+			i := findUnit(t, x, "op", isOp)
+			x.Units[i].Op.Hi--
+		}},
+		{"foreign substrate on local target", local, func(t *testing.T, x *backend.Executable) {
+			i := findUnit(t, x, "op", isOp)
+			x.Units[i].Substrate = "bogus"
+		}},
+		{"foreign substrate on cluster target", clustered, func(t *testing.T, x *backend.Executable) {
+			i := findUnit(t, x, "op", isOp)
+			x.Units[i].Substrate = "bogus"
+		}},
+		{"non-unitary gate on cluster target", clustered, func(t *testing.T, x *backend.Executable) {
+			i := findUnit(t, x, "gate", isGate)
+			x.Units[i].Gates[0].Matrix[3] = 0
+		}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x := verifyWorkload(t, tc.target)
+			tc.mutate(t, x)
+			data, err := x.Encode()
+			if err != nil {
+				t.Fatalf("mutant failed to encode: %v", err)
+			}
+			y, err := backend.Decode(data)
+			if err != nil {
+				t.Fatalf("mutant rejected by Decode — the crc accepted it, so this case belongs to the codec tests, not here: %v", err)
+			}
+			if err := backend.VerifyExecutable(y); err == nil {
+				t.Fatal("verifier accepted a semantically corrupt artifact")
+			}
+		})
+	}
+
+	// The control: the unmutated artifact round-trips and verifies clean
+	// under both targets — the corpus rejections above are not the
+	// verifier rejecting everything.
+	for _, tgt := range []backend.Target{local, clustered} {
+		x := verifyWorkload(t, tgt)
+		data, err := x.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := backend.Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := backend.VerifyExecutable(y); err != nil {
+			t.Fatalf("%s: clean round-trip fails verification: %v", tgt.Kind, err)
+		}
+	}
+}
+
+// TestVerifyRejectsDirect exercises the invariants the codec masks: these
+// corruptions cannot travel through Encode/Decode (the decoder normalizes
+// targets and rebuilds plans), but an in-memory executable handed to the
+// verifier can still carry them.
+func TestVerifyRejectsDirect(t *testing.T) {
+	local := backend.Target{FuseWidth: 3, Emulate: recognize.Auto}
+	clustered := backend.Target{Kind: backend.Cluster, Nodes: 2, FuseWidth: 3, Emulate: recognize.Auto}
+	isGate := func(u *backend.Unit) bool { return u.Op == nil }
+
+	cases := []struct {
+		name   string
+		target backend.Target
+		mutate func(t *testing.T, x *backend.Executable)
+	}{
+		{"unresolved auto target", local, func(t *testing.T, x *backend.Executable) {
+			x.Target.Auto = true
+		}},
+		{"zero-width register", local, func(t *testing.T, x *backend.Executable) {
+			x.NumQubits = 0
+		}},
+		{"denormalized target", local, func(t *testing.T, x *backend.Executable) {
+			x.Target.DiagMinGates = 0 // normalize fills the default; a compiled artifact always carries it
+		}},
+		{"target width disagrees with register", local, func(t *testing.T, x *backend.Executable) {
+			x.Target.NumQubits--
+		}},
+		{"missing fusion plan", local, func(t *testing.T, x *backend.Executable) {
+			i := findUnit(t, x, "gate", isGate)
+			x.Units[i].Fused = nil
+		}},
+		{"counter drift", local, func(t *testing.T, x *backend.Executable) {
+			x.EmulatedGates++
+		}},
+		{"overlapping units", local, func(t *testing.T, x *backend.Executable) {
+			if len(x.Units) < 2 {
+				t.Skip("workload compiled to a single unit")
+			}
+			x.Units[1].Lo--
+		}},
+		{"missing schedule", clustered, func(t *testing.T, x *backend.Executable) {
+			i := findUnit(t, x, "gate", isGate)
+			x.Units[i].Sched = nil
+		}},
+		{"remap accounting drift", clustered, func(t *testing.T, x *backend.Executable) {
+			i := findUnit(t, x, "gate", isGate)
+			x.Units[i].Sched.Remaps++
+			x.Units[i].Sched.Rounds++
+			x.PlannedRemaps++
+			x.PlannedRounds++
+		}},
+		// Emulation off so the QFT stays at gate level and the schedule
+		// actually plans remaps to corrupt.
+		{"non-bijective placement", backend.Target{Kind: backend.Cluster, Nodes: 2, FuseWidth: 3}, func(t *testing.T, x *backend.Executable) {
+			i := findUnit(t, x, "gate", isGate)
+			s := x.Units[i].Sched
+			for si := range s.Steps {
+				if r := s.Steps[si].Remap; r != nil {
+					r[0] = r[1]
+					return
+				}
+			}
+			t.Skip("schedule plans no remaps for this workload")
+		}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x := verifyWorkload(t, tc.target)
+			tc.mutate(t, x)
+			if err := backend.VerifyExecutable(x); err == nil {
+				t.Fatal("verifier accepted a corrupt in-memory executable")
+			}
+		})
+	}
+
+	if err := backend.VerifyExecutable(nil); err == nil {
+		t.Fatal("verifier accepted a nil executable")
+	}
+}

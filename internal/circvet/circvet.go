@@ -1,0 +1,211 @@
+package circvet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// Analyzer is one diagnostic pass over a circuit. The shape deliberately
+// mirrors internal/lint/analysis: a named, documented Run function
+// reporting findings through its Pass, so the driver (cmd/qemu-vet) can
+// select, list and document passes uniformly.
+type Analyzer struct {
+	// Name identifies the pass in findings and on the command line.
+	Name string
+	// Doc is a one-paragraph description; the first line is the summary.
+	Doc string
+	// Run executes the pass. Findings go through the Pass; the error
+	// return is for analysis failure (could not run), not for findings.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's execution over one circuit.
+type Pass struct {
+	Analyzer *Analyzer
+	Circuit  *circuit.Circuit
+	report   func(Finding)
+}
+
+// Finding is one diagnostic: an analyzer's message anchored to a gate, a
+// region annotation, or the circuit as a whole.
+type Finding struct {
+	// Analyzer names the pass that produced the finding.
+	Analyzer string
+	// File and Line locate the finding in the circuit's source text when
+	// a Source map was provided; Line is 0 otherwise.
+	File string
+	Line int
+	// Gate is the gate index the finding anchors to, -1 when it anchors
+	// to a region or the whole circuit. Region likewise (-1 when not
+	// region-anchored).
+	Gate   int
+	Region int
+	// Message is the human-readable diagnostic.
+	Message string
+}
+
+func (f Finding) String() string {
+	switch {
+	case f.Line > 0:
+		return fmt.Sprintf("%s:%d: %s (%s)", f.File, f.Line, f.Message, f.Analyzer)
+	case f.File != "":
+		return fmt.Sprintf("%s: %s (%s)", f.File, f.Message, f.Analyzer)
+	default:
+		return fmt.Sprintf("%s (%s)", f.Message, f.Analyzer)
+	}
+}
+
+// ReportGate reports a finding anchored to gate index gate.
+func (p *Pass) ReportGate(gate int, format string, args ...any) {
+	p.report(Finding{Analyzer: p.Analyzer.Name, Gate: gate, Region: -1,
+		Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportRegion reports a finding anchored to region index region.
+func (p *Pass) ReportRegion(region int, format string, args ...any) {
+	p.report(Finding{Analyzer: p.Analyzer.Name, Gate: -1, Region: region,
+		Message: fmt.Sprintf(format, args...)})
+}
+
+// Report reports a circuit-level finding with no gate or region anchor.
+func (p *Pass) Report(format string, args ...any) {
+	p.report(Finding{Analyzer: p.Analyzer.Name, Gate: -1, Region: -1,
+		Message: fmt.Sprintf(format, args...)})
+}
+
+// Source maps IR anchors back to source-text lines — the qasm frontend's
+// qasm.SourceMap, mirrored here as plain data so the analyses stay usable
+// on builder-made circuits that never had source text.
+type Source struct {
+	// File names the source for findings.
+	File string
+	// DeclLine is the register declaration's line — the fallback anchor
+	// for circuit-level findings.
+	DeclLine int
+	// GateLine[i] is the 1-based source line of gate i; RegionLine[i] of
+	// region annotation i. Either may be nil or short (builder circuits,
+	// multi-gate source lines are repeated per gate).
+	GateLine   []int
+	RegionLine []int
+}
+
+func (s *Source) gateLine(i int) int {
+	if s == nil || i < 0 || i >= len(s.GateLine) {
+		return s.declLine()
+	}
+	return s.GateLine[i]
+}
+
+func (s *Source) regionLine(i int) int {
+	if s == nil || i < 0 || i >= len(s.RegionLine) {
+		return s.declLine()
+	}
+	return s.RegionLine[i]
+}
+
+func (s *Source) declLine() int {
+	if s == nil {
+		return 0
+	}
+	return s.DeclLine
+}
+
+// Analyzers returns the full diagnostic suite in a fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		livenessAnalyzer,
+		deadgateAnalyzer,
+		uncomputeAnalyzer,
+		regioncheckAnalyzer,
+	}
+}
+
+// Run executes the given analyzers over one circuit, resolving anchors
+// through src (which may be nil), and returns the findings sorted by
+// line, gate, region, then analyzer. The error return reports an
+// analyzer that failed to run, not the presence of findings.
+func Run(c *circuit.Circuit, src *Source, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, a := range analyzers {
+		p := &Pass{Analyzer: a, Circuit: c, report: func(f Finding) {
+			if src != nil {
+				f.File = src.File
+			}
+			switch {
+			case f.Gate >= 0:
+				f.Line = src.gateLine(f.Gate)
+			case f.Region >= 0:
+				f.Line = src.regionLine(f.Region)
+			default:
+				f.Line = src.declLine()
+			}
+			out = append(out, f)
+		}}
+		if err := a.Run(p); err != nil {
+			return nil, fmt.Errorf("circvet: %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Gate != b.Gate {
+			return a.Gate < b.Gate
+		}
+		if a.Region != b.Region {
+			return a.Region < b.Region
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out, nil
+}
+
+// nonzeroPrefix is the shared forward dataflow over the |0…0⟩ initial
+// state: prefix[i] is the bitmask of qubits that may differ from |0⟩
+// before gate i (length Len()+1, so prefix[Len()] is the final state).
+// A gate with a control still |0⟩ can never fire and changes nothing; a
+// firing gate makes its target maybe-nonzero exactly when its 2x2 core
+// can move amplitude out of |0⟩ (Dense or AntiDiagonal kinds).
+func nonzeroPrefix(c *circuit.Circuit) []uint64 {
+	prefix := make([]uint64, c.Len()+1)
+	cur := uint64(0)
+	for i, g := range c.Gates {
+		prefix[i] = cur
+		if stuckControl(g, cur) < 0 {
+			switch g.Kind() {
+			case gates.Dense, gates.AntiDiagonal:
+				cur |= 1 << g.Target
+			}
+		}
+	}
+	prefix[c.Len()] = cur
+	return prefix
+}
+
+// stuckControl returns a control qubit of g that is definitely |0⟩ under
+// the nonzero mask (so g can never fire), or -1 if all controls may be
+// set.
+func stuckControl(g gates.Gate, nonzero uint64) int {
+	for _, ctl := range g.Controls {
+		if nonzero&(1<<ctl) == 0 {
+			return int(ctl)
+		}
+	}
+	return -1
+}
+
+// supportMask returns the bitmask of every qubit the gate touches.
+func supportMask(g gates.Gate) uint64 {
+	m := uint64(1) << g.Target
+	for _, ctl := range g.Controls {
+		m |= 1 << ctl
+	}
+	return m
+}

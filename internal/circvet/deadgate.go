@@ -1,0 +1,66 @@
+package circvet
+
+import "repro/internal/gates"
+
+// The dead-gate pass is a backward dataflow from the terminal Z-basis
+// measurement. Its core fact: a diagonal gate only changes amplitude
+// *phases*, and phases become measurement statistics only through
+// interference — a later basis-mixing (Dense) gate acting on a qubit the
+// phase depends on. Permutation-like gates (X, CNOT, Toffoli, Y) move
+// that dependence around without creating interference, so the pass
+// tracks, walking backward, the set of qubits whose value still flows
+// into some future Dense target ("mixed"). A diagonal gate whose support
+// never reaches that set is dead: deleting it cannot change any outcome
+// probability.
+
+var deadgateAnalyzer = &Analyzer{
+	Name: "deadgate",
+	Doc: "report gates whose removal provably cannot change measurement " +
+		"statistics: diagonal phases that no later basis-mixing gate turns " +
+		"into interference (trailing Z/S/T/Rz chains before sampling are the " +
+		"common case), and global-phase identity gates",
+	Run: runDeadgate,
+}
+
+func runDeadgate(p *Pass) error {
+	c := p.Circuit
+	if c.NumQubits > 64 {
+		return nil
+	}
+	// mixed holds the qubits whose value at the current (backward) point
+	// still feeds a later Dense gate's target.
+	mixed := uint64(0)
+	for i := c.Len() - 1; i >= 0; i-- {
+		g := c.Gates[i]
+		k := g.Kind()
+		switch {
+		case k == gates.Identity && len(g.Controls) == 0:
+			// A global-phase multiple of the identity is a no-op anywhere.
+			p.ReportGate(i, "gate %v is a global-phase multiple of the identity: a no-op", g)
+		case k == gates.Diagonal || k == gates.Identity:
+			// The phase function depends on the gate's full support
+			// (controls gate the phase just as the target does).
+			if supportMask(g)&mixed == 0 {
+				p.ReportGate(i, "gate %v applies phases that no later basis-mixing gate turns into interference: dead before Z-basis sampling", g)
+			}
+			// Diagonal gates neither move nor mix values: mixed unchanged.
+		case k == gates.AntiDiagonal:
+			// A (controlled) flip: the target's new value depends on the
+			// controls, so if the target feeds a future Dense gate, the
+			// controls now do too. The flip does not relocate the bit.
+			if mixed&(1<<g.Target) != 0 {
+				for _, ctl := range g.Controls {
+					mixed |= 1 << ctl
+				}
+			}
+		default: // Dense
+			// The gate interferes amplitudes that differ in its target, so
+			// any earlier phase depending on that bit becomes observable.
+			// Controls only partition the mixing; they pick up no
+			// dependence themselves (the phase factors out per control
+			// branch).
+			mixed |= 1 << g.Target
+		}
+	}
+	return nil
+}

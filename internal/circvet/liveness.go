@@ -1,0 +1,77 @@
+package circvet
+
+import "repro/internal/gates"
+
+// The liveness pass is a forward dataflow from the simulator's fixed
+// initial state |0…0⟩: it reports register slots and gates that cannot
+// contribute to the final state. Unlike a classical compiler's liveness,
+// "dead" here is measured against terminal Z-basis sampling — the only
+// observation the emulator makes — so a control stuck at |0⟩ or a phase
+// on a definitely-|0⟩ qubit is provably inert, not merely suspicious.
+
+var livenessAnalyzer = &Analyzer{
+	Name: "liveness",
+	Doc: "report qubits and gates that cannot affect the final state: " +
+		"declared-but-unused qubits (each one doubles state memory), gates " +
+		"controlled on qubits still |0⟩ (they can never fire), gates whose " +
+		"entire support no other gate touches, and phases applied to " +
+		"definitely-|0⟩ qubits (a global phase)",
+	Run: runLiveness,
+}
+
+func runLiveness(p *Pass) error {
+	c := p.Circuit
+	if c.NumQubits > 64 {
+		return nil // dataflow masks are single words, like the rest of the pipeline
+	}
+
+	// Usage census: unused declared qubits cost real memory — the dense
+	// state vector doubles per qubit whether or not any gate touches it.
+	used := make([]int, c.NumQubits)
+	for _, g := range c.Gates {
+		for _, q := range g.Qubits() {
+			used[q]++
+		}
+	}
+	for q, n := range used {
+		if n == 0 {
+			p.Report("qubit %d is declared but never used: it doubles state memory for nothing", q)
+		}
+	}
+
+	// Isolated gates: every qubit of the gate's support is touched by no
+	// other gate, so nothing can entangle with or observe its effect —
+	// almost always leftover debris from an edit.
+	if c.Len() > 1 {
+		for i, g := range c.Gates {
+			isolated := true
+			for _, q := range g.Qubits() {
+				if used[q] != 1 {
+					isolated = false
+					break
+				}
+			}
+			if isolated {
+				p.ReportGate(i, "gate %v touches only qubits no other gate uses: its effect is never entangled or observed", g)
+			}
+		}
+	}
+
+	// Forward |0⟩ tracking: stuck controls and global-phase diagonals.
+	nonzero := uint64(0)
+	for i, g := range c.Gates {
+		if q := stuckControl(g, nonzero); q >= 0 {
+			p.ReportGate(i, "gate %v is controlled on qubit %d, which is still |0⟩ here: the gate can never fire", g, q)
+			continue // a gate that cannot fire changes no state
+		}
+		switch g.Kind() {
+		case gates.Dense, gates.AntiDiagonal:
+			nonzero |= 1 << g.Target
+		case gates.Diagonal:
+			if len(g.Controls) == 0 && nonzero&(1<<g.Target) == 0 {
+				p.ReportGate(i, "gate %v phases a qubit that is still definitely |0⟩: a global phase, unobservable", g)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package circvet
+
+import "repro/internal/recognize"
+
+// The regioncheck pass validates region annotations — the markers the
+// emulation dispatcher trusts to replace gate ranges with classical
+// shortcuts — against the recognize catalogue. A typo'd name, a wrong
+// arity, a register layout that doesn't match the declared width, or an
+// annotation whose gates don't implement what it claims all silently
+// degrade to gate-level execution at run time; this pass surfaces them
+// as findings instead. It is a thin driver over recognize.Analyze in
+// annotated mode with verification on: every Skip the dispatcher records
+// (catalogue rejection or brute-force unitary mismatch) becomes a
+// diagnostic, as does an empty region the dispatcher skips silently.
+
+var regioncheckAnalyzer = &Analyzer{
+	Name: "regioncheck",
+	Doc: "validate region annotations against the emulation catalogue: " +
+		"unknown names, wrong arity or register layout, empty ranges, and " +
+		"annotations whose gates fail unitary verification are reported " +
+		"instead of silently falling back to gate-level execution",
+	Run: runRegioncheck,
+}
+
+func runRegioncheck(p *Pass) error {
+	c := p.Circuit
+	if len(c.Regions) == 0 {
+		return nil
+	}
+	for ri, r := range c.Regions {
+		if r.Hi == r.Lo {
+			p.ReportRegion(ri, "region %q covers no gates: the annotation does nothing", r.Name)
+		}
+	}
+	plan := recognize.Analyze(c, recognize.DefaultOptions(recognize.Annotated))
+	for _, s := range plan.Skipped {
+		p.ReportRegion(regionIndex(p, s), "region %q [%d,%d) will not emulate: %s", s.Name, s.Lo, s.Hi, s.Reason)
+	}
+	return nil
+}
+
+// regionIndex matches a Skip back to the annotation that produced it by
+// gate range (regions are pairwise disjoint, so the range is unique);
+// -1 anchors the finding at circuit level if no annotation matches (an
+// auto-matched pattern, which annotated mode never produces).
+func regionIndex(p *Pass, s recognize.Skip) int {
+	for ri, r := range p.Circuit.Regions {
+		if r.Lo == s.Lo && r.Hi == s.Hi {
+			return ri
+		}
+	}
+	return -1
+}

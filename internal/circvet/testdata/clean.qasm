@@ -1,0 +1,9 @@
+# clean fixture: GHZ preparation followed by a Hadamard layer — every
+# pass runs, none fires.
+qubits 3
+h 0
+cnot 0 1
+cnot 0 2
+h 0
+h 1
+h 2

@@ -1,0 +1,10 @@
+# deadgate fixture: phases with no later interference, and a
+# global-phase identity gate.
+qubits 3
+h 0
+h 1
+cnot 0 2
+rz 2 0  # want "global-phase multiple of the identity"
+s 0  # want "no later basis-mixing"
+cz 1 2  # want "no later basis-mixing"
+x 2

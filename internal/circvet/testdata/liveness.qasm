@@ -1,0 +1,9 @@
+# liveness fixture: unused qubit, stuck control, global-phase diagonal,
+# isolated gate.
+qubits 5  # want "qubit 4 is declared but never used"
+h 0
+z 1  # want "still definitely \\|0⟩" "no later basis-mixing"
+x 1
+cnot 2 3  # want "can never fire" "touches only qubits no other gate uses"
+t 0
+h 0

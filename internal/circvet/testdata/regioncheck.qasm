@@ -1,0 +1,16 @@
+# regioncheck fixture: unknown region name, lying qft annotation (fails
+# unitary verification), wrong arity, empty region.
+qubits 2
+region frobnicate 1 2  # want "region \"frobnicate\" .* will not emulate"
+h 0
+endregion
+region qft 0 2  # want "unitary verification failed"
+h 0
+h 1
+endregion
+region add 1  # want "region \"add\" .* will not emulate"
+x 0
+endregion
+region qft  # want "covers no gates"
+endregion
+x 1

@@ -1,0 +1,13 @@
+# uncompute fixture: two ancillas computed by Toffolis and used as
+# controls after a basis-mixing gate; qubit 3 is never uncomputed
+# (finding), qubit 4 is (clean).
+qubits 5
+h 0
+h 1
+toffoli 0 1 3  # want "ancilla qubit 3 .* missing uncomputation"
+toffoli 0 1 4
+h 2
+ctrl 3 : t 2
+ctrl 4 : s 2
+toffoli 0 1 4
+h 2

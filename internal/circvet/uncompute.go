@@ -1,0 +1,211 @@
+package circvet
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// The uncompute pass checks the discipline reversible arithmetic lives
+// by: a scratch qubit borrowed in state |0⟩ must be returned to |0⟩
+// before anything else depends on it, or every later "phases don't
+// matter, the ancilla factors out" assumption silently breaks (garbage
+// bits entangle with the data and decohere it).
+//
+// The pass finds maximal runs of classical gates — anti-diagonal cores
+// (X, CNOT, Toffoli and friends), which act on computational basis
+// states as pure bit flips — and simulates each run, continued across
+// the rest of the circuit, as a bit permutation: definitely-|0⟩ inputs
+// are constants, quantum inputs are enumerated free bits. An ancilla
+// (a qubit that enters the run |0⟩, is flipped inside it, and is used
+// again afterwards) must provably end the circuit at |0⟩ under every
+// assignment; one reachable |1⟩ is a missing uncomputation. Continuing
+// the simulation to the end of the circuit is what keeps the classic
+// compute/use/uncompute pattern clean: the uncompute run returns the
+// bit to zero even when a diagonal "use" splits it off into its own run.
+
+var uncomputeAnalyzer = &Analyzer{
+	Name: "uncompute",
+	Doc: "prove ancillas return to |0⟩: classical (bit-flip) gate runs are " +
+		"simulated as bit permutations over every input assignment, and a " +
+		"scratch qubit that enters a run |0⟩, is used again later, and can " +
+		"be left |1⟩ is reported as a missing uncomputation",
+	Run: runUncompute,
+}
+
+const (
+	// uncomputeMaxFreeBits caps the enumerated unknown inputs per run;
+	// uncomputeMaxWork caps steps × assignments. Past either bound the
+	// pass stays silent rather than guessing.
+	uncomputeMaxFreeBits = 12
+	uncomputeMaxWork     = 1 << 22
+)
+
+func runUncompute(p *Pass) error {
+	c := p.Circuit
+	if c.NumQubits > 64 {
+		return nil
+	}
+	nonzero := nonzeroPrefix(c)
+	lastTouch := make([]int, c.NumQubits)
+	for q := range lastTouch {
+		lastTouch[q] = -1
+	}
+	for i, g := range c.Gates {
+		for _, q := range g.Qubits() {
+			lastTouch[q] = i
+		}
+	}
+	for i := 0; i < c.Len(); {
+		if c.Gates[i].Kind() != gates.AntiDiagonal {
+			i++
+			continue
+		}
+		// A run extends through diagonal gates: phases never move basis
+		// bits, so they are transparent to the permutation.
+		hi := i + 1
+		for hi < c.Len() && c.Gates[hi].Kind() != gates.Dense {
+			hi++
+		}
+		analyzeClassicalRun(p, i, hi, nonzero, lastTouch)
+		i = hi
+	}
+	return nil
+}
+
+// uncomputeStep is one instruction of the planned bit-permutation
+// simulation: assign free variable setVar to target (setVar >= 0), or
+// flip target when all controls read 1 (setVar < 0).
+type uncomputeStep struct {
+	setVar   int
+	target   uint
+	controls []uint
+}
+
+// analyzeClassicalRun proves — or refutes — that the run's ancillas are
+// uncomputed by the end of the circuit.
+func analyzeClassicalRun(p *Pass, lo, hi int, nonzero []uint64, lastTouch []int) {
+	c := p.Circuit
+
+	// Ancilla candidates: definitely |0⟩ at run entry, flipped by a
+	// classical gate inside the run, used again after it. A flipped qubit
+	// nothing reads afterwards is an output register, not an ancilla.
+	anchor := make(map[uint]int) // ancilla -> last in-run classical gate targeting it
+	for j := lo; j < hi; j++ {
+		g := c.Gates[j]
+		if g.Kind() != gates.AntiDiagonal {
+			continue
+		}
+		if q := g.Target; nonzero[lo]&(1<<q) == 0 && lastTouch[q] >= hi {
+			anchor[q] = j
+		}
+	}
+	if len(anchor) == 0 {
+		return
+	}
+	ancillas := uint64(0)
+	for q := range anchor {
+		ancillas |= 1 << q
+	}
+
+	// Pass 1: plan the simulation from run entry to the end of the
+	// circuit. Qubits join the tracked set lazily at first use: as the
+	// constant 0 if still definitely |0⟩ there, as a fresh free bit
+	// otherwise (a quantum input enumerates both basis values).
+	var steps []uncomputeStep
+	tracked, vars := uint64(0), 0
+	ensure := func(q uint, at int) bool {
+		if tracked&(1<<q) != 0 {
+			return true
+		}
+		tracked |= 1 << q
+		if nonzero[at]&(1<<q) == 0 {
+			return true // joins as constant 0
+		}
+		if vars == uncomputeMaxFreeBits {
+			return false
+		}
+		steps = append(steps, uncomputeStep{setVar: vars, target: q})
+		vars++
+		return true
+	}
+	for j := lo; j < c.Len() && ancillas != 0; j++ {
+		g := c.Gates[j]
+		if stuckControl(g, nonzero[j]) >= 0 {
+			continue // can never fire
+		}
+		switch g.Kind() {
+		case gates.Diagonal, gates.Identity:
+			// Transparent: phases don't move basis bits.
+		case gates.AntiDiagonal:
+			ok := ensure(g.Target, j)
+			for _, ctl := range g.Controls {
+				ok = ok && ensure(ctl, j)
+			}
+			if !ok {
+				return // too many unknown inputs: no proof either way
+			}
+			steps = append(steps, uncomputeStep{setVar: -1, target: g.Target, controls: g.Controls})
+		default: // Dense: the target leaves the classical world
+			t := g.Target
+			if tracked&(1<<t) == 0 {
+				continue
+			}
+			if ancillas&(1<<t) != 0 {
+				// The ancilla is deliberately used quantumly — its fate is
+				// no longer a bit permutation's to prove.
+				ancillas &^= 1 << t
+				continue
+			}
+			// Re-randomise: later classical uses see an unknown bit.
+			if vars == uncomputeMaxFreeBits {
+				return
+			}
+			steps = append(steps, uncomputeStep{setVar: vars, target: t})
+			vars++
+		}
+	}
+	if ancillas == 0 || len(steps)<<vars > uncomputeMaxWork {
+		return
+	}
+
+	// Pass 2: enumerate every assignment of the free bits and run the
+	// permutation; record ancillas that can end the circuit at |1⟩.
+	dirty := uint64(0)
+	for a := uint64(0); a < 1<<vars && dirty != ancillas; a++ {
+		bits := uint64(0)
+		for _, st := range steps {
+			if st.setVar >= 0 {
+				bits = bits&^(1<<st.target) | (a>>st.setVar&1)<<st.target
+				continue
+			}
+			fire := true
+			for _, ctl := range st.controls {
+				if bits&(1<<ctl) == 0 {
+					fire = false
+					break
+				}
+			}
+			if fire {
+				bits ^= 1 << st.target
+			}
+		}
+		dirty |= bits & ancillas
+	}
+	for q, j := range anchor {
+		if dirty&(1<<q) != 0 {
+			p.ReportGate(j, "ancilla qubit %d enters this classical run |0⟩ and is used again at gate %d, but the run's bit permutation can leave it |1⟩: missing uncomputation",
+				q, firstUseAfter(c, q, hi))
+		}
+	}
+}
+
+// firstUseAfter returns the index of the first gate at or after hi
+// touching q (the caller established one exists).
+func firstUseAfter(c *circuit.Circuit, q uint, hi int) int {
+	for j := hi; j < c.Len(); j++ {
+		if supportMask(c.Gates[j])&(1<<q) != 0 {
+			return j
+		}
+	}
+	return c.Len() - 1
+}

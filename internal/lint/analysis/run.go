@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"regexp"
 	"sort"
 	"strings"
@@ -21,25 +22,55 @@ type ignoreDirective struct {
 
 var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s+(\S.*)$`)
 
-// ignoresForFiles scans the comment sets of a package's files for
-// lint:ignore directives, keyed by filename.
-func ignoresForFiles(pkgs *Package) map[string][]ignoreDirective {
-	out := make(map[string][]ignoreDirective)
-	for _, f := range pkgs.Files {
+// Directive is one parsed //lint:ignore comment in source form: the
+// comma-separated analyzer names it waives and where it sits. Exported
+// for meta-analyzers (staleignore) that audit the waivers themselves.
+type Directive struct {
+	Pos   token.Pos
+	File  string
+	Line  int
+	Names []string
+}
+
+// parseDirectives scans the comment sets of files for lint:ignore
+// directives.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := ignoreRe.FindStringSubmatch(c.Text)
 				if m == nil {
 					continue
 				}
-				pos := pkgs.Fset.Position(c.Pos())
-				names := make(map[string]bool)
-				for _, n := range strings.Split(m[1], ",") {
-					names[n] = true
-				}
-				out[pos.Filename] = append(out[pos.Filename], ignoreDirective{analyzers: names, line: pos.Line})
+				pos := fset.Position(c.Pos())
+				out = append(out, Directive{
+					Pos:   c.Pos(),
+					File:  pos.Filename,
+					Line:  pos.Line,
+					Names: strings.Split(m[1], ","),
+				})
 			}
 		}
+	}
+	return out
+}
+
+// Directives returns every lint:ignore directive in the pass's files.
+func (p *Pass) Directives() []Directive {
+	return parseDirectives(p.Fset, p.Files)
+}
+
+// ignoresForFiles scans the comment sets of a package's files for
+// lint:ignore directives, keyed by filename.
+func ignoresForFiles(pkgs *Package) map[string][]ignoreDirective {
+	out := make(map[string][]ignoreDirective)
+	for _, d := range parseDirectives(pkgs.Fset, pkgs.Files) {
+		names := make(map[string]bool)
+		for _, n := range d.Names {
+			names[n] = true
+		}
+		out[d.File] = append(out[d.File], ignoreDirective{analyzers: names, line: d.Line})
 	}
 	return out
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/lint/hotpathalloc"
 	"repro/internal/lint/kernelvalidate"
 	"repro/internal/lint/panicprefix"
+	"repro/internal/lint/staleignore"
 	"repro/internal/lint/stickyerr"
 )
 
@@ -15,12 +16,17 @@ import (
 // consume this one registry, so an analyzer added here is enforced
 // everywhere at once.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{
+	all := []*analysis.Analyzer{
 		panicprefix.Analyzer,
 		kernelvalidate.Analyzer,
 		hotpathalloc.Analyzer,
 		stickyerr.Analyzer,
 		detrng.Analyzer,
 		guardedfield.Analyzer,
+		staleignore.Analyzer,
 	}
+	// staleignore audits directives against the very registry that lists
+	// it; the injection breaks the import cycle.
+	staleignore.Registry = func() []*analysis.Analyzer { return all }
+	return all
 }

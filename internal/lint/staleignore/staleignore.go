@@ -1,0 +1,111 @@
+// Package staleignore audits the waivers, not the code: every
+// `//lint:ignore <analyzer> <reason>` directive must name a registered
+// analyzer and must actually suppress a finding. The failure mode it
+// catches is real and silent — an invariant gets fixed (or an analyzer
+// renamed) and the waiver lingers, documenting an exemption that no
+// longer exists; the next reader treats the surrounding code as
+// specially blessed when it is just ordinary. Directives are the one
+// part of the lint suite nothing else checks.
+package staleignore
+
+import (
+	"fmt"
+
+	"repro/internal/lint/analysis"
+)
+
+// Registry supplies the full analyzer suite so the audit can resolve
+// directive names and replay the named analyzers. It is injected by
+// lint.Analyzers() — this package cannot import the registry directly
+// without an import cycle (the registry lists this analyzer).
+var Registry func() []*analysis.Analyzer
+
+// name is the analyzer's registered name; run needs it to recognise
+// self-referencing directives without an initialization cycle.
+const name = "staleignore"
+
+// Analyzer flags lint:ignore directives that are dead weight.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "lint:ignore directives must name registered analyzers and suppress a live finding\n\n" +
+		"A //lint:ignore comment naming an analyzer the registry does not know is a\n" +
+		"typo or a leftover from a rename; one whose named analyzers report nothing\n" +
+		"on the line it covers is a stale waiver. Both are findings: a waiver that\n" +
+		"waives nothing misleads every future reader about the code it decorates.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	directives := pass.Directives()
+	if len(directives) == 0 {
+		return nil, nil
+	}
+	if Registry == nil {
+		return nil, fmt.Errorf("staleignore: analyzer registry not injected (run through lint.Analyzers)")
+	}
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range Registry() {
+		byName[a.Name] = a
+	}
+
+	// One replay per named analyzer for the whole package, memoized: a
+	// directive is live when the analyzer it names reports on the line it
+	// covers (its own, or the one below — the suppression contract).
+	replayed := make(map[string][]analysis.Diagnostic)
+	replay := func(a *analysis.Analyzer) ([]analysis.Diagnostic, error) {
+		if diags, ok := replayed[a.Name]; ok {
+			return diags, nil
+		}
+		var diags []analysis.Diagnostic
+		sub := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pass.Fset,
+			Files:     pass.Files,
+			Pkg:       pass.Pkg,
+			TypesInfo: pass.TypesInfo,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(sub); err != nil {
+			return nil, fmt.Errorf("staleignore: replaying %s: %w", a.Name, err)
+		}
+		replayed[a.Name] = diags
+		return diags, nil
+	}
+
+	for _, d := range directives {
+		live := false
+		unknown := 0
+		for _, waived := range d.Names {
+			if waived == name {
+				// A directive waiving this analyzer cannot be audited by
+				// replaying it (that recursion never grounds); trust it.
+				live = true
+				continue
+			}
+			a, ok := byName[waived]
+			if !ok {
+				unknown++
+				pass.Reportf(d.Pos, "//lint:ignore names %q, which is not a registered analyzer", waived)
+				continue
+			}
+			diags, err := replay(a)
+			if err != nil {
+				return nil, err
+			}
+			for _, diag := range diags {
+				pos := pass.Fset.Position(diag.Pos)
+				if pos.Filename == d.File && (pos.Line == d.Line || pos.Line == d.Line+1) {
+					live = true
+					break
+				}
+			}
+		}
+		if !live && unknown < len(d.Names) {
+			// At least one named analyzer is real and none of them fire
+			// here: the waiver waives nothing. (All-unknown directives are
+			// already fully reported above.)
+			pass.Reportf(d.Pos, "stale //lint:ignore: %v report nothing on the line it covers", d.Names)
+		}
+	}
+	return nil, nil
+}

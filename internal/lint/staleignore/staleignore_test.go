@@ -1,0 +1,146 @@
+package staleignore_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/staleignore"
+)
+
+// fixture is a package with every directive disposition: a live waiver
+// (panicprefix really fires under it), a live multi-name waiver, a stale
+// waiver over compliant code, and a typo'd analyzer name. The harness
+// can't use analysistest here: staleignore reports on the directive's
+// own comment line, and a `// want` comment cannot share a line with
+// the directive it annotates.
+const fixture = `package waivers
+
+func waived() {
+	//lint:ignore panicprefix message copied verbatim from the upstream engine
+	panic("unprefixed but waived")
+}
+
+func multi() {
+	//lint:ignore panicprefix,detrng provenance intentionally upstream
+	panic("also unprefixed")
+}
+
+func stale() {
+	//lint:ignore panicprefix nothing below violates the convention
+	panic("waivers: properly prefixed")
+}
+
+func typo() {
+	//lint:ignore panicprefixx misspelled analyzer name
+	panic("waivers: fine too")
+}
+`
+
+// loadFixture parses and type-checks the fixture into a Pass skeleton.
+func loadFixture(t *testing.T) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "waivers.go", fixture, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Types: make(map[ast.Expr]types.TypeAndValue),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("waivers", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}, pkg, info
+}
+
+// directiveLine finds the 1-based line of the directive whose reason
+// contains marker.
+func directiveLine(t *testing.T, marker string) int {
+	t.Helper()
+	for i, line := range strings.Split(fixture, "\n") {
+		if strings.Contains(line, "//lint:ignore") && strings.Contains(line, marker) {
+			return i + 1
+		}
+	}
+	t.Fatalf("no directive mentions %q", marker)
+	return 0
+}
+
+func TestAnalyzer(t *testing.T) {
+	lint.Analyzers() // injects staleignore.Registry with the real suite
+	fset, files, pkg, info := loadFixture(t)
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  staleignore.Analyzer,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := staleignore.Analyzer.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+
+	type found struct {
+		line int
+		msg  string
+	}
+	var got []found
+	for _, d := range diags {
+		got = append(got, found{fset.Position(d.Pos).Line, d.Message})
+	}
+	want := []struct {
+		line    int
+		mention string
+	}{
+		{directiveLine(t, "nothing below violates"), "stale //lint:ignore"},
+		{directiveLine(t, "misspelled"), "not a registered analyzer"},
+	}
+	for _, w := range want {
+		matched := false
+		for _, g := range got {
+			if g.line == w.line && strings.Contains(g.msg, w.mention) {
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("no finding at line %d mentioning %q; got %v", w.line, w.mention, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("expected exactly %d findings (the live waivers must stay silent), got %v", len(want), got)
+	}
+}
+
+// TestRegistryRequired: running the audit outside lint.Analyzers (no
+// registry) is an error, not a silent pass over unauditable directives.
+func TestRegistryRequired(t *testing.T) {
+	saved := staleignore.Registry
+	staleignore.Registry = nil
+	defer func() { staleignore.Registry = saved }()
+
+	fset, files, pkg, info := loadFixture(t)
+	pass := &analysis.Pass{
+		Analyzer:  staleignore.Analyzer,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(analysis.Diagnostic) {},
+	}
+	if _, err := staleignore.Analyzer.Run(pass); err == nil {
+		t.Fatal("audit ran without a registry")
+	}
+}

@@ -12,11 +12,42 @@ import (
 	"repro/internal/gates"
 )
 
+// SourceMap ties a parsed circuit back to the text it came from, so
+// diagnostics (internal/circvet, cmd/qemu-vet) can report file:line
+// positions instead of bare gate indices. GateLine[i] is the source line
+// of gate i; RegionLine[j] parallels circuit.Regions (qasm regions are
+// sequential and non-nested, so Annotate preserves their order).
+type SourceMap struct {
+	QubitsLine int
+	GateLine   []int
+	RegionLine []int
+}
+
+// Line resolves a gate index to its source line, falling back to the
+// qubits directive for circuit-level positions (index < 0 or out of
+// range).
+func (m *SourceMap) Line(gate int) int {
+	if m == nil {
+		return 0
+	}
+	if gate >= 0 && gate < len(m.GateLine) {
+		return m.GateLine[gate]
+	}
+	return m.QubitsLine
+}
+
 // Parse reads a circuit description from r. Malformed input of any shape
 // — missing arguments, out-of-range or duplicated qubits, angles with
 // stacked signs — is reported as a `qasm: line N:` error; Parse never
 // panics on bad input.
 func Parse(r io.Reader) (*circuit.Circuit, error) {
+	c, _, err := ParseSource(r)
+	return c, err
+}
+
+// ParseSource is Parse plus the SourceMap of the accepted input.
+func ParseSource(r io.Reader) (*circuit.Circuit, *SourceMap, error) {
+	sm := &SourceMap{}
 	sc := bufio.NewScanner(r)
 	var circ *circuit.Circuit
 	lineNo := 0
@@ -39,37 +70,38 @@ func Parse(r io.Reader) (*circuit.Circuit, error) {
 		}
 		if fields[0] == "qubits" {
 			if circ != nil {
-				return nil, fmt.Errorf("qasm: line %d: duplicate qubits directive", lineNo)
+				return nil, nil, fmt.Errorf("qasm: line %d: duplicate qubits directive", lineNo)
 			}
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("qasm: line %d: qubits directive wants exactly one count", lineNo)
+				return nil, nil, fmt.Errorf("qasm: line %d: qubits directive wants exactly one count", lineNo)
 			}
 			n, err := strconv.ParseUint(fields[1], 10, 8)
 			if err != nil || n == 0 {
-				return nil, fmt.Errorf("qasm: line %d: bad qubit count %q", lineNo, fields[1])
+				return nil, nil, fmt.Errorf("qasm: line %d: bad qubit count %q", lineNo, fields[1])
 			}
 			circ = circuit.New(uint(n))
+			sm.QubitsLine = lineNo
 			continue
 		}
 		if circ == nil {
-			return nil, fmt.Errorf("qasm: line %d: gate before qubits directive", lineNo)
+			return nil, nil, fmt.Errorf("qasm: line %d: gate before qubits directive", lineNo)
 		}
 		// Region markers: "region NAME arg..." / "endregion" annotate the
 		// enclosed gates as a named subroutine for the emulation
 		// dispatcher (see internal/recognize for the vocabulary).
 		if fields[0] == "region" {
 			if region != nil {
-				return nil, fmt.Errorf("qasm: line %d: nested region (previous opened at line %d)",
+				return nil, nil, fmt.Errorf("qasm: line %d: nested region (previous opened at line %d)",
 					lineNo, region.line)
 			}
 			if len(fields) < 2 {
-				return nil, fmt.Errorf("qasm: line %d: region without a name", lineNo)
+				return nil, nil, fmt.Errorf("qasm: line %d: region without a name", lineNo)
 			}
 			args := make([]uint64, 0, len(fields)-2)
 			for _, f := range fields[2:] {
 				v, err := strconv.ParseUint(f, 10, 64)
 				if err != nil {
-					return nil, fmt.Errorf("qasm: line %d: bad region argument %q", lineNo, f)
+					return nil, nil, fmt.Errorf("qasm: line %d: bad region argument %q", lineNo, f)
 				}
 				args = append(args, v)
 			}
@@ -78,13 +110,14 @@ func Parse(r io.Reader) (*circuit.Circuit, error) {
 		}
 		if fields[0] == "endregion" {
 			if len(fields) != 1 {
-				return nil, fmt.Errorf("qasm: line %d: endregion takes no arguments", lineNo)
+				return nil, nil, fmt.Errorf("qasm: line %d: endregion takes no arguments", lineNo)
 			}
 			if region == nil {
-				return nil, fmt.Errorf("qasm: line %d: endregion without region", lineNo)
+				return nil, nil, fmt.Errorf("qasm: line %d: endregion without region", lineNo)
 			}
 			circ.Annotate(circuit.Region{Name: region.name, Args: region.args,
 				Lo: region.lo, Hi: circ.Len()})
+			sm.RegionLine = append(sm.RegionLine, region.line)
 			region = nil
 			continue
 		}
@@ -98,7 +131,7 @@ func Parse(r io.Reader) (*circuit.Circuit, error) {
 		if fields[0] == "barrier" {
 			for _, f := range fields[1:] {
 				if _, err := parseQubit(f, circ.NumQubits); err != nil {
-					return nil, fmt.Errorf("qasm: line %d: %v", lineNo, err)
+					return nil, nil, fmt.Errorf("qasm: line %d: %v", lineNo, err)
 				}
 			}
 			continue
@@ -114,23 +147,23 @@ func Parse(r io.Reader) (*circuit.Circuit, error) {
 				}
 			}
 			if sep < 2 {
-				return nil, fmt.Errorf("qasm: line %d: malformed ctrl prefix", lineNo)
+				return nil, nil, fmt.Errorf("qasm: line %d: malformed ctrl prefix", lineNo)
 			}
 			for _, f := range fields[1:sep] {
 				q, err := parseQubit(f, circ.NumQubits)
 				if err != nil {
-					return nil, fmt.Errorf("qasm: line %d: %v", lineNo, err)
+					return nil, nil, fmt.Errorf("qasm: line %d: %v", lineNo, err)
 				}
 				extraControls = append(extraControls, q)
 			}
 			fields = fields[sep+1:]
 			if len(fields) == 0 {
-				return nil, fmt.Errorf("qasm: line %d: ctrl prefix without gate", lineNo)
+				return nil, nil, fmt.Errorf("qasm: line %d: ctrl prefix without gate", lineNo)
 			}
 		}
 		gs, err := parseGate(fields, circ.NumQubits)
 		if err != nil {
-			return nil, fmt.Errorf("qasm: line %d: %v", lineNo, err)
+			return nil, nil, fmt.Errorf("qasm: line %d: %v", lineNo, err)
 		}
 		for _, g := range gs {
 			full := g.WithControls(extraControls...)
@@ -138,21 +171,22 @@ func Parse(r io.Reader) (*circuit.Circuit, error) {
 			// the line number, instead of letting the state-vector kernels
 			// panic deep inside a run.
 			if err := validateGateQubits(full); err != nil {
-				return nil, fmt.Errorf("qasm: line %d: %v", lineNo, err)
+				return nil, nil, fmt.Errorf("qasm: line %d: %v", lineNo, err)
 			}
 			circ.Append(full)
+			sm.GateLine = append(sm.GateLine, lineNo)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("qasm: %v", err)
+		return nil, nil, fmt.Errorf("qasm: %v", err)
 	}
 	if region != nil {
-		return nil, fmt.Errorf("qasm: line %d: region %q never closed", region.line, region.name)
+		return nil, nil, fmt.Errorf("qasm: line %d: region %q never closed", region.line, region.name)
 	}
 	if circ == nil {
-		return nil, fmt.Errorf("qasm: missing qubits directive")
+		return nil, nil, fmt.Errorf("qasm: missing qubits directive")
 	}
-	return circ, nil
+	return circ, sm, nil
 }
 
 // validateGateQubits rejects gates whose target and controls are not

@@ -101,6 +101,12 @@ func DecodeOpBinary(r *binio.Reader, n uint) (*Op, error) {
 	return op, nil
 }
 
+// Validate checks the op's structural invariants against a register of n
+// qubits — the same checks DecodeOpBinary applies — so a verifier
+// (backend.VerifyExecutable) can re-validate an in-memory op without a
+// wire round trip.
+func (op *Op) Validate(n uint) error { return op.validateDecoded(n) }
+
 // validateDecoded checks the structural invariants Apply and the lowering
 // accessors assume, so a hand-crafted or version-skewed payload fails at
 // decode time instead of panicking mid-run.

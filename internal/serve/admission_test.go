@@ -1,0 +1,211 @@
+package serve_test
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/recognize"
+	"repro/internal/serve"
+)
+
+// compiledArtifact compiles the shared test circuit under the given
+// target shape and returns the executable plus its encoded form — the
+// bytes a build host would POST to /v1/artifact.
+func compiledArtifact(t *testing.T, tgt backend.Target, variant int) (*backend.Executable, []byte) {
+	t.Helper()
+	c := testCircuit(8, variant)
+	tgt.NumQubits = c.NumQubits
+	x, err := backend.Compile(c, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := x.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x, data
+}
+
+// TestServiceAdmitArtifact: a compiled artifact uploaded as bytes is
+// verified, admitted under its embedded key, runnable by that key, and
+// reported as cached on re-upload.
+func TestServiceAdmitArtifact(t *testing.T) {
+	tgt := backend.Target{Emulate: recognize.Auto}
+	s, err := serve.New(serve.Config{Target: tgt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	x, data := compiledArtifact(t, tgt, 4)
+	res, err := s.AdmitArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached || res.Key != x.SourceKey || res.NumQubits != 8 {
+		t.Fatalf("first admission reported %+v", res)
+	}
+
+	// The admitted artifact serves shot requests by key, stream-identical
+	// to a directly driven backend, with zero pipeline runs.
+	run, err := s.Run(serve.RunRequest{Key: res.Key, Shots: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := directSamples(t, testCircuit(8, 4), tgt, 20, 11)
+	for i := range want {
+		if run.Samples[i] != want[i] {
+			t.Fatalf("uploaded artifact's stream diverges at draw %d", i)
+		}
+	}
+	if got := s.Compiles(); got != 0 {
+		t.Fatalf("admission ran the compile pipeline %d times", got)
+	}
+
+	again, err := s.AdmitArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Key != res.Key {
+		t.Fatalf("re-upload reported %+v", again)
+	}
+}
+
+// TestServiceAdmitArtifactRejections pins the 400/422 split and that a
+// rejected artifact never pins memory: undecodable bytes are a bad
+// request, a decodable-but-unsound artifact is a typed verifier
+// rejection, and neither touches the cache.
+func TestServiceAdmitArtifactRejections(t *testing.T) {
+	tgt := backend.Target{Emulate: recognize.Auto}
+	s, err := serve.New(serve.Config{Target: tgt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, err := s.AdmitArtifact([]byte("QEXEgarbage")); !serve.IsBadRequest(err) {
+		t.Fatalf("garbage upload returned %v, want bad request", err)
+	}
+
+	// A semantically corrupt artifact with a valid crc32: mutate the
+	// struct and re-encode, so the checksum is freshly correct but the
+	// embedded source key is not a fingerprint.
+	x, _ := compiledArtifact(t, tgt, 5)
+	x.SourceKey = strings.Repeat("Z", 64)
+	data, err := x.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := backend.Decode(data); err != nil {
+		t.Fatalf("mutant should survive decode (crc is valid): %v", err)
+	}
+	if _, err := s.AdmitArtifact(data); !serve.IsVerifyRejected(err) {
+		t.Fatalf("unsound upload returned %v, want verifier rejection", err)
+	}
+	if st := s.Stats(); st.Cache.Entries != 0 || st.Cache.Bytes != 0 {
+		t.Fatalf("rejected uploads left cache state behind: %+v", st)
+	}
+}
+
+// TestArtifactEndpoint drives the HTTP surface: 200 with a usable key
+// for a clean upload, 400 for a body that is not an artifact, 422 for
+// one the verifier refuses.
+func TestArtifactEndpoint(t *testing.T) {
+	tgt := backend.Target{Emulate: recognize.Auto}
+	s, err := serve.New(serve.Config{Target: tgt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	post := func(body []byte) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/artifact", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	_, clean := compiledArtifact(t, tgt, 6)
+	if resp := post(clean); resp.StatusCode != http.StatusOK {
+		t.Fatalf("clean upload: status %d", resp.StatusCode)
+	}
+	if resp := post([]byte("not an artifact")); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage upload: status %d, want 400", resp.StatusCode)
+	}
+
+	x, _ := compiledArtifact(t, tgt, 6)
+	x.Target.Workers = 1 << 21 // beyond any sane concurrency: verifier rejects
+	mutant, err := x.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := post(mutant); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unsound upload: status %d, want 422", resp.StatusCode)
+	}
+}
+
+// TestWarmStartVerification: warm start runs the same verifier as
+// uploads. A crc-valid artifact whose body does not match its filename
+// key is deleted from disk instead of served, and a clean one is
+// admitted with its worker count clamped to the service's own.
+func TestWarmStartVerification(t *testing.T) {
+	dir := t.TempDir()
+	tgt := backend.Target{Emulate: recognize.Auto}
+
+	// Clean artifact, compiled with a foreign worker budget.
+	foreign := tgt
+	foreign.Workers = 7
+	foreign.NumQubits = 8
+	x, err := backend.Compile(testCircuit(8, 7), foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanData, err := x.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanPath := filepath.Join(dir, x.SourceKey+".qexe")
+	if err := os.WriteFile(cleanPath, cleanData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same bytes under a different (well-formed) key: crc32 passes,
+	// the key check cannot.
+	stolenKey := strings.Repeat("ab", 32)
+	stolenPath := filepath.Join(dir, stolenKey+".qexe")
+	if err := os.WriteFile(stolenPath, cleanData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := serve.New(serve.Config{Target: tgt, PersistDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, err := os.Stat(stolenPath); !os.IsNotExist(err) {
+		t.Fatal("mis-keyed artifact survived warm start")
+	}
+	if _, err := os.Stat(cleanPath); err != nil {
+		t.Fatalf("clean artifact deleted by warm start: %v", err)
+	}
+	a, ok := s.Cache().Get(x.SourceKey)
+	if !ok {
+		t.Fatal("clean artifact not restored")
+	}
+	defer s.Cache().Release(a)
+	if w := a.Executable().Target.Workers; w != tgt.Workers {
+		t.Fatalf("warm start kept the artifact's worker count %d, want the service's %d", w, tgt.Workers)
+	}
+}

@@ -281,9 +281,13 @@ func (c *Cache) persist(a *Artifact) {
 // WarmStart decodes every artifact in the persistence directory back
 // through normal admission and reports how many were restored. Corrupt,
 // truncated or version-skewed files are deleted — recompiling is always
-// correct, trusting a bad artifact never is. Oversized artifacts are
-// left on disk but not admitted.
-func (c *Cache) WarmStart() (int, error) {
+// correct, trusting a bad artifact never is. A non-nil verify hook runs
+// between decode and admission and may mutate the executable (the
+// Service installs backend.VerifyExecutableKey plus its worker clamp
+// there); artifacts it rejects are deleted too — the hook exists
+// precisely because a semantically corrupt artifact can still carry a
+// valid crc32. Oversized artifacts are left on disk but not admitted.
+func (c *Cache) WarmStart(verify func(key string, x *backend.Executable) error) (int, error) {
 	if c.dir == "" {
 		return 0, nil
 	}
@@ -311,6 +315,12 @@ func (c *Cache) WarmStart() (int, error) {
 			continue
 		}
 		key := strings.TrimSuffix(name, artifactExt)
+		if verify != nil {
+			if err := verify(key, x); err != nil {
+				os.Remove(path)
+				continue
+			}
+		}
 		a, err := c.Put(key, x)
 		if err != nil {
 			continue

@@ -205,7 +205,7 @@ func TestCachePersistenceAndWarmStart(t *testing.T) {
 	}
 
 	warm := serve.NewCache(1<<30, dir)
-	loaded, err := warm.WarmStart()
+	loaded, err := warm.WarmStart(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestCachePersistenceAndWarmStart(t *testing.T) {
 
 	// Eviction removes the file: shrink by re-admitting into a tiny cache.
 	tiny := serve.NewCache(16<<11, dir) // room for the 11-qubit artifact only
-	if _, err := tiny.WarmStart(); err != nil {
+	if _, err := tiny.WarmStart(nil); err != nil {
 		t.Fatal(err)
 	}
 	s := tiny.Stats()

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 )
 
@@ -24,6 +25,7 @@ type errorResponse struct {
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("POST /v1/artifact", s.handleArtifact)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -43,6 +45,23 @@ func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := s.Compile(req.Qasm)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleArtifact accepts a raw encoded executable (.qexe bytes) and
+// admits it through the structural verifier; see Service.AdmitArtifact
+// for the 400 / 422 split.
+func (s *Service) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.AdmitArtifact(data)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -76,6 +95,8 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrUnknownKey):
 		return http.StatusNotFound
+	case IsVerifyRejected(err):
+		return http.StatusUnprocessableEntity
 	case IsBadRequest(err):
 		return http.StatusBadRequest
 	default:

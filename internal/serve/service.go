@@ -80,10 +80,25 @@ func New(cfg Config) (*Service, error) {
 		sem:      newWsem(cfg.TotalWorkers),
 		inflight: make(map[string]*flight),
 	}
-	if _, err := s.cache.WarmStart(); err != nil {
+	if _, err := s.cache.WarmStart(s.admitDecoded); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// admitDecoded vets a decoded artifact before it enters the cache: the
+// structural verifier plus the embedded-key check (crc32 alone cannot
+// catch a renamed file or a semantically corrupt body that re-checksums
+// cleanly), then the worker clamp — a .qexe dictates its circuit and
+// shape, never this service's concurrency, so whatever worker budget it
+// was compiled under is replaced by the service's own before the target
+// reaches backend.New.
+func (s *Service) admitDecoded(key string, x *backend.Executable) error {
+	if err := backend.VerifyExecutableKey(x, key); err != nil {
+		return err
+	}
+	x.Target.Workers = s.cfg.Target.Workers
+	return nil
 }
 
 // Cache exposes the artifact cache (stats, tests).
@@ -163,6 +178,66 @@ func badRequest(err error) error { return badRequestError{err} }
 func IsBadRequest(err error) bool {
 	var b badRequestError
 	return errors.As(err, &b)
+}
+
+// verifyRejectedError marks an artifact the structural verifier refused:
+// syntactically decodable (the crc32 checked out) but semantically
+// unsound. The HTTP layer maps it to 422 Unprocessable Entity, distinct
+// from the 400 of a body that is not an artifact at all.
+type verifyRejectedError struct{ err error }
+
+func (e verifyRejectedError) Error() string { return e.err.Error() }
+func (e verifyRejectedError) Unwrap() error { return e.err }
+
+func verifyRejected(err error) error { return verifyRejectedError{err} }
+
+// IsVerifyRejected reports whether err is a structural-verifier
+// rejection of an uploaded artifact.
+func IsVerifyRejected(err error) bool {
+	var v verifyRejectedError
+	return errors.As(err, &v)
+}
+
+// ArtifactResult reports one artifact upload.
+type ArtifactResult struct {
+	Key       string `json:"key"`
+	Cached    bool   `json:"cached"`
+	NumQubits uint   `json:"num_qubits"`
+	NumGates  int    `json:"num_gates"`
+}
+
+// AdmitArtifact decodes an encoded executable (a .qexe body), runs the
+// structural verifier over it, and admits it into the cache under its
+// embedded source key — the upload path of a compile-once/run-anywhere
+// fleet: compile on a build host, POST the artifact, run by key. A body
+// that does not decode is a bad request (400); one that decodes but
+// fails verification is a typed verifier rejection (422). Both checks
+// complete before any session memory is pinned — a rejected artifact
+// never reaches backend.New, the cache table, or the persistence
+// directory.
+func (s *Service) AdmitArtifact(data []byte) (*ArtifactResult, error) {
+	x, err := backend.Decode(data)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	if err := backend.VerifyExecutable(x); err != nil {
+		return nil, verifyRejected(err)
+	}
+	key := x.SourceKey
+	x.Target.Workers = s.cfg.Target.Workers
+	if a, ok := s.cache.Get(key); ok {
+		defer s.cache.Release(a)
+		resident := a.Executable()
+		return &ArtifactResult{Key: key, Cached: true,
+			NumQubits: resident.NumQubits, NumGates: resident.NumGates}, nil
+	}
+	a, err := s.cache.Put(key, x)
+	if err != nil {
+		return nil, badRequest(err) // ErrTooLarge/ErrNoRoom: cannot host it
+	}
+	defer s.cache.Release(a)
+	return &ArtifactResult{Key: key, Cached: false,
+		NumQubits: x.NumQubits, NumGates: x.NumGates}, nil
 }
 
 // Run serves one shot request: resolve the artifact (compiling only on

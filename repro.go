@@ -216,9 +216,30 @@ func Compile(c *Circuit, t Target) (*Executable, error) {
 func EncodeExecutable(x *Executable) ([]byte, error) { return x.Encode() }
 
 // DecodeExecutable parses an encoded Executable, rebuilding its fusion
-// plans and communication schedules. It returns an error — never
-// panics — on truncated, corrupt or version-skewed input.
-func DecodeExecutable(data []byte) (*Executable, error) { return backend.Decode(data) }
+// plans and communication schedules, then runs the structural verifier
+// over the result: crc32 catches bit rot, VerifyExecutable catches
+// semantically corrupt artifacts whose bytes are internally well-formed.
+// It returns an error — never panics — on truncated, corrupt or
+// version-skewed input.
+func DecodeExecutable(data []byte) (*Executable, error) {
+	x, err := backend.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := backend.VerifyExecutable(x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// VerifyExecutable checks the structural invariants of a compiled or
+// decoded Executable — unit contiguity, unitary gate matrices, op
+// payload shapes, schedule round accounting, summary counters — and
+// returns nil exactly when the artifact is safe to execute. Decode paths
+// (DecodeExecutable, the serving cache's warm start and upload
+// admission) call it automatically; call it directly on executables from
+// any other source.
+func VerifyExecutable(x *Executable) error { return backend.VerifyExecutable(x) }
 
 // Fingerprint returns the canonical cache key of compiling c for t: two
 // (circuit, target) pairs share a fingerprint exactly when Compile
