@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	qemu-bench [-experiment all|fig1|...|fig6|table2|measure|mathfunc|fusion|cluster|cluster-emulate|auto|serve]
+//	qemu-bench [-experiment all|fig1|...|fig6|table2|measure|mathfunc|fusion|cluster|cluster-emulate|auto|serve|noise]
 //	           [-quick] [-max-sim-m M] [-max-emu-m M] [-local-qubits L]
 //	           [-max-nodes P] [-max-qubits N] [-max-measured-n N] [-fuse-width K]
 //
@@ -120,6 +120,13 @@ func (c *collector) addServe(rows []experiments.ServeRow) {
 	}
 }
 
+func (c *collector) addNoise(rows []experiments.NoiseRow) {
+	for _, r := range rows {
+		c.add("noise", r.Name, "per-request", r.Qubits, r.TPerRequest, 0)
+		c.add("noise", r.Name, "batched", r.Qubits, r.TBatched, 0)
+	}
+}
+
 func (c *collector) addAuto(rows []experiments.AutoRow) {
 	for _, r := range rows {
 		c.add("auto", r.Name, "auto", r.Qubits, r.TAuto, 0)
@@ -146,7 +153,7 @@ func (c *collector) write(path string) error {
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "which experiment to run (all, fig1, fig2, fig3, fig4, fig5, fig6, table2, measure, mathfunc, fusion, emulate, cluster, cluster-emulate, auto, serve)")
+		experiment   = flag.String("experiment", "all", "which experiment to run (all, fig1, fig2, fig3, fig4, fig5, fig6, table2, measure, mathfunc, fusion, emulate, cluster, cluster-emulate, auto, serve, noise)")
 		quick        = flag.Bool("quick", false, "shrink every sweep for a fast smoke run")
 		maxSimM      = flag.Uint("max-sim-m", 0, "override: largest simulated operand width for fig1/fig2")
 		maxEmuM      = flag.Uint("max-emu-m", 0, "override: largest emulated operand width for fig1/fig2")
@@ -375,6 +382,22 @@ func main() {
 		rows := experiments.Serve(cfg)
 		col.addServe(rows)
 		fmt.Println(experiments.FormatServe(rows))
+	}
+	if run("noise") {
+		ran = true
+		cfg := experiments.DefaultNoise()
+		if *quick {
+			cfg = experiments.QuickNoise()
+		}
+		if *maxQubits > 0 {
+			cfg.Qubits = *maxQubits
+		}
+		if *fuseWidth > 0 {
+			cfg.FuseWidth = *fuseWidth
+		}
+		rows := experiments.Noise(cfg)
+		col.addNoise(rows)
+		fmt.Println(experiments.FormatNoise(rows))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)

@@ -10,7 +10,7 @@
 //
 //	qemu-run [-backend auto|ours|generic|sparse|emulator] [-fuse-width K]
 //	         [-emulate off|annotated|auto] [-nodes P] [-shots K] [-top N]
-//	         [-seed S] circuit.qc
+//	         [-seed S] [-noise kind:p -trajectories N [-workers W]] circuit.qc
 //
 // -backend auto hands the whole configuration to the profile-driven
 // selector: the compiler profiles the circuit, prices every engine
@@ -42,6 +42,16 @@
 // probable basis states is printed — the emulator's "complete distribution
 // in one run" advantage of Section 3.4. With -shots K > 0 the program
 // additionally samples K hardware-style measurement outcomes.
+//
+// -noise "kind:probability" (e.g. -noise depolarizing:0.001) attaches a
+// global after-each-gate channel and, together with -trajectories N,
+// switches to stochastic-trajectory noisy simulation: the circuit is
+// compiled once and replayed N times, each replay sampling an
+// independent seed-deterministic noise realisation, and the outcome
+// histogram is reported in place of the amplitude listing. Circuits
+// whose qasm source carries `noise` directives need only -trajectories.
+// -workers W runs trajectories on W parallel backends; the outcomes are
+// identical for any W.
 package main
 
 import (
@@ -65,6 +75,9 @@ func main() {
 		shots       = flag.Int("shots", 0, "number of measurement samples to draw (0 = none)")
 		top         = flag.Int("top", 16, "number of basis states to list")
 		seed        = flag.Uint64("seed", 1, "measurement RNG seed")
+		noiseSpec   = flag.String("noise", "", `global noise channel "kind:probability" (x, y, z, depolarizing, ampdamp, phasedamp)`)
+		trajs       = flag.Int("trajectories", 0, "stochastic-trajectory count for noisy simulation (0 = ideal run)")
+		workers     = flag.Int("workers", 0, "parallel trajectory workers (0 = serial; outcomes are identical for any value)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -72,7 +85,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *backendName, *fuseWidth, *emulate, *nodes, *shots, *top, *seed); err != nil {
+	if err := run(flag.Arg(0), *backendName, *fuseWidth, *emulate, *nodes, *shots, *top, *seed, *noiseSpec, *trajs, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "qemu-run:", err)
 		os.Exit(1)
 	}
@@ -150,7 +163,7 @@ func options(backendName string, fuseWidth int, emulate string, nodes int) ([]re
 	return opts, nil
 }
 
-func run(path, backendName string, fuseWidth int, emulate string, nodes, shots, top int, seed uint64) error {
+func run(path, backendName string, fuseWidth int, emulate string, nodes, shots, top int, seed uint64, noiseSpec string, trajs, workers int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -163,6 +176,12 @@ func run(path, backendName string, fuseWidth int, emulate string, nodes, shots, 
 	if circ.NumQubits > statevec.MaxQubits {
 		return fmt.Errorf("circuit needs %d qubits; a single address space holds at most %d",
 			circ.NumQubits, statevec.MaxQubits)
+	}
+	if noiseSpec != "" && trajs <= 0 {
+		return fmt.Errorf("-noise needs -trajectories N to run the stochastic batch")
+	}
+	if err := repro.WithNoise(circ, noiseSpec); err != nil {
+		return err
 	}
 	fmt.Printf("circuit: %d qubits, %d gates, depth %d\n",
 		circ.NumQubits, circ.Len(), circ.Depth())
@@ -180,6 +199,9 @@ func run(path, backendName string, fuseWidth int, emulate string, nodes, shots, 
 	x, err := repro.Compile(circ, b.Target())
 	if err != nil {
 		return err
+	}
+	if trajs > 0 {
+		return runTrajectories(int(circ.NumQubits), x, trajs, workers, seed, top)
 	}
 	t := b.Target()
 	if t.Nodes > 1 {
@@ -260,6 +282,46 @@ func run(path, backendName string, fuseWidth int, emulate string, nodes, shots, 
 			}
 			fmt.Printf("  |%0*b>  %d\n", circ.NumQubits, k, counts[k])
 		}
+	}
+	return nil
+}
+
+// runTrajectories executes the stochastic-trajectory batch and prints
+// the outcome histogram in place of the amplitude listing: the compiled
+// artifact is shared by every trajectory, so the whole batch costs one
+// pass-pipeline run.
+func runTrajectories(numQubits int, x *repro.Executable, trajs, workers int, seed uint64, top int) error {
+	res, err := repro.RunTrajectories(x, repro.TrajectoryOptions{
+		Trajectories: trajs,
+		Seed:         seed,
+		Workers:      workers,
+	})
+	if err != nil {
+		return err
+	}
+	rate := float64(trajs) / res.Wall.Seconds()
+	fmt.Printf("trajectories: %d run over %d noise insertion points, %d noise jumps sampled\n",
+		trajs, res.Points, res.Jumps)
+	fmt.Printf("  wall %v (%.0f trajectories/s), seed %d\n", res.Wall, rate, seed)
+
+	counts := res.Counts()
+	keys := make([]uint64, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	fmt.Printf("%d distinct outcomes; top %d:\n", len(keys), min(top, len(keys)))
+	for i, k := range keys {
+		if i >= top {
+			fmt.Printf("  ... (%d more outcomes)\n", len(keys)-top)
+			break
+		}
+		fmt.Printf("  |%0*b>  %d  (%.4f)\n", numQubits, k, counts[k], float64(counts[k])/float64(trajs))
 	}
 	return nil
 }

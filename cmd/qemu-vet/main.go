@@ -138,7 +138,8 @@ func vetFile(path string, withResources bool) (fileReport, error) {
 			return rep, err
 		}
 		src := &circvet.Source{File: path, DeclLine: sm.QubitsLine,
-			GateLine: sm.GateLine, RegionLine: sm.RegionLine}
+			GateLine: sm.GateLine, RegionLine: sm.RegionLine,
+			GlobalNoiseLine: sm.GlobalNoiseLine, GateNoiseLine: sm.GateNoiseLine}
 		findings, err := circvet.Run(c, src, circvet.Analyzers())
 		if err != nil {
 			return rep, err
@@ -173,7 +174,7 @@ func vetArtifact(path string) ([]circvet.Finding, error) {
 	}
 	if verr != nil {
 		return []circvet.Finding{{Analyzer: "artifact", File: path, Gate: -1, Region: -1,
-			Message: verr.Error()}}, nil
+			GlobalNoise: -1, GateNoise: -1, Message: verr.Error()}}, nil
 	}
 	return nil, nil
 }

@@ -80,6 +80,24 @@ func (b *auto) Run(x *Executable) (*Result, error) {
 	return eng.Run(x)
 }
 
+// RunUnits materialises the engine from the executable's resolved target
+// like Run, then delegates the unit range.
+func (b *auto) RunUnits(x *Executable, lo, hi int) error {
+	if b.closed.Load() {
+		return ErrClosed
+	}
+	eng, err := b.engine(x.Target)
+	if err != nil {
+		return err
+	}
+	return eng.RunUnits(x, lo, hi)
+}
+
+func (b *auto) Reset() { b.defaultEngine().Reset() }
+func (b *auto) ApplyKraus(m gates.Matrix2, q uint) float64 {
+	return b.defaultEngine().ApplyKraus(m, q)
+}
+
 func (b *auto) ApplyGate(g gates.Gate)     { b.defaultEngine().ApplyGate(g) }
 func (b *auto) State() *statevec.State     { return b.defaultEngine().State() }
 func (b *auto) Probability(q uint) float64 { return b.defaultEngine().Probability(q) }

@@ -207,6 +207,17 @@ type Backend interface {
 	Target() Target
 	// Run executes a compiled Executable and reports what happened.
 	Run(x *Executable) (*Result, error)
+	// RunUnits executes units [lo, hi) of x against the current state,
+	// without resetting it — the trajectory runner's replay primitive:
+	// run a unit range, strike with ApplyKraus, continue.
+	RunUnits(x *Executable, lo, hi int) error
+	// Reset returns the register to |0...0> in place, reusing the
+	// allocated state.
+	Reset()
+	// ApplyKraus applies a (generally non-unitary) 2x2 Kraus operator to
+	// qubit q, renormalises the state, and returns the pre-normalisation
+	// branch mass <ψ|K†K|ψ>.
+	ApplyKraus(m gates.Matrix2, q uint) float64
 	// ApplyGate executes one gate immediately, outside any schedule.
 	ApplyGate(g gates.Gate)
 	// State returns the state vector. On the distributed backend this

@@ -71,31 +71,49 @@ func (b *clusterBackend) Close() error {
 	return nil
 }
 
-// Run dispatches the executable: recognised ops lower through
-// Cluster.ApplyOp (four-step FFT, cluster-wide permutations, shard-local
-// diagonals), gate segments execute their precompiled communication
-// schedules.
-func (b *clusterBackend) Run(x *Executable) (*Result, error) {
+// Reset returns the distributed register to |0...0> with the identity
+// placement, reusing the shard allocations.
+func (b *clusterBackend) Reset() { b.c.Reset() }
+
+// ApplyKraus applies the 2x2 Kraus operator to logical qubit q across the
+// shards, renormalises and returns the pre-normalisation branch mass.
+func (b *clusterBackend) ApplyKraus(m gates.Matrix2, q uint) float64 {
+	return b.c.ApplyKraus(m, q)
+}
+
+// RunUnits executes units [lo, hi) against the current distributed state:
+// recognised ops lower through Cluster.ApplyOp, gate segments execute
+// their precompiled communication schedules.
+func (b *clusterBackend) RunUnits(x *Executable, lo, hi int) error {
 	if b.closed.Load() {
-		return nil, ErrClosed
+		return ErrClosed
 	}
 	if !sameShape(x.Target, b.t) {
-		return nil, fmt.Errorf("backend: executable compiled for %s P=%d/%d qubits, backend is %s P=%d/%d",
+		return fmt.Errorf("backend: executable compiled for %s P=%d/%d qubits, backend is %s P=%d/%d",
 			x.Target.Kind, x.Target.Nodes, x.Target.NumQubits, b.t.Kind, b.t.Nodes, b.t.NumQubits)
 	}
-	before := b.c.Stats.Snapshot()
-	//lint:ignore detrng wall time is reported in Result, never fed into amplitudes
-	start := time.Now()
-	for i := range x.Units {
+	for i := lo; i < hi; i++ {
 		u := &x.Units[i]
 		if u.Op != nil {
 			if _, err := b.c.ApplyOp(u.Op); err != nil {
-				return nil, err
+				return err
 			}
 			b.em++
 			continue
 		}
 		b.c.RunSchedule(u.Sched)
+	}
+	return nil
+}
+
+// Run dispatches the whole executable through RunUnits, reporting the
+// communication the run paid.
+func (b *clusterBackend) Run(x *Executable) (*Result, error) {
+	before := b.c.Stats.Snapshot()
+	//lint:ignore detrng wall time is reported in Result, never fed into amplitudes
+	start := time.Now()
+	if err := b.RunUnits(x, 0, len(x.Units)); err != nil {
+		return nil, err
 	}
 	res := x.result()
 	//lint:ignore detrng wall time is reported in Result, never fed into amplitudes

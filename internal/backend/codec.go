@@ -21,6 +21,7 @@ import (
 //	magic "QEXE" | version u16 | crc32 u32 (of everything after this field)
 //	target       (register width, kind, fusion width, nodes, emulation mode, cost model)
 //	source key   (the compile-time Fingerprint — the serving cache's key; v3)
+//	noise plan   (unit-aligned channel insertion points; count 0 = ideal; v4)
 //	gate count   | skipped-region list
 //	unit index   (count, then per unit: type byte + payload size)
 //	unit payloads
@@ -37,12 +38,19 @@ import (
 // Version bump policy: CodecVersion changes whenever the wire layout of
 // any section changes — including the recognize.Op payload and the opKind
 // numbering — or when pass semantics change such that a rebuilt plan
-// would diverge from the encoded summary. Decoders reject every version
-// other than their own (no migration shims): a cache warm-start simply
-// recompiles on mismatch, which is always correct.
+// would diverge from the encoded summary. Encode always writes the
+// current version; Decode additionally reads the strictly-additive older
+// layouts back to codecMinVersion (a missing section decodes to its zero
+// value: no SourceKey, no NoisePlan ⇒ ideal), so a persisted cache
+// survives a version bump. Anything outside [codecMinVersion,
+// CodecVersion] is rejected and a cache warm-start simply recompiles,
+// which is always correct.
 const (
 	codecMagic   = "QEXE"
-	CodecVersion = 3 // v3: SourceKey (compile-time Fingerprint) after the target section
+	CodecVersion = 4 // v4: NoisePlan section after the source key
+	// codecMinVersion is the oldest artifact layout Decode still reads:
+	// v2 predates the SourceKey (v3) and NoisePlan (v4) sections.
+	codecMinVersion = 2
 )
 
 // unit type tags of the encoded index.
@@ -59,6 +67,17 @@ func (x *Executable) Encode() ([]byte, error) {
 	body := binio.NewWriter(nil)
 	encodeTarget(body, x.Target)
 	body.String(x.SourceKey)
+	if x.Noise != nil {
+		body.U32(uint32(len(x.Noise.Points)))
+		for _, pt := range x.Noise.Points {
+			body.I64(int64(pt.Gate))
+			body.U64(uint64(pt.Qubit))
+			body.U8(uint8(pt.Ch.Kind))
+			body.F64(pt.Ch.P)
+		}
+	} else {
+		body.U32(0)
+	}
 	body.I64(int64(x.NumGates))
 	body.U32(uint32(len(x.Skipped)))
 	for _, s := range x.Skipped {
@@ -116,11 +135,13 @@ func Decode(data []byte) (*Executable, error) {
 	if magic := string(r.Take(4)); magic != codecMagic {
 		return nil, fmt.Errorf("backend: not an executable artifact (bad magic)")
 	}
-	if v := r.U16(); v != CodecVersion {
+	v := r.U16()
+	if v < codecMinVersion || v > CodecVersion {
 		if err := r.Err(); err != nil {
 			return nil, fmt.Errorf("backend: decoding executable: %w", err)
 		}
-		return nil, fmt.Errorf("backend: executable format version %d, this build reads %d", v, CodecVersion)
+		return nil, fmt.Errorf("backend: executable format version %d, this build reads %d through %d",
+			v, codecMinVersion, CodecVersion)
 	}
 	wantCRC := r.U32()
 	body := r.Take(r.Remaining())
@@ -141,7 +162,46 @@ func Decode(data []byte) (*Executable, error) {
 		return nil, fmt.Errorf("backend: decoded target invalid: %w", err)
 	}
 	x := &Executable{NumQubits: t.NumQubits, Target: t}
-	x.SourceKey = br.String()
+	if v >= 3 {
+		x.SourceKey = br.String()
+	}
+	if v >= 4 {
+		nPts := int(br.U32())
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("backend: decoding noise plan: %w", err)
+		}
+		// 25 bytes per encoded point bounds the count before allocating.
+		if nPts < 0 || nPts*25 > br.Remaining() {
+			return nil, fmt.Errorf("backend: noise plan count %d exceeds artifact", nPts)
+		}
+		if nPts > 0 {
+			plan := &NoisePlan{Points: make([]NoisePoint, nPts)}
+			for i := range plan.Points {
+				pt := &plan.Points[i]
+				pt.Gate = int(br.I64())
+				pt.Qubit = uint(br.U64())
+				pt.Ch.Kind = circuit.ChannelKind(br.U8())
+				pt.Ch.P = br.F64()
+				if err := br.Err(); err != nil {
+					return nil, fmt.Errorf("backend: decoding noise plan: %w", err)
+				}
+				if err := pt.Ch.Validate(); err != nil {
+					return nil, fmt.Errorf("backend: noise point %d: %v", i, err)
+				}
+				if pt.Gate < 0 {
+					return nil, fmt.Errorf("backend: noise point %d at negative gate %d", i, pt.Gate)
+				}
+				if pt.Qubit >= t.NumQubits {
+					return nil, fmt.Errorf("backend: noise point %d touches qubit %d of a %d-qubit register",
+						i, pt.Qubit, t.NumQubits)
+				}
+				if i > 0 && plan.Points[i-1].Gate > pt.Gate {
+					return nil, fmt.Errorf("backend: noise plan not sorted at point %d", i)
+				}
+			}
+			x.Noise = plan
+		}
+	}
 	x.NumGates = int(br.I64())
 	nSkip := int(br.U32())
 	if err := br.Err(); err != nil {
@@ -149,6 +209,13 @@ func Decode(data []byte) (*Executable, error) {
 	}
 	if x.NumGates < 0 {
 		return nil, fmt.Errorf("backend: negative gate count in artifact")
+	}
+	if x.Noise != nil {
+		for i := range x.Noise.Points {
+			if g := x.Noise.Points[i].Gate; g >= x.NumGates {
+				return nil, fmt.Errorf("backend: noise point %d at gate %d of %d", i, g, x.NumGates)
+			}
+		}
 	}
 	for i := 0; i < nSkip; i++ {
 		s := recognize.Skip{Name: br.String()}
@@ -346,6 +413,24 @@ func Fingerprint(c *circuit.Circuit, t Target) (string, error) {
 		w.U32(uint32(len(r.Args)))
 		for _, a := range r.Args {
 			w.U64(a)
+		}
+	}
+	// The noise section appends only when a model is attached, so every
+	// ideal circuit keeps the fingerprint it had before noise existed —
+	// persisted cache keys stay valid across the feature.
+	if !c.Noise.Empty() {
+		w.Raw([]byte("noise"))
+		w.U32(uint32(len(c.Noise.Global)))
+		for _, ch := range c.Noise.Global {
+			w.U8(uint8(ch.Kind))
+			w.F64(ch.P)
+		}
+		w.U32(uint32(len(c.Noise.PerGate)))
+		for _, gn := range c.Noise.PerGate {
+			w.I64(int64(gn.Gate))
+			w.U64(uint64(gn.Qubit))
+			w.U8(uint8(gn.Ch.Kind))
+			w.F64(gn.Ch.P)
 		}
 	}
 	sum := sha256.Sum256(w.Bytes())

@@ -1,6 +1,8 @@
 package backend
 
 import (
+	"fmt"
+
 	"repro/internal/circuit"
 	"repro/internal/cluster"
 	"repro/internal/fuse"
@@ -46,6 +48,11 @@ type Executable struct {
 	// for the gate segments (remaps + exchange gates); recognised ops add
 	// their own collective rounds at run time.
 	PlannedRounds int
+	// Noise is the compiled insertion-point plan of the source circuit's
+	// noise model, aligned to the unit schedule (every point's gate closes
+	// its unit); nil for ideal circuits. Run ignores it — the trajectory
+	// runner (internal/noise) replays units and strikes between them.
+	Noise *NoisePlan
 	// SourceKey is the Fingerprint of the (circuit, target) pair this
 	// executable was compiled from — the serving cache's key. It rides in
 	// the artifact (codec v3) so a decoded .qexe can prove it belongs
@@ -77,6 +84,9 @@ func Compile(c *circuit.Circuit, t Target) (*Executable, error) {
 	t, err := t.normalize(c.NumQubits)
 	if err != nil {
 		return nil, err
+	}
+	if err := c.Noise.Validate(c.NumQubits, c.Len()); err != nil {
+		return nil, fmt.Errorf("backend: %w", err)
 	}
 	// The cache key is fingerprinted from the *requested* target (auto
 	// targets included), matching what internal/serve computes before it
@@ -149,6 +159,19 @@ func compileAuto(c *circuit.Circuit, t Target) (*Executable, error) {
 func finishCompile(c *circuit.Circuit, t Target, plan *recognize.Plan, sel *Selection) (*Executable, error) {
 	x := &Executable{NumQubits: c.NumQubits, NumGates: c.Len(), Target: t, Selection: sel}
 
+	// Noise pass: resolve the circuit's error model into insertion points
+	// and force a unit boundary after every struck gate. A recognised op
+	// with a strike strictly inside its range returns to gate level — a
+	// monolithic shortcut cannot host a mid-range Kraus jump — while ops
+	// and segments between strikes keep their shortcuts and fuse plans.
+	noise := resolveNoise(c)
+	cuts := noise.cuts()
+	if len(cuts) > 0 {
+		plan = plan.Filter(func(op *recognize.Op) bool {
+			return !hasInteriorCut(cuts, op.Lo, op.Hi)
+		}, "noise insertion inside the region; gate-level")
+	}
+
 	// Pass 3: distributed lowerability.
 	if t.Kind == Cluster {
 		n, L, P := t.NumQubits, t.LocalQubits(), t.Nodes
@@ -159,7 +182,8 @@ func finishCompile(c *circuit.Circuit, t Target, plan *recognize.Plan, sel *Sele
 	}
 	x.Skipped = plan.Skipped
 
-	// Passes 4+5: fusion and placement scheduling per gate segment.
+	// Passes 4+5: fusion and placement scheduling per gate segment, with
+	// gate segments split at the noise boundaries.
 	for _, seg := range plan.Segments {
 		if seg.Op != nil {
 			sub := substrateLocal
@@ -169,10 +193,14 @@ func finishCompile(c *circuit.Circuit, t Target, plan *recognize.Plan, sel *Sele
 			x.addOpUnit(seg.Op, sub, seg.Lo, seg.Hi)
 			continue
 		}
-		if err := x.addGateUnit(c.Gates[seg.Lo:seg.Hi], seg.Lo, seg.Hi); err != nil {
+		err := splitAtCuts(cuts, seg.Lo, seg.Hi, func(lo, hi int) error {
+			return x.addGateUnit(c.Gates[lo:hi], lo, hi)
+		})
+		if err != nil {
 			return nil, err
 		}
 	}
+	x.Noise = noise
 	return x, nil
 }
 

@@ -67,20 +67,30 @@ func (b *local) SampleMany(k int, src *rng.Source) []uint64 {
 	return b.st.SampleMany(k, src)
 }
 
-// Run dispatches the executable: recognised ops apply their statevec
-// shortcut, gate segments run their fused plan (Fused kind) or replay
-// gate by gate through the kind's kernel.
-func (b *local) Run(x *Executable) (*Result, error) {
+// Reset returns the register to |0...0>, reusing the state allocation.
+func (b *local) Reset() { b.st.Reset() }
+
+// ApplyKraus applies the 2x2 Kraus operator to qubit q, renormalises and
+// returns the pre-normalisation branch mass.
+func (b *local) ApplyKraus(m gates.Matrix2, q uint) float64 {
+	mass := b.st.ApplyKraus1(m, q)
+	b.st.RenormalizeMass(mass)
+	return mass
+}
+
+// RunUnits executes units [lo, hi) of the executable against the current
+// state: recognised ops apply their statevec shortcut, gate segments run
+// their fused plan (Fused kind) or replay gate by gate through the kind's
+// kernel.
+func (b *local) RunUnits(x *Executable, lo, hi int) error {
 	if b.closed.Load() {
-		return nil, ErrClosed
+		return ErrClosed
 	}
 	if !sameShape(x.Target, b.t) {
-		return nil, fmt.Errorf("backend: executable compiled for %s/%d qubits, backend is %s/%d",
+		return fmt.Errorf("backend: executable compiled for %s/%d qubits, backend is %s/%d",
 			x.Target.Kind, x.Target.NumQubits, b.t.Kind, b.t.NumQubits)
 	}
-	//lint:ignore detrng wall time is reported in Result, never fed into amplitudes
-	start := time.Now()
-	for i := range x.Units {
+	for i := lo; i < hi; i++ {
 		u := &x.Units[i]
 		if u.Op != nil {
 			u.Op.Apply(b.st)
@@ -95,6 +105,16 @@ func (b *local) Run(x *Executable) (*Result, error) {
 		for _, g := range u.Gates {
 			b.apply(g)
 		}
+	}
+	return nil
+}
+
+// Run dispatches the whole executable through RunUnits.
+func (b *local) Run(x *Executable) (*Result, error) {
+	//lint:ignore detrng wall time is reported in Result, never fed into amplitudes
+	start := time.Now()
+	if err := b.RunUnits(x, 0, len(x.Units)); err != nil {
+		return nil, err
 	}
 	res := x.result()
 	//lint:ignore detrng wall time is reported in Result, never fed into amplitudes

@@ -1,0 +1,157 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+)
+
+// NoisePoint is one resolved noise insertion of a compiled executable:
+// channel Ch strikes qubit Qubit immediately after gate Gate executes.
+type NoisePoint struct {
+	Gate  int
+	Qubit uint
+	Ch    circuit.Channel
+}
+
+// NoisePlan is the compiled form of a circuit's NoiseModel: every
+// insertion point expanded (global channels unrolled over each gate's
+// support, per-gate channels carried verbatim) and sorted by gate index.
+// Compile aligns the executable's unit boundaries with the plan — every
+// point's gate is the last gate of its unit — so the trajectory runner
+// replays units whole and strikes between them, and the noise-free
+// stretches keep their emulation shortcuts and fusion plans intact.
+//
+// The expansion order is part of the plan's contract: trajectories draw
+// one uniform variate per point in plan order, so two executables with
+// equal plans replay identical noise realisations from equal seeds.
+type NoisePlan struct {
+	Points []NoisePoint
+}
+
+// resolveNoise expands c's noise model into a sorted insertion-point
+// plan, or nil for an ideal circuit. Order within one gate: the model's
+// per-gate attachments first (attachment order), then each global channel
+// over the gate's qubits (targets before controls, as Qubits() yields).
+func resolveNoise(c *circuit.Circuit) *NoisePlan {
+	m := c.Noise
+	if m.Empty() {
+		return nil
+	}
+	plan := &NoisePlan{}
+	pg := m.PerGate // sorted by gate index
+	for g := range c.Gates {
+		for len(pg) > 0 && pg[0].Gate == g {
+			plan.Points = append(plan.Points, NoisePoint{Gate: g, Qubit: pg[0].Qubit, Ch: pg[0].Ch})
+			pg = pg[1:]
+		}
+		for _, ch := range m.Global {
+			for _, q := range c.Gates[g].Qubits() {
+				plan.Points = append(plan.Points, NoisePoint{Gate: g, Qubit: q, Ch: ch})
+			}
+		}
+	}
+	return plan
+}
+
+// cuts returns the sorted, deduplicated unit boundaries the plan forces:
+// a point after gate g means the executing unit must end at g+1 so the
+// runner can strike before the next unit begins.
+func (p *NoisePlan) cuts() []int {
+	if p == nil {
+		return nil
+	}
+	out := make([]int, 0, len(p.Points))
+	for _, pt := range p.Points {
+		b := pt.Gate + 1
+		if len(out) == 0 || out[len(out)-1] != b {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// hasInteriorCut reports whether any boundary falls strictly inside
+// (lo, hi) — the test that sends a recognised op back to gate level: a
+// monolithic shortcut cannot host a mid-range noise strike. A boundary at
+// hi is fine (the strike lands after the whole op).
+func hasInteriorCut(cuts []int, lo, hi int) bool {
+	i := sort.SearchInts(cuts, lo+1)
+	return i < len(cuts) && cuts[i] < hi
+}
+
+// splitAtCuts yields the sub-ranges of [lo, hi) delimited by the cut
+// boundaries, calling fn(subLo, subHi) for each in order.
+func splitAtCuts(cuts []int, lo, hi int, fn func(lo, hi int) error) error {
+	start := lo
+	for _, b := range cuts {
+		if b <= lo {
+			continue
+		}
+		if b >= hi {
+			break
+		}
+		if err := fn(start, b); err != nil {
+			return err
+		}
+		start = b
+	}
+	return fn(start, hi)
+}
+
+// PointsIn returns the slice of plan points whose gate index falls in
+// [lo, hi). Points are sorted by gate, so this is two binary searches.
+// The trajectory runner uses it to pair each unit with the strikes that
+// land at its closing gate.
+func (p *NoisePlan) PointsIn(lo, hi int) []NoisePoint {
+	if p == nil {
+		return nil
+	}
+	a := sort.Search(len(p.Points), func(i int) bool { return p.Points[i].Gate >= lo })
+	b := sort.Search(len(p.Points), func(i int) bool { return p.Points[i].Gate >= hi })
+	return p.Points[a:b]
+}
+
+// verifyNoisePlan checks the executable's noise plan against the register
+// and its unit schedule: channel parameters in [0,1] with known kinds,
+// points sorted by gate with in-range supports, and every point aligned
+// to the end of its unit (the coverage invariant the trajectory runner
+// replays by).
+func verifyNoisePlan(x *Executable) error {
+	p := x.Noise
+	if p == nil {
+		return nil
+	}
+	if len(p.Points) == 0 {
+		return fmt.Errorf("backend: verify: empty noise plan (ideal executables carry nil)")
+	}
+	lastGate := -1
+	for i, pt := range p.Points {
+		if err := pt.Ch.Validate(); err != nil {
+			return fmt.Errorf("backend: verify: noise point %d: %w", i, err)
+		}
+		if pt.Gate < 0 || pt.Gate >= x.NumGates {
+			return fmt.Errorf("backend: verify: noise point %d strikes after gate %d of %d", i, pt.Gate, x.NumGates)
+		}
+		if pt.Qubit >= x.NumQubits {
+			return fmt.Errorf("backend: verify: noise point %d strikes qubit %d of a %d-qubit register", i, pt.Qubit, x.NumQubits)
+		}
+		if pt.Gate < lastGate {
+			return fmt.Errorf("backend: verify: noise points out of order at %d (gate %d after %d)", i, pt.Gate, lastGate)
+		}
+		lastGate = pt.Gate
+	}
+	// Alignment: a point's gate must close its unit, or the runner would
+	// have to strike mid-unit — inside a fused block or an emulated op.
+	ui := 0
+	for _, pt := range p.Points {
+		for ui < len(x.Units) && x.Units[ui].Hi <= pt.Gate {
+			ui++
+		}
+		if ui >= len(x.Units) || pt.Gate != x.Units[ui].Hi-1 {
+			return fmt.Errorf("backend: verify: noise point after gate %d is not aligned to a unit boundary", pt.Gate)
+		}
+	}
+	return nil
+}

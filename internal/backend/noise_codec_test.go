@@ -1,0 +1,278 @@
+package backend_test
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"strings"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/circuit"
+	"repro/internal/qft"
+	"repro/internal/recognize"
+)
+
+// noisyWorkload is prep+QFT with one per-gate channel on gate 0 — a cut
+// at gate 1 only, so the recognised QFT region stays intact.
+func noisyWorkload() *circuit.Circuit {
+	c := prep(8)
+	c.Extend(qft.Circuit(8))
+	c.AttachNoise(0, 0, circuit.Channel{Kind: circuit.AmplitudeDamping, P: 0.1})
+	return c
+}
+
+func TestCompileNoisePlan(t *testing.T) {
+	tgt := backend.Target{NumQubits: 8, FuseWidth: 3, Emulate: recognize.Auto}
+
+	t.Run("ideal circuits carry no plan", func(t *testing.T) {
+		c := prep(8)
+		c.Extend(qft.Circuit(8))
+		x, err := backend.Compile(c, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x.Noise != nil {
+			t.Fatalf("ideal circuit compiled noise plan %+v", x.Noise)
+		}
+	})
+
+	t.Run("per-gate noise away from ops keeps the shortcut", func(t *testing.T) {
+		x, err := backend.Compile(noisyWorkload(), tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x.Noise == nil || len(x.Noise.Points) != 1 {
+			t.Fatalf("expected 1 noise point, got %+v", x.Noise)
+		}
+		if x.EmulatedGates == 0 {
+			t.Fatal("boundary-only noise demoted the recognised QFT to gate level")
+		}
+		if err := backend.VerifyExecutable(x); err != nil {
+			t.Fatalf("compiled noisy executable fails verification: %v", err)
+		}
+		// Every point closes its unit.
+		if got := x.Units[0].Hi; got != 1 {
+			t.Fatalf("noise after gate 0 should cut the first unit at 1, got %d", got)
+		}
+	})
+
+	t.Run("global noise demotes ops to gate level", func(t *testing.T) {
+		c := prep(8)
+		c.Extend(qft.Circuit(8))
+		c.SetGlobalNoise(circuit.Channel{Kind: circuit.Depolarizing, P: 0.01})
+		x, err := backend.Compile(c, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x.EmulatedGates != 0 {
+			t.Fatal("global after-each-gate noise cannot coexist with a multi-gate shortcut")
+		}
+		// Every unit must be a single gate: a cut lands after each one.
+		for i := range x.Units {
+			if x.Units[i].Hi-x.Units[i].Lo != 1 {
+				t.Fatalf("unit %d spans [%d,%d) under global noise", i, x.Units[i].Lo, x.Units[i].Hi)
+			}
+		}
+		demoted := false
+		for _, s := range x.Skipped {
+			if strings.Contains(s.Reason, "noise insertion") {
+				demoted = true
+			}
+		}
+		if !demoted {
+			t.Fatal("no skip records the noise demotion")
+		}
+		if err := backend.VerifyExecutable(x); err != nil {
+			t.Fatalf("verification: %v", err)
+		}
+	})
+
+	t.Run("invalid model rejected before the pipeline", func(t *testing.T) {
+		c := prep(8)
+		c.Noise = &circuit.NoiseModel{Global: []circuit.Channel{{Kind: circuit.FlipX, P: 1.5}}}
+		if _, err := backend.Compile(c, tgt); err == nil {
+			t.Fatal("Compile accepted probability 1.5")
+		}
+	})
+}
+
+// TestCodecNoiseRoundTrip: the v4 noise section survives Encode/Decode
+// byte-exactly, for both local and cluster shapes.
+func TestCodecNoiseRoundTrip(t *testing.T) {
+	c := noisyWorkload()
+	for _, tgt := range codecTargets(8) {
+		x, err := backend.Compile(c, tgt)
+		if err != nil {
+			t.Fatalf("%s: %v", tgt.Kind, err)
+		}
+		data, err := x.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := backend.Decode(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tgt.Kind, err)
+		}
+		if y.Noise == nil || len(y.Noise.Points) != len(x.Noise.Points) {
+			t.Fatalf("%s: decoded plan %+v, want %+v", tgt.Kind, y.Noise, x.Noise)
+		}
+		for i := range x.Noise.Points {
+			if y.Noise.Points[i] != x.Noise.Points[i] {
+				t.Fatalf("%s: point %d decoded as %+v, want %+v",
+					tgt.Kind, i, y.Noise.Points[i], x.Noise.Points[i])
+			}
+		}
+		if err := backend.VerifyExecutableKey(y, x.SourceKey); err != nil {
+			t.Fatalf("%s: decoded noisy artifact fails keyed verification: %v", tgt.Kind, err)
+		}
+	}
+}
+
+// downgrade rewrites a v4 ideal artifact into the v3 or v2 wire layout
+// by deleting the sections those versions predate, pinning the layout
+// constants the codec documents: 10-byte header, 59-byte target, then
+// the length-prefixed 64-char source key, then the u32 noise count.
+func downgrade(t *testing.T, data []byte, version uint16) []byte {
+	t.Helper()
+	const header, target = 10, 59
+	body := append([]byte(nil), data[header:]...)
+	keyLen := 4 + int(binary.LittleEndian.Uint32(body[target:]))
+	if n := binary.LittleEndian.Uint32(body[target+keyLen:]); n != 0 {
+		t.Fatalf("downgrade wants an ideal artifact; found %d noise points", n)
+	}
+	switch version {
+	case 3: // drop the noise count
+		body = append(body[:target+keyLen], body[target+keyLen+4:]...)
+	case 2: // drop the source key too
+		body = append(body[:target], body[target+keyLen+4:]...)
+	default:
+		t.Fatalf("downgrade to unsupported version %d", version)
+	}
+	out := make([]byte, 0, header+len(body))
+	out = append(out, "QEXE"...)
+	out = binary.LittleEndian.AppendUint16(out, version)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, crc32.MakeTable(crc32.IEEE)))
+	return append(out, body...)
+}
+
+// TestCodecVersionMatrix is the compatibility contract: v4 encodes, and
+// v2/v3 artifacts — which predate the noise plan and (for v2) the source
+// key — still decode to ideal executables that verify and run.
+func TestCodecVersionMatrix(t *testing.T) {
+	c := prep(8)
+	c.Extend(qft.Circuit(8))
+	tgt := backend.Target{NumQubits: 8, FuseWidth: 3, Emulate: recognize.Auto}
+	x, err := backend.Compile(c, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v4, err := x.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("v3 decodes without a noise plan", func(t *testing.T) {
+		y, err := backend.Decode(downgrade(t, v4, 3))
+		if err != nil {
+			t.Fatalf("v3 artifact rejected: %v", err)
+		}
+		if y.Noise != nil {
+			t.Fatalf("v3 artifact decoded a noise plan: %+v", y.Noise)
+		}
+		if y.SourceKey != x.SourceKey {
+			t.Fatalf("v3 source key %.12s…, want %.12s…", y.SourceKey, x.SourceKey)
+		}
+		if err := backend.VerifyExecutableKey(y, x.SourceKey); err != nil {
+			t.Fatalf("v3 artifact fails keyed verification: %v", err)
+		}
+	})
+
+	t.Run("v2 decodes without a source key", func(t *testing.T) {
+		y, err := backend.Decode(downgrade(t, v4, 2))
+		if err != nil {
+			t.Fatalf("v2 artifact rejected: %v", err)
+		}
+		if y.Noise != nil || y.SourceKey != "" {
+			t.Fatalf("v2 artifact decoded key %q, plan %+v", y.SourceKey, y.Noise)
+		}
+		if err := backend.VerifyExecutable(y); err != nil {
+			t.Fatalf("keyless v2 artifact fails verification: %v", err)
+		}
+		// Keyed admission adopts the cache key for a keyless legacy
+		// artifact, so a re-encoded copy pins its provenance.
+		if err := backend.VerifyExecutableKey(y, x.SourceKey); err != nil {
+			t.Fatalf("v2 artifact fails keyed admission: %v", err)
+		}
+		if y.SourceKey != x.SourceKey {
+			t.Fatal("keyed admission did not adopt the key")
+		}
+
+		// The decoded legacy artifact must execute identically.
+		b1, err := backend.New(tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := backend.New(tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b1.Run(x); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b2.Run(y); err != nil {
+			t.Fatal(err)
+		}
+		if d := b1.State().MaxDiff(b2.State()); d > 1e-12 {
+			t.Fatalf("v2-decoded executable diverges by %g", d)
+		}
+	})
+
+	t.Run("versions outside the window rejected", func(t *testing.T) {
+		for _, v := range []uint16{0, 1, backend.CodecVersion + 1} {
+			mut := append([]byte(nil), v4...)
+			binary.LittleEndian.PutUint16(mut[4:], v)
+			if _, err := backend.Decode(mut); err == nil ||
+				!strings.Contains(err.Error(), "version") {
+				t.Fatalf("version %d decoded with error %v", v, err)
+			}
+		}
+	})
+}
+
+// TestCodecNoiseDecodeRejects: structurally corrupt noise sections are
+// caught at decode time, before verification.
+func TestCodecNoiseDecodeRejects(t *testing.T) {
+	tgt := backend.Target{NumQubits: 8, FuseWidth: 3, Emulate: recognize.Auto}
+	x, err := backend.Compile(noisyWorkload(), tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, mutate func(x *backend.Executable)) {
+		y, err := backend.Compile(noisyWorkload(), tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(y)
+		data, err := y.Encode()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		if _, err := backend.Decode(data); err == nil {
+			t.Errorf("%s: decoded successfully", name)
+		}
+	}
+	corrupt("probability above 1", func(x *backend.Executable) { x.Noise.Points[0].Ch.P = 1.5 })
+	corrupt("unknown channel kind", func(x *backend.Executable) { x.Noise.Points[0].Ch.Kind = 200 })
+	corrupt("qubit out of register", func(x *backend.Executable) { x.Noise.Points[0].Qubit = 64 })
+	corrupt("gate past the circuit", func(x *backend.Executable) { x.Noise.Points[0].Gate = x.NumGates })
+
+	// Control: the unmutated artifact decodes.
+	data, err := x.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := backend.Decode(data); err != nil {
+		t.Fatalf("clean noisy artifact rejected: %v", err)
+	}
+}

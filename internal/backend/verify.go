@@ -65,8 +65,15 @@ func VerifyExecutable(x *Executable) error {
 	if x.Target.Workers < 0 || x.Target.Workers > verifyMaxWorkers {
 		return fmt.Errorf("backend: verify: worker cap %d implausible", x.Target.Workers)
 	}
-	if !validFingerprint(x.SourceKey) {
+	// Empty is legal — v2 artifacts predate the SourceKey section and
+	// decode without one. Anything present must be a well-formed
+	// fingerprint; a scrambled key would silently shadow the wrong cache
+	// entry.
+	if x.SourceKey != "" && !validFingerprint(x.SourceKey) {
 		return fmt.Errorf("backend: verify: source key %q is not a sha256 fingerprint", x.SourceKey)
+	}
+	if err := verifyNoisePlan(x); err != nil {
+		return err
 	}
 	for i, s := range x.Skipped {
 		if s.Lo < 0 || s.Hi < s.Lo || s.Hi > x.NumGates {
@@ -124,6 +131,12 @@ func VerifyExecutable(x *Executable) error {
 func VerifyExecutableKey(x *Executable, key string) error {
 	if err := VerifyExecutable(x); err != nil {
 		return err
+	}
+	if x.SourceKey == "" {
+		// A v2 artifact carries no embedded key; adopt the one it is being
+		// admitted under so re-encoded copies pin their provenance.
+		x.SourceKey = key
+		return nil
 	}
 	if x.SourceKey != key {
 		return fmt.Errorf("backend: verify: artifact was compiled under key %.12s…, served as %.12s…", x.SourceKey, key)

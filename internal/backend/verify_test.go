@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/backend"
+	"repro/internal/circuit"
 	"repro/internal/qft"
 	"repro/internal/recognize"
 )
@@ -111,6 +112,21 @@ func TestVerifyMutationCorpus(t *testing.T) {
 			i := findUnit(t, x, "gate", isGate)
 			x.Units[i].Gates[0].Matrix[3] = 0
 		}},
+		// A planted noise point at an interior gate is valid wire bytes —
+		// sorted, in range, probability in [0,1] — but breaks the
+		// unit-boundary alignment the trajectory runner replays by.
+		{"noise point off unit boundary", local, func(t *testing.T, x *backend.Executable) {
+			for i := range x.Units {
+				if x.Units[i].Hi-x.Units[i].Lo >= 2 {
+					x.Noise = &backend.NoisePlan{Points: []backend.NoisePoint{{
+						Gate: x.Units[i].Hi - 2, Qubit: 0,
+						Ch: circuit.Channel{Kind: circuit.FlipX, P: 0.5},
+					}}}
+					return
+				}
+			}
+			t.Skip("workload compiled to single-gate units only")
+		}},
 	}
 
 	for _, tc := range cases {
@@ -182,6 +198,15 @@ func TestVerifyRejectsDirect(t *testing.T) {
 		}},
 		{"counter drift", local, func(t *testing.T, x *backend.Executable) {
 			x.EmulatedGates++
+		}},
+		{"empty noise plan", local, func(t *testing.T, x *backend.Executable) {
+			x.Noise = &backend.NoisePlan{} // ideal executables carry nil; the codec maps count 0 back to nil
+		}},
+		{"noise probability out of range", local, func(t *testing.T, x *backend.Executable) {
+			x.Noise = &backend.NoisePlan{Points: []backend.NoisePoint{{
+				Gate: x.Units[0].Hi - 1, Qubit: 0,
+				Ch: circuit.Channel{Kind: circuit.FlipX, P: 1.5},
+			}}}
 		}},
 		{"overlapping units", local, func(t *testing.T, x *backend.Executable) {
 			if len(x.Units) < 2 {

@@ -39,6 +39,9 @@ type Circuit struct {
 	// Regions annotates gate ranges as named subroutines, kept sorted by
 	// Lo and pairwise disjoint. Maintain it through Annotate, not directly.
 	Regions []Region
+	// Noise optionally attaches a stochastic error model; nil means ideal
+	// evolution. Maintain through SetGlobalNoise/AttachNoise, not directly.
+	Noise *NoiseModel
 }
 
 // New returns an empty circuit over n qubits.
@@ -95,6 +98,7 @@ func (c *Circuit) Extend(other *Circuit) *Circuit {
 		c.Annotate(Region{Name: r.Name, Args: append([]uint64(nil), r.Args...),
 			Lo: base + r.Lo, Hi: base + r.Hi})
 	}
+	c.extendNoise(other, base)
 	return c
 }
 
@@ -136,6 +140,7 @@ func (c *Circuit) Dagger() *Circuit {
 		inv.Annotate(Region{Name: name, Args: append([]uint64(nil), r.Args...),
 			Lo: n - r.Hi, Hi: n - r.Lo})
 	}
+	inv.Noise = daggerNoise(c.Noise, n)
 	return inv
 }
 
@@ -150,6 +155,7 @@ func (c *Circuit) Controlled(controls ...uint) *Circuit {
 	for _, g := range c.Gates {
 		cc.Gates = append(cc.Gates, g.WithControls(controls...))
 	}
+	cc.Noise = c.Noise.Clone()
 	return cc
 }
 

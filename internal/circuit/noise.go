@@ -1,0 +1,230 @@
+package circuit
+
+import "fmt"
+
+// ChannelKind enumerates the single-qubit noise channels the trajectory
+// runner (internal/noise) knows how to sample. Each channel admits a
+// Kraus decomposition with at most one non-trivial jump operator, so a
+// stochastic trajectory draws exactly one uniform variate per insertion
+// point regardless of the outcome — the draw-count invariance the
+// seed-determinism contract relies on.
+type ChannelKind uint8
+
+const (
+	// FlipX applies Pauli X with probability P.
+	FlipX ChannelKind = iota
+	// FlipY applies Pauli Y with probability P.
+	FlipY
+	// FlipZ applies Pauli Z with probability P.
+	FlipZ
+	// Depolarizing applies X, Y or Z with probability P/3 each.
+	Depolarizing
+	// AmplitudeDamping relaxes |1> toward |0> with rate γ = P
+	// (Kraus pair diag(1, sqrt(1-γ)) and the jump |0><1|·sqrt(γ)).
+	AmplitudeDamping
+	// PhaseDamping destroys coherence with rate γ = P
+	// (Kraus pair diag(1, sqrt(1-γ)) and the jump diag(0, sqrt(γ))).
+	PhaseDamping
+	numChannelKinds // one past the last valid kind
+)
+
+// channelNames are the qasm spellings of each kind, shared by the parser
+// and Write so the `noise` directive round-trips byte-identically.
+var channelNames = [numChannelKinds]string{
+	FlipX:            "x",
+	FlipY:            "y",
+	FlipZ:            "z",
+	Depolarizing:     "depolarizing",
+	AmplitudeDamping: "ampdamp",
+	PhaseDamping:     "phasedamp",
+}
+
+func (k ChannelKind) String() string {
+	if k < numChannelKinds {
+		return channelNames[k]
+	}
+	return fmt.Sprintf("channel(%d)", uint8(k))
+}
+
+// ChannelKindByName resolves a qasm channel spelling ("x", "depolarizing",
+// "ampdamp", ...) to its kind.
+func ChannelKindByName(name string) (ChannelKind, bool) {
+	for k, n := range channelNames {
+		if n == name {
+			return ChannelKind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Channel is one noise channel instance: a kind plus its probability
+// (Pauli flips, depolarizing) or damping rate γ (amplitude/phase damping).
+type Channel struct {
+	Kind ChannelKind
+	P    float64
+}
+
+// Validate rejects unknown kinds and parameters outside [0, 1]; the same
+// invariant is re-checked on decoded artifacts by VerifyExecutable.
+func (ch Channel) Validate() error {
+	if ch.Kind >= numChannelKinds {
+		return fmt.Errorf("circuit: unknown noise channel kind %d", uint8(ch.Kind))
+	}
+	if !(ch.P >= 0 && ch.P <= 1) { // also rejects NaN
+		return fmt.Errorf("circuit: noise channel %s probability %v outside [0,1]", ch.Kind, ch.P)
+	}
+	return nil
+}
+
+func (ch Channel) String() string {
+	return fmt.Sprintf("%s:%g", ch.Kind, ch.P)
+}
+
+// GateNoise attaches one channel to one qubit immediately after one gate.
+type GateNoise struct {
+	// Gate indexes the circuit gate the channel follows.
+	Gate int
+	// Qubit is the register position the channel acts on.
+	Qubit uint
+	// Ch is the channel applied.
+	Ch Channel
+}
+
+// NoiseModel describes where noise strikes a circuit. A nil model means
+// ideal evolution. The model is an annotation like Regions: it travels
+// with the circuit through the builders and is resolved into concrete
+// insertion points by backend.Compile.
+type NoiseModel struct {
+	// Global channels apply after every gate, on every qubit the gate
+	// touches (targets and controls).
+	Global []Channel
+	// PerGate channels apply at specific gates, kept sorted by Gate.
+	// Maintain through Circuit.AttachNoise, not directly.
+	PerGate []GateNoise
+}
+
+// Empty reports whether the model inserts no noise anywhere.
+func (m *NoiseModel) Empty() bool {
+	return m == nil || (len(m.Global) == 0 && len(m.PerGate) == 0)
+}
+
+// Clone returns a deep copy (nil-safe).
+func (m *NoiseModel) Clone() *NoiseModel {
+	if m == nil {
+		return nil
+	}
+	return &NoiseModel{
+		Global:  append([]Channel(nil), m.Global...),
+		PerGate: append([]GateNoise(nil), m.PerGate...),
+	}
+}
+
+// Validate checks every channel parameter and that per-gate entries point
+// inside a circuit of numGates gates over numQubits qubits.
+func (m *NoiseModel) Validate(numQubits uint, numGates int) error {
+	if m == nil {
+		return nil
+	}
+	for _, ch := range m.Global {
+		if err := ch.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, gn := range m.PerGate {
+		if err := gn.Ch.Validate(); err != nil {
+			return err
+		}
+		if gn.Gate < 0 || gn.Gate >= numGates {
+			return fmt.Errorf("circuit: noise attached to gate %d of a %d-gate circuit", gn.Gate, numGates)
+		}
+		if gn.Qubit >= numQubits {
+			return fmt.Errorf("circuit: noise on qubit %d exceeds register width %d", gn.Qubit, numQubits)
+		}
+	}
+	return nil
+}
+
+// SetGlobalNoise attaches a channel after every gate of the circuit,
+// present and future — the "uniform gate error" model of hardware specs.
+func (c *Circuit) SetGlobalNoise(ch Channel) *Circuit {
+	if err := ch.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if c.Noise == nil {
+		c.Noise = &NoiseModel{}
+	}
+	c.Noise.Global = append(c.Noise.Global, ch)
+	return c
+}
+
+// AttachNoise attaches a channel to qubit q immediately after gate g.
+func (c *Circuit) AttachNoise(g int, q uint, ch Channel) *Circuit {
+	if err := ch.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if g < 0 || g >= len(c.Gates) {
+		panic(fmt.Sprintf("circuit: noise attached to gate %d of a %d-gate circuit", g, len(c.Gates)))
+	}
+	if q >= c.NumQubits {
+		panic(fmt.Sprintf("circuit: noise on qubit %d exceeds register width %d", q, c.NumQubits))
+	}
+	if c.Noise == nil {
+		c.Noise = &NoiseModel{}
+	}
+	c.Noise.PerGate = append(c.Noise.PerGate, GateNoise{Gate: g, Qubit: q, Ch: ch})
+	sortGateNoise(c.Noise.PerGate)
+	return c
+}
+
+// sortGateNoise keeps PerGate ordered by gate index (stable for entries on
+// the same gate, preserving attachment order).
+func sortGateNoise(pg []GateNoise) {
+	for i := 1; i < len(pg); i++ {
+		for j := i; j > 0 && pg[j-1].Gate > pg[j].Gate; j-- {
+			pg[j-1], pg[j] = pg[j], pg[j-1]
+		}
+	}
+}
+
+// extendNoise merges other's noise into c after other's gates were
+// appended at offset base. Per-gate channels shift with their gates.
+// Global channels of other apply only to other's own gates, so they are
+// materialised as per-gate entries over the appended range — Extend must
+// not silently spread a sub-circuit's error model over the whole program.
+func (c *Circuit) extendNoise(other *Circuit, base int) {
+	if other.Noise.Empty() {
+		return
+	}
+	if c.Noise == nil {
+		c.Noise = &NoiseModel{}
+	}
+	for _, gn := range other.Noise.PerGate {
+		c.Noise.PerGate = append(c.Noise.PerGate,
+			GateNoise{Gate: base + gn.Gate, Qubit: gn.Qubit, Ch: gn.Ch})
+	}
+	for _, ch := range other.Noise.Global {
+		for i, g := range other.Gates {
+			for _, q := range g.Qubits() {
+				c.Noise.PerGate = append(c.Noise.PerGate,
+					GateNoise{Gate: base + i, Qubit: q, Ch: ch})
+			}
+		}
+	}
+	sortGateNoise(c.Noise.PerGate)
+}
+
+// daggerNoise mirrors a noise model onto the inverse circuit: gate i of c
+// becomes gate n-1-i of the dagger, and the channel stays attached to its
+// gate. Global channels carry over unchanged.
+func daggerNoise(m *NoiseModel, n int) *NoiseModel {
+	if m.Empty() {
+		return nil
+	}
+	inv := &NoiseModel{Global: append([]Channel(nil), m.Global...)}
+	for _, gn := range m.PerGate {
+		inv.PerGate = append(inv.PerGate,
+			GateNoise{Gate: n - 1 - gn.Gate, Qubit: gn.Qubit, Ch: gn.Ch})
+	}
+	sortGateNoise(inv.PerGate)
+	return inv
+}

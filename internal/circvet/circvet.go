@@ -40,9 +40,13 @@ type Finding struct {
 	Line int
 	// Gate is the gate index the finding anchors to, -1 when it anchors
 	// to a region or the whole circuit. Region likewise (-1 when not
-	// region-anchored).
-	Gate   int
-	Region int
+	// region-anchored). GlobalNoise and GateNoise anchor to entries of
+	// the circuit's noise model (indices into NoiseModel.Global and
+	// NoiseModel.PerGate), -1 otherwise.
+	Gate        int
+	Region      int
+	GlobalNoise int
+	GateNoise   int
 	// Message is the human-readable diagnostic.
 	Message string
 }
@@ -60,19 +64,33 @@ func (f Finding) String() string {
 
 // ReportGate reports a finding anchored to gate index gate.
 func (p *Pass) ReportGate(gate int, format string, args ...any) {
-	p.report(Finding{Analyzer: p.Analyzer.Name, Gate: gate, Region: -1,
+	p.report(Finding{Analyzer: p.Analyzer.Name, Gate: gate, Region: -1, GlobalNoise: -1, GateNoise: -1,
 		Message: fmt.Sprintf(format, args...)})
 }
 
 // ReportRegion reports a finding anchored to region index region.
 func (p *Pass) ReportRegion(region int, format string, args ...any) {
-	p.report(Finding{Analyzer: p.Analyzer.Name, Gate: -1, Region: region,
+	p.report(Finding{Analyzer: p.Analyzer.Name, Gate: -1, Region: region, GlobalNoise: -1, GateNoise: -1,
+		Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportGlobalNoise reports a finding anchored to entry i of the noise
+// model's global channel list.
+func (p *Pass) ReportGlobalNoise(i int, format string, args ...any) {
+	p.report(Finding{Analyzer: p.Analyzer.Name, Gate: -1, Region: -1, GlobalNoise: i, GateNoise: -1,
+		Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportGateNoise reports a finding anchored to entry i of the noise
+// model's per-gate attachment list.
+func (p *Pass) ReportGateNoise(i int, format string, args ...any) {
+	p.report(Finding{Analyzer: p.Analyzer.Name, Gate: -1, Region: -1, GlobalNoise: -1, GateNoise: i,
 		Message: fmt.Sprintf(format, args...)})
 }
 
 // Report reports a circuit-level finding with no gate or region anchor.
 func (p *Pass) Report(format string, args ...any) {
-	p.report(Finding{Analyzer: p.Analyzer.Name, Gate: -1, Region: -1,
+	p.report(Finding{Analyzer: p.Analyzer.Name, Gate: -1, Region: -1, GlobalNoise: -1, GateNoise: -1,
 		Message: fmt.Sprintf(format, args...)})
 }
 
@@ -90,6 +108,11 @@ type Source struct {
 	// multi-gate source lines are repeated per gate).
 	GateLine   []int
 	RegionLine []int
+	// GlobalNoiseLine[i] is the source line of the i-th global noise
+	// directive (parallels NoiseModel.Global); GateNoiseLine[i] of the
+	// i-th per-gate attachment (parallels NoiseModel.PerGate).
+	GlobalNoiseLine []int
+	GateNoiseLine   []int
 }
 
 func (s *Source) gateLine(i int) int {
@@ -113,6 +136,20 @@ func (s *Source) declLine() int {
 	return s.DeclLine
 }
 
+func (s *Source) globalNoiseLine(i int) int {
+	if s == nil || i < 0 || i >= len(s.GlobalNoiseLine) {
+		return s.declLine()
+	}
+	return s.GlobalNoiseLine[i]
+}
+
+func (s *Source) gateNoiseLine(i int) int {
+	if s == nil || i < 0 || i >= len(s.GateNoiseLine) {
+		return s.declLine()
+	}
+	return s.GateNoiseLine[i]
+}
+
 // Analyzers returns the full diagnostic suite in a fixed order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -120,6 +157,7 @@ func Analyzers() []*Analyzer {
 		deadgateAnalyzer,
 		uncomputeAnalyzer,
 		regioncheckAnalyzer,
+		noisecheckAnalyzer,
 	}
 }
 
@@ -139,6 +177,10 @@ func Run(c *circuit.Circuit, src *Source, analyzers []*Analyzer) ([]Finding, err
 				f.Line = src.gateLine(f.Gate)
 			case f.Region >= 0:
 				f.Line = src.regionLine(f.Region)
+			case f.GlobalNoise >= 0:
+				f.Line = src.globalNoiseLine(f.GlobalNoise)
+			case f.GateNoise >= 0:
+				f.Line = src.gateNoiseLine(f.GateNoise)
 			default:
 				f.Line = src.declLine()
 			}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/circuit"
 	"repro/internal/circvet"
 	"repro/internal/qasm"
 	"repro/internal/qft"
@@ -73,7 +74,8 @@ func TestFixtures(t *testing.T) {
 				t.Fatalf("parse: %v", err)
 			}
 			src := &circvet.Source{File: file, DeclLine: sm.QubitsLine,
-				GateLine: sm.GateLine, RegionLine: sm.RegionLine}
+				GateLine: sm.GateLine, RegionLine: sm.RegionLine,
+				GlobalNoiseLine: sm.GlobalNoiseLine, GateNoiseLine: sm.GateNoiseLine}
 			findings, err := circvet.Run(c, src, circvet.Analyzers())
 			if err != nil {
 				t.Fatal(err)
@@ -155,5 +157,53 @@ func TestEstimateResources(t *testing.T) {
 	}
 	if !strings.Contains(r.Report(), "region qft") {
 		t.Errorf("human report omits the region:\n%s", r.Report())
+	}
+}
+
+// TestNoisecheckBuilderCircuit exercises the noise-model audits the qasm
+// frontend already rejects at parse time but nothing enforces on
+// API-built circuits: out-of-range probabilities, attachments past the
+// gate list, and channels on qubits the register does not have.
+func TestNoisecheckBuilderCircuit(t *testing.T) {
+	c := qft.Entangler(3)
+	c.Noise = &circuit.NoiseModel{
+		Global: []circuit.Channel{{Kind: circuit.FlipX, P: 1.5}},
+		PerGate: []circuit.GateNoise{
+			{Gate: 99, Qubit: 0, Ch: circuit.Channel{Kind: circuit.FlipZ, P: 0.1}},
+			{Gate: 0, Qubit: 7, Ch: circuit.Channel{Kind: circuit.AmplitudeDamping, P: 0.1}},
+		},
+	}
+	findings, err := circvet.Run(c, nil, circvet.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, f := range findings {
+		if f.Analyzer == "noisecheck" {
+			msgs = append(msgs, f.Message)
+		}
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("want 3 noisecheck findings, got %d: %v", len(msgs), msgs)
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{"outside [0,1]", "attached to gate 99", "unknown qubit 7"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("no finding mentions %q; got:\n%s", want, joined)
+		}
+	}
+
+	// A valid model with damping strictly after each qubit's final gate
+	// is clean.
+	clean := qft.Entangler(3)
+	clean.AttachNoise(clean.Len()-1, 2, circuit.Channel{Kind: circuit.PhaseDamping, P: 0.2})
+	findings, err = circvet.Run(clean, nil, circvet.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Analyzer == "noisecheck" {
+			t.Errorf("clean model flagged: %s", f)
+		}
 	}
 }

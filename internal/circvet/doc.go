@@ -21,6 +21,11 @@
 //   - regioncheck: region annotations validated against the emulation
 //     catalogue (names, arity, register layout, unitary verification),
 //     surfacing what run time would silently demote to gate level.
+//   - noisecheck: the attached noise model audited — channel
+//     probabilities in range, attachments pointing at gates and qubits
+//     the circuit has, and damping channels on qubits later gates
+//     reuse (damping is a partial measurement; the reuse reads damaged
+//     state).
 //
 // EstimateResources complements the passes with the static cost picture:
 // state bytes, depth, gate mix, and the calibrated model's predicted
@@ -28,6 +33,6 @@
 //
 // The Analyzer/Pass/Finding shape deliberately mirrors
 // internal/lint/analysis so drivers and fixtures work the same way in
-// both suites; findings anchor to gate or region indices, which the
-// qasm frontend's SourceMap resolves back to file:line.
+// both suites; findings anchor to gate, region or noise-model indices,
+// which the qasm frontend's SourceMap resolves back to file:line.
 package circvet

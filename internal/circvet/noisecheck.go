@@ -1,0 +1,65 @@
+package circvet
+
+import "repro/internal/circuit"
+
+// The noisecheck pass audits a circuit's attached noise model — the
+// annotations backend.Compile resolves into trajectory insertion
+// points. Parameter checks (probabilities in range, attachments inside
+// the register and the gate list) guard circuits built through the API,
+// where nothing forces Validate before Compile; the damping check is a
+// modelling lint: amplitude and phase damping act like an unrecorded
+// partial measurement toward |0⟩, so a damped qubit that later gates
+// read again carries silently damaged state. Channels that model
+// measurement error belong after the qubit's final gate.
+
+var noisecheckAnalyzer = &Analyzer{
+	Name: "noisecheck",
+	Doc: "audit the attached noise model: channel probabilities must lie in " +
+		"[0,1], per-gate attachments must name a gate and qubit the circuit " +
+		"has, and a damping channel on a qubit that later gates reuse is " +
+		"flagged — damping is a partial measurement, so the reused qubit " +
+		"carries damaged state",
+	Run: runNoisecheck,
+}
+
+func runNoisecheck(p *Pass) error {
+	c := p.Circuit
+	m := c.Noise
+	if m.Empty() {
+		return nil
+	}
+	for i, ch := range m.Global {
+		if err := ch.Validate(); err != nil {
+			p.ReportGlobalNoise(i, "global noise channel %d: %v", i, err)
+		}
+	}
+	for i, gn := range m.PerGate {
+		if err := gn.Ch.Validate(); err != nil {
+			p.ReportGateNoise(i, "noise attachment %d: %v", i, err)
+			continue
+		}
+		if gn.Gate < 0 || gn.Gate >= c.Len() {
+			p.ReportGateNoise(i, "noise channel %s attached to gate %d of a %d-gate circuit",
+				gn.Ch, gn.Gate, c.Len())
+			continue
+		}
+		if gn.Qubit >= c.NumQubits {
+			p.ReportGateNoise(i, "noise channel %s on unknown qubit %d: the register has %d qubits",
+				gn.Ch, gn.Qubit, c.NumQubits)
+			continue
+		}
+		if gn.Ch.Kind != circuit.AmplitudeDamping && gn.Ch.Kind != circuit.PhaseDamping {
+			continue
+		}
+		// Damping-then-reuse: the channel is effectively a measurement of
+		// qubit q at gate Gate; any later gate on q reads the damaged state.
+		for j := gn.Gate + 1; j < c.Len(); j++ {
+			if supportMask(c.Gates[j])&(1<<gn.Qubit) != 0 {
+				p.ReportGateNoise(i, "%s damping on qubit %d acts like a partial measurement, but gate %d reuses the qubit afterwards: move the channel after the qubit's final gate if it models readout error",
+					gn.Ch.Kind, gn.Qubit, j)
+				break
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+# noisecheck fixture: damping channels between uses of a qubit (a
+# partial measurement the circuit then reads) versus channels placed
+# after a qubit's final gate. Global channels and mid-circuit Pauli
+# noise are legitimate device models and stay silent.
+qubits 3
+noise depolarizing 0.01
+h 0
+cnot 0 1
+noise ampdamp 0.2 0  # want "ampdamp damping on qubit 0 acts like a partial measurement"
+noise x 0.05 1
+cnot 0 2
+noise phasedamp 0.1 0
+h 1

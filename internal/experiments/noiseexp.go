@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/backend"
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/noise"
+	"repro/internal/qasm"
+	"repro/internal/qft"
+	"repro/internal/recognize"
+)
+
+// NoiseRow is one channel strength of the noisy-trajectory benchmark:
+// the compile-once batch (internal/noise replaying one shared
+// Executable) against the per-request baseline that parses, compiles
+// and runs every trajectory from scratch — the only way to serve noisy
+// requests before the batch API existed.
+type NoiseRow struct {
+	Name         string
+	Qubits       uint
+	P            float64 // channel probability, 0 = ideal
+	Trajectories int
+	Points       int // noise insertion points per trajectory
+	// TPerRequest is one trajectory the pre-batch way (parse + compile +
+	// run per request); TBatched the amortised per-trajectory cost of a
+	// batch sharing one compiled artifact.
+	TPerRequest float64
+	TBatched    float64
+	Speedup     float64 // TPerRequest / TBatched — acceptance floor 5x
+}
+
+// NoiseConfig bounds the noisy-trajectory benchmark.
+type NoiseConfig struct {
+	Qubits       uint // register width — NISQ-scale: trajectories are cheap, compiles are not
+	Reps         int  // prep+QFT+QFT' cycles; gate count scales with it
+	Trajectories int  // batch size
+	Workers      int  // parallel trajectory workers in the batched runs
+	FuseWidth    int
+}
+
+// DefaultNoise sizes the sweep the way noisy simulation is used: a deep
+// circuit on a small register, where the pass pipeline (recognition,
+// fusion planning, verification) costs far more than replaying one
+// stochastic trajectory — the cost the batch amortises.
+func DefaultNoise() NoiseConfig {
+	return NoiseConfig{Qubits: 8, Reps: 4, Trajectories: 200, Workers: 4, FuseWidth: 4}
+}
+
+// QuickNoise shrinks the batch for a smoke run.
+func QuickNoise() NoiseConfig {
+	return NoiseConfig{Qubits: 8, Reps: 2, Trajectories: 32, Workers: 4, FuseWidth: 4}
+}
+
+// noiseWorkload builds the benchmark circuit: Reps cycles of a prep
+// layer, a QFT and its inverse — deep, recognisable structure on a
+// small register.
+func noiseWorkload(n uint, reps int) *circuit.Circuit {
+	c := circuit.New(n)
+	for r := 0; r < reps; r++ {
+		for q := uint(0); q < n; q++ {
+			c.Append(gates.H(q))
+			c.Append(gates.Phase(q, 0.37+float64(q)+float64(r)))
+		}
+		c.Extend(qft.Circuit(n))
+		c.Extend(qft.Circuit(n).Dagger())
+	}
+	return c
+}
+
+// Noise measures stochastic-trajectory noisy simulation: ideal and two
+// depolarizing strengths, each as per-request recompilation vs one
+// compiled batch.
+func Noise(cfg NoiseConfig) []NoiseRow {
+	tgt := backend.Target{FuseWidth: cfg.FuseWidth, Emulate: recognize.Auto}
+	var rows []NoiseRow
+	for _, p := range []float64{0, 1e-3, 1e-2} {
+		c := noiseWorkload(cfg.Qubits, cfg.Reps)
+		name := "ideal"
+		if p > 0 {
+			c.SetGlobalNoise(circuit.Channel{Kind: circuit.Depolarizing, P: p})
+			name = fmt.Sprintf("depolarizing-p%g", p)
+		}
+		var b strings.Builder
+		if err := qasm.Write(&b, c); err != nil {
+			panic(err)
+		}
+		src := b.String()
+
+		row := NoiseRow{Name: name, Qubits: cfg.Qubits, P: p, Trajectories: cfg.Trajectories}
+
+		// Per-request baseline: every trajectory parses, compiles and
+		// runs from scratch — no artifact sharing.
+		seed := uint64(1)
+		row.TPerRequest = timeIt(shortTime, nil, func() {
+			seed++
+			x := mustCompileQasm(src, tgt)
+			if _, err := noise.Run(x, noise.Options{Trajectories: 1, Seed: seed}); err != nil {
+				panic(err)
+			}
+		})
+
+		// Batched: one parse + compile, then the whole batch replays the
+		// shared artifact; amortised per trajectory.
+		row.TBatched = timeIt(shortTime, nil, func() {
+			x := mustCompileQasm(src, tgt)
+			res, err := noise.Run(x, noise.Options{
+				Trajectories: cfg.Trajectories, Seed: 7, Workers: cfg.Workers,
+			})
+			if err != nil {
+				panic(err)
+			}
+			row.Points = res.Points
+		}) / float64(cfg.Trajectories)
+
+		if row.TBatched > 0 {
+			row.Speedup = row.TPerRequest / row.TBatched
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// mustCompileQasm is the per-request unit of work: qasm text to
+// compiled executable.
+func mustCompileQasm(src string, tgt backend.Target) *backend.Executable {
+	c, err := qasm.ParseString(src)
+	if err != nil {
+		panic(err)
+	}
+	x, err := backend.Compile(c, tgt)
+	if err != nil {
+		panic(err)
+	}
+	return x
+}
+
+// FormatNoise renders the noisy-trajectory sweep as an aligned table.
+func FormatNoise(rows []NoiseRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name,
+			fmt.Sprintf("%d", r.Qubits),
+			fmt.Sprintf("%d", r.Trajectories),
+			fmt.Sprintf("%d", r.Points),
+			secs(r.TPerRequest),
+			secs(r.TBatched),
+			fmt.Sprintf("%.1fx", r.Speedup),
+		})
+	}
+	return "Noisy trajectories: compile-once batch vs per-request recompilation\n" +
+		Table([]string{"channel", "qubits", "trajectories", "points",
+			"per-request", "batched", "speedup"}, out)
+}

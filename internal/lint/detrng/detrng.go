@@ -1,6 +1,6 @@
 // Package detrng polices the determinism contract of the execution
-// engine: statevec, cluster, backend, recognize and fuse must produce
-// draw-for-draw identical results for a fixed seed, across runs,
+// engine: statevec, cluster, backend, recognize, fuse and noise must
+// produce draw-for-draw identical results for a fixed seed, across runs,
 // process restarts and node counts. Three constructs silently break
 // that and are banned here: wall-clock reads (time.Now/Since), the
 // global math/rand source (unseeded, process-global, lock-contended —
@@ -30,13 +30,14 @@ var deterministic = map[string]bool{
 	"backend":   true,
 	"recognize": true,
 	"fuse":      true,
+	"noise":     true,
 }
 
 // Analyzer bans nondeterminism sources in deterministic packages.
 var Analyzer = &analysis.Analyzer{
 	Name: "detrng",
 	Doc: "deterministic-execution packages must not read wall clocks, global rand or map order\n\n" +
-		"In packages statevec, cluster, backend, recognize and fuse: forbids\n" +
+		"In packages statevec, cluster, backend, recognize, fuse and noise: forbids\n" +
 		"time.Now/time.Since calls, any import of math/rand or math/rand/v2,\n" +
 		"and ranging over a map unless the loop only collects keys/values into\n" +
 		"a slice that is later sorted in the same function. Timing/benchmark\n" +

@@ -1,0 +1,187 @@
+// Package densref is the brute-force density-matrix oracle the
+// trajectory runner's tests check against. It evolves the full 4^n
+// density operator exactly: each gate conjugates ρ with its embedded
+// unitary, each noise insertion applies the channel's complete CPTP
+// Kraus sum ρ → Σ_k K_k ρ K_k†, in the same order backend.Compile
+// resolves insertion points (per-gate attachments first, then global
+// channels over the gate's qubits). Matrix products are O(8^n) per
+// step — a test-only reference for small registers, never a simulation
+// path.
+package densref
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/statevec"
+)
+
+// maxQubits caps the oracle: 4^10 density entries with 8^n products is
+// already minutes of work, far past what a unit test should pay.
+const maxQubits = 8
+
+// BasisProbabilities evolves c — with its attached noise model — from
+// |0…0><0…0| and returns the diagonal of the final density matrix: the
+// exact outcome distribution the trajectory histograms estimate.
+func BasisProbabilities(c *circuit.Circuit) ([]float64, error) {
+	n := c.NumQubits
+	if n == 0 || n > maxQubits {
+		return nil, fmt.Errorf("densref: %d qubits outside the oracle's range (1..%d)", n, maxQubits)
+	}
+	if err := c.Noise.Validate(n, c.Len()); err != nil {
+		return nil, fmt.Errorf("densref: %v", err)
+	}
+	dim := 1 << n
+	rho := make([]complex128, dim*dim)
+	rho[0] = 1
+
+	var pg []circuit.GateNoise
+	var global []circuit.Channel
+	if c.Noise != nil {
+		pg = c.Noise.PerGate
+		global = c.Noise.Global
+	}
+	for g, gate := range c.Gates {
+		u := embedGate(gate, n)
+		rho = conjugate(u, rho, dim)
+		for len(pg) > 0 && pg[0].Gate == g {
+			rho = applyChannel(rho, dim, n, pg[0].Qubit, pg[0].Ch)
+			pg = pg[1:]
+		}
+		for _, ch := range global {
+			for _, q := range gate.Qubits() {
+				rho = applyChannel(rho, dim, n, q, ch)
+			}
+		}
+	}
+
+	probs := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		probs[i] = real(rho[i*dim+i])
+	}
+	return probs, nil
+}
+
+// embedGate builds the gate's full 2^n x 2^n unitary column by column
+// through the state-vector kernels, so controls and targets embed
+// exactly as the engines apply them.
+func embedGate(g gates.Gate, n uint) []complex128 {
+	dim := 1 << n
+	u := make([]complex128, dim*dim)
+	for j := 0; j < dim; j++ {
+		s := statevec.NewBasis(n, uint64(j))
+		s.ApplyGate(g)
+		amp := s.Amplitudes()
+		for i := 0; i < dim; i++ {
+			u[i*dim+j] = amp[i]
+		}
+	}
+	return u
+}
+
+// embed1 lifts a single-qubit operator onto qubit q of the n-qubit
+// register.
+func embed1(k gates.Matrix2, q, n uint) []complex128 {
+	dim := 1 << n
+	m := make([]complex128, dim*dim)
+	for j := 0; j < dim; j++ {
+		j0 := j &^ (1 << q)
+		j1 := j0 | (1 << q)
+		if (j>>q)&1 == 0 {
+			m[j0*dim+j] += k[0]
+			m[j1*dim+j] += k[2]
+		} else {
+			m[j0*dim+j] += k[1]
+			m[j1*dim+j] += k[3]
+		}
+	}
+	return m
+}
+
+// mul returns a·b for dim x dim row-major matrices.
+func mul(a, b []complex128, dim int) []complex128 {
+	out := make([]complex128, dim*dim)
+	for i := 0; i < dim; i++ {
+		for k := 0; k < dim; k++ {
+			aik := a[i*dim+k]
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < dim; j++ {
+				out[i*dim+j] += aik * b[k*dim+j]
+			}
+		}
+	}
+	return out
+}
+
+// adjoint returns the conjugate transpose.
+func adjoint(a []complex128, dim int) []complex128 {
+	out := make([]complex128, dim*dim)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			v := a[j*dim+i]
+			out[i*dim+j] = complex(real(v), -imag(v))
+		}
+	}
+	return out
+}
+
+// conjugate returns u·rho·u†.
+func conjugate(u, rho []complex128, dim int) []complex128 {
+	return mul(mul(u, rho, dim), adjoint(u, dim), dim)
+}
+
+// applyChannel applies ch on qubit q as its full Kraus sum.
+func applyChannel(rho []complex128, dim int, n, q uint, ch circuit.Channel) []complex128 {
+	out := make([]complex128, dim*dim)
+	for _, k := range krausOps(ch) {
+		full := embed1(k, q, n)
+		part := conjugate(full, rho, dim)
+		for i := range out {
+			out[i] += part[i]
+		}
+	}
+	return out
+}
+
+// krausOps returns the channel's complete operator set. The sets
+// satisfy Σ K†K = I for every parameter in [0,1].
+func krausOps(ch circuit.Channel) []gates.Matrix2 {
+	p := ch.P
+	keep := complex(math.Sqrt(1-p), 0)
+	hit := complex(math.Sqrt(p), 0)
+	scale := func(m gates.Matrix2, c complex128) gates.Matrix2 {
+		return gates.Matrix2{c * m[0], c * m[1], c * m[2], c * m[3]}
+	}
+	id := gates.Matrix2{1, 0, 0, 1}
+	switch ch.Kind {
+	case circuit.FlipX:
+		return []gates.Matrix2{scale(id, keep), scale(gates.MatX, hit)}
+	case circuit.FlipY:
+		return []gates.Matrix2{scale(id, keep), scale(gates.MatY, hit)}
+	case circuit.FlipZ:
+		return []gates.Matrix2{scale(id, keep), scale(gates.MatZ, hit)}
+	case circuit.Depolarizing:
+		pauli := complex(math.Sqrt(p/3), 0)
+		return []gates.Matrix2{
+			scale(id, keep),
+			scale(gates.MatX, pauli),
+			scale(gates.MatY, pauli),
+			scale(gates.MatZ, pauli),
+		}
+	case circuit.AmplitudeDamping:
+		return []gates.Matrix2{
+			{1, 0, 0, keep},
+			{0, hit, 0, 0},
+		}
+	case circuit.PhaseDamping:
+		return []gates.Matrix2{
+			{1, 0, 0, keep},
+			{0, 0, 0, hit},
+		}
+	}
+	panic("densref: unknown channel kind")
+}

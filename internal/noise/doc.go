@@ -1,0 +1,30 @@
+// Package noise runs stochastic-trajectory (Monte-Carlo wavefunction)
+// noisy simulation on compiled Executables.
+//
+// A density-matrix simulation of an n-qubit register costs 4^n
+// amplitudes; the trajectory method keeps the 2^n state-vector engines
+// and pays in repetition instead. Each trajectory evolves one pure
+// state through the circuit, and at every noise insertion point samples
+// a single Kraus branch of the attached channel — identity, a Pauli
+// jump, or a damping jump with the exact ‖K ψ‖² branch weight — then
+// renormalises. Averaged over trajectories, the sampled outcomes
+// converge to the density-matrix diagonal (the measurement statistics
+// of the open system); internal/noise/densref holds the brute-force
+// 4^n reference the tests check this against.
+//
+// The insertion points come pre-resolved: backend.Compile expands a
+// circuit's NoiseModel into the executable's NoisePlan, cutting unit
+// boundaries so every point lands exactly between units. Run then
+// replays the shared executable once per trajectory via
+// Backend.RunUnits/Reset — compile once, run many — so an N-trajectory
+// batch through a serving cache costs a single compilation, and the
+// noise-free stretches keep their fusion plans and emulation shortcuts.
+//
+// Determinism is draw-for-draw: a master stream seeded from
+// Options.Seed deals one sub-seed per trajectory up front, and every
+// insertion point consumes exactly one uniform variate regardless of
+// which branch fires. The realisation of trajectory t is therefore a
+// pure function of (Seed, t, plan) — independent of Options.Workers,
+// statevec parallelism and the cluster shard count — and the package is
+// under the detrng lint contract like the engines it drives.
+package noise

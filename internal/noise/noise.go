@@ -1,0 +1,274 @@
+package noise
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/rng"
+)
+
+// Options configure one trajectory batch over a compiled executable.
+type Options struct {
+	// Trajectories is the number of stochastic wavefunctions to evolve;
+	// each yields one sampled measurement outcome.
+	Trajectories int
+	// Seed derives the whole batch: a master stream seeded here hands one
+	// sub-seed to every trajectory up front, so trajectory t replays the
+	// identical noise realisation no matter how many workers run the
+	// batch or which worker it lands on.
+	Seed uint64
+	// Workers bounds the concurrent trajectory workers, each owning one
+	// backend of the executable's target shape. 0 means 1 (serial).
+	Workers int
+}
+
+// Result is one trajectory batch's outcome.
+type Result struct {
+	// Outcomes holds the sampled basis state of each trajectory, in
+	// trajectory order (independent of worker scheduling).
+	Outcomes []uint64
+	// Jumps counts the non-identity Kraus branches sampled across the
+	// batch — the error events the noise model injected.
+	Jumps uint64
+	// Points is the number of noise insertion points per trajectory
+	// (zero for an ideal executable).
+	Points int
+	// Wall is the batch's wall time, reporting only.
+	Wall time.Duration
+}
+
+// Counts folds the outcomes into a basis-state histogram.
+func (r *Result) Counts() map[uint64]int {
+	h := make(map[uint64]int)
+	for _, o := range r.Outcomes {
+		h[o]++
+	}
+	return h
+}
+
+// strike pairs a unit boundary with the noise points that fire there:
+// the runner executes units [prev, UnitHi), then applies Pts in order.
+type strike struct {
+	unitHi int
+	pts    []backend.NoisePoint
+}
+
+// schedule precomputes the strike points of an executable once; it is
+// shared read-only by every trajectory worker.
+func schedule(x *backend.Executable) []strike {
+	if x.Noise == nil {
+		return nil
+	}
+	var out []strike
+	for i := range x.Units {
+		if pts := x.Noise.PointsIn(x.Units[i].Lo, x.Units[i].Hi); len(pts) > 0 {
+			out = append(out, strike{unitHi: i + 1, pts: pts})
+		}
+	}
+	return out
+}
+
+// Run evolves opts.Trajectories stochastic wavefunctions of the compiled
+// executable and samples one measurement outcome from each. All
+// trajectories replay the same executable — compiled once, run many — so
+// a served batch costs one compilation regardless of its size.
+//
+// Each trajectory resets a backend to |0…0>, replays the unit schedule,
+// and at every noise insertion point draws exactly one uniform variate
+// to select a Kraus branch (identity, a Pauli jump, or a damping jump),
+// applying and renormalising the non-identity branches. The one-draw
+// contract is what makes the batch seed-deterministic: the draw sequence
+// of trajectory t depends only on (Seed, t) and the noise plan, never on
+// branch outcomes, worker count or backend parallelism.
+//
+// Ideal executables (no noise plan) are legal: the batch degenerates to
+// repeated runs sampled with per-trajectory seeds.
+func Run(x *backend.Executable, opts Options) (*Result, error) {
+	if x == nil {
+		return nil, fmt.Errorf("noise: nil executable")
+	}
+	n := opts.Trajectories
+	if n <= 0 {
+		return nil, fmt.Errorf("noise: trajectory count %d must be positive", n)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Sub-seeds come off one master stream before any worker starts, so
+	// the (worker count → trajectory) assignment cannot leak into the
+	// realisations.
+	seeds := make([]uint64, n)
+	master := rng.New(opts.Seed)
+	for i := range seeds {
+		seeds[i] = master.Uint64()
+	}
+
+	sched := schedule(x)
+	points := 0
+	if x.Noise != nil {
+		points = len(x.Noise.Points)
+	}
+
+	outcomes := make([]uint64, n)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		jumps    uint64
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	//lint:ignore detrng wall time is reported in Result, never fed into amplitudes
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			b, err := backend.New(x.Target)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer b.Close()
+			var local uint64
+			// Striped assignment: worker w owns trajectories w, w+W, …
+			// Workers write disjoint outcome slots, so no lock is held on
+			// the hot path.
+			for t := w; t < n; t += workers {
+				j, err := trajectory(b, x, sched, seeds[t], &outcomes[t])
+				if err != nil {
+					fail(err)
+					return
+				}
+				local += j
+			}
+			mu.Lock()
+			jumps += local
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res := &Result{Outcomes: outcomes, Jumps: jumps, Points: points}
+	//lint:ignore detrng wall time is reported in Result, never fed into amplitudes
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// trajectory evolves one stochastic wavefunction: reset, replay units,
+// strike at each insertion point, sample. It returns the number of
+// non-identity jumps it drew.
+func trajectory(b backend.Backend, x *backend.Executable, sched []strike, seed uint64, out *uint64) (uint64, error) {
+	b.Reset()
+	src := rng.New(seed)
+	var jumps uint64
+	prev := 0
+	for _, s := range sched {
+		if err := b.RunUnits(x, prev, s.unitHi); err != nil {
+			return jumps, err
+		}
+		prev = s.unitHi
+		for _, pt := range s.pts {
+			if applyChannel(b, pt, src) {
+				jumps++
+			}
+		}
+	}
+	if err := b.RunUnits(x, prev, len(x.Units)); err != nil {
+		return jumps, err
+	}
+	*out = b.Sample(src)
+	return jumps, nil
+}
+
+// applyChannel draws one Kraus branch of pt's channel and applies it,
+// reporting whether a non-identity jump fired. Exactly one uniform
+// variate is consumed per call, on every path — the draw-count
+// invariance the batch's determinism contract rests on.
+//
+// Branch probabilities follow the standard Monte-Carlo wavefunction
+// rules: state-independent for the unitary (Pauli) channels, and
+// ‖K_jump·ψ‖² = γ·P(q=1) for the damping channels, whose no-jump branch
+// applies the non-unitary K₀ = diag(1, √(1−γ)) and renormalises.
+func applyChannel(b backend.Backend, pt backend.NoisePoint, src *rng.Source) bool {
+	u := src.Float64()
+	p := pt.Ch.P
+	q := pt.Qubit
+	switch pt.Ch.Kind {
+	case circuit.FlipX:
+		if u < p {
+			b.ApplyGate(gates.X(q))
+			return true
+		}
+	case circuit.FlipY:
+		if u < p {
+			b.ApplyGate(gates.Y(q))
+			return true
+		}
+	case circuit.FlipZ:
+		if u < p {
+			b.ApplyGate(gates.Z(q))
+			return true
+		}
+	case circuit.Depolarizing:
+		switch {
+		case u < p/3:
+			b.ApplyGate(gates.X(q))
+			return true
+		case u < 2*p/3:
+			b.ApplyGate(gates.Y(q))
+			return true
+		case u < p:
+			b.ApplyGate(gates.Z(q))
+			return true
+		}
+	case circuit.AmplitudeDamping:
+		if u < p*b.Probability(q) {
+			b.ApplyKraus(ampJump(p), q)
+			return true
+		}
+		b.ApplyKraus(dampNoJump(p), q)
+	case circuit.PhaseDamping:
+		if u < p*b.Probability(q) {
+			b.ApplyKraus(phaseJump(p), q)
+			return true
+		}
+		b.ApplyKraus(dampNoJump(p), q)
+	}
+	return false
+}
+
+// dampNoJump is K₀ = diag(1, √(1−γ)), the shared no-jump operator of
+// both damping channels.
+func dampNoJump(gamma float64) gates.Matrix2 {
+	return gates.Matrix2{1, 0, 0, complex(math.Sqrt(1-gamma), 0)}
+}
+
+// ampJump is the amplitude-damping jump K₁ = [[0, √γ], [0, 0]]: the
+// qubit decays |1> → |0>.
+func ampJump(gamma float64) gates.Matrix2 {
+	return gates.Matrix2{0, complex(math.Sqrt(gamma), 0), 0, 0}
+}
+
+// phaseJump is the phase-damping jump K₁ = diag(0, √γ): the qubit's
+// phase record leaks without a population change.
+func phaseJump(gamma float64) gates.Matrix2 {
+	return gates.Matrix2{0, 0, 0, complex(math.Sqrt(gamma), 0)}
+}

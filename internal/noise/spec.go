@@ -1,0 +1,48 @@
+package noise
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// ParseSpec parses a channel spec of the form "kind:probability" — the
+// grammar the qemu-run -noise flag and the serving API's noise field
+// share. Kinds are the qasm directive names: x, y, z, depolarizing,
+// ampdamp, phasedamp. Examples: "depolarizing:0.001", "ampdamp:0.05".
+func ParseSpec(spec string) (circuit.Channel, error) {
+	i := strings.IndexByte(spec, ':')
+	if i < 0 {
+		return circuit.Channel{}, fmt.Errorf("noise: spec %q wants the form kind:probability (e.g. depolarizing:0.001)", spec)
+	}
+	kind, ok := circuit.ChannelKindByName(spec[:i])
+	if !ok {
+		return circuit.Channel{}, fmt.Errorf("noise: unknown channel %q in spec %q", spec[:i], spec)
+	}
+	p, err := strconv.ParseFloat(spec[i+1:], 64)
+	if err != nil {
+		return circuit.Channel{}, fmt.Errorf("noise: bad probability %q in spec %q", spec[i+1:], spec)
+	}
+	ch := circuit.Channel{Kind: kind, P: p}
+	if err := ch.Validate(); err != nil {
+		return circuit.Channel{}, fmt.Errorf("noise: spec %q: %v", spec, err)
+	}
+	return ch, nil
+}
+
+// Attach parses spec and attaches it to c as a global after-every-gate
+// channel. An empty spec is a no-op, so callers can thread an optional
+// flag straight through.
+func Attach(c *circuit.Circuit, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	ch, err := ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	c.SetGlobalNoise(ch)
+	return nil
+}

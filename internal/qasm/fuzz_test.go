@@ -3,6 +3,8 @@ package qasm
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/circuit"
 )
 
 // fuzzSeeds collects valid programs plus every malformed-input crash
@@ -40,6 +42,18 @@ var fuzzSeeds = []string{
 	"qubits 2\nbarrier 5\n",
 	"qubits 2\nbarrier x\n",
 	"barrier\n",
+	"qubits 2\nnoise depolarizing 0.01\nh 0\ncnot 0 1\n",
+	"qubits 3\nh 0\nnoise ampdamp 0.2 0\ncnot 0 1\nnoise phasedamp 0.1 0 1\n",
+	"qubits 2\nnoise x 0.05\nnoise y 0.1\nnoise z 1\nh 0\n",
+	"qubits 2\nnoise\n",
+	"qubits 2\nnoise depolarizing\n",
+	"qubits 2\nnoise warp 0.1\n",
+	"qubits 2\nnoise x 1.5\n",
+	"qubits 2\nnoise x -0.1\n",
+	"qubits 2\nnoise x nan\n",
+	"qubits 2\nnoise ampdamp 0.2 0\n",
+	"qubits 2\nh 0\nnoise ampdamp 0.2 5\n",
+	"noise x 0.1\n",
 }
 
 // FuzzParse asserts the frontend's contract on arbitrary input: error or
@@ -66,5 +80,19 @@ func FuzzParse(f *testing.F) {
 			t.Fatalf("round trip changed shape: %d/%d qubits, %d/%d gates, %d/%d regions\ninput: %q",
 				c2.NumQubits, c.NumQubits, c2.Len(), c.Len(), len(c2.Regions), len(c.Regions), input)
 		}
+		g1, pg1 := noiseShape(c.Noise)
+		g2, pg2 := noiseShape(c2.Noise)
+		if g1 != g2 || pg1 != pg2 {
+			t.Fatalf("round trip changed the noise model: %d/%d global, %d/%d per-gate\ninput: %q\nwritten: %q",
+				g2, g1, pg2, pg1, input, sb.String())
+		}
 	})
+}
+
+// noiseShape summarises a noise model for the round-trip check.
+func noiseShape(m *circuit.NoiseModel) (global, perGate int) {
+	if m == nil {
+		return 0, 0
+	}
+	return len(m.Global), len(m.PerGate)
 }

@@ -21,6 +21,11 @@ type SourceMap struct {
 	QubitsLine int
 	GateLine   []int
 	RegionLine []int
+	// GlobalNoiseLine parallels circuit.Noise.Global; GateNoiseLine
+	// parallels circuit.Noise.PerGate (the parser attaches noise to the
+	// most recent gate, so per-gate entries are appended already sorted).
+	GlobalNoiseLine []int
+	GateNoiseLine   []int
 }
 
 // Line resolves a gate index to its source line, falling back to the
@@ -32,6 +37,18 @@ func (m *SourceMap) Line(gate int) int {
 	}
 	if gate >= 0 && gate < len(m.GateLine) {
 		return m.GateLine[gate]
+	}
+	return m.QubitsLine
+}
+
+// NoiseLine resolves an index into circuit.Noise.PerGate to the source
+// line of the noise directive that created it, falling back like Line.
+func (m *SourceMap) NoiseLine(i int) int {
+	if m == nil {
+		return 0
+	}
+	if i >= 0 && i < len(m.GateNoiseLine) {
+		return m.GateNoiseLine[i]
 	}
 	return m.QubitsLine
 }
@@ -133,6 +150,40 @@ func ParseSource(r io.Reader) (*circuit.Circuit, *SourceMap, error) {
 				if _, err := parseQubit(f, circ.NumQubits); err != nil {
 					return nil, nil, fmt.Errorf("qasm: line %d: %v", lineNo, err)
 				}
+			}
+			continue
+		}
+		// Noise directive: "noise KIND P" attaches a global after-each-gate
+		// channel; "noise KIND P q1 [q2 ...]" attaches the channel to the
+		// listed qubits immediately after the most recent gate.
+		if fields[0] == "noise" {
+			if len(fields) < 3 {
+				return nil, nil, fmt.Errorf("qasm: line %d: noise directive wants a channel and a probability", lineNo)
+			}
+			kind, ok := circuit.ChannelKindByName(fields[1])
+			if !ok {
+				return nil, nil, fmt.Errorf("qasm: line %d: unknown noise channel %q", lineNo, fields[1])
+			}
+			p, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || !(p >= 0 && p <= 1) {
+				return nil, nil, fmt.Errorf("qasm: line %d: noise probability %q outside [0,1]", lineNo, fields[2])
+			}
+			ch := circuit.Channel{Kind: kind, P: p}
+			if len(fields) == 3 {
+				circ.SetGlobalNoise(ch)
+				sm.GlobalNoiseLine = append(sm.GlobalNoiseLine, lineNo)
+				continue
+			}
+			if circ.Len() == 0 {
+				return nil, nil, fmt.Errorf("qasm: line %d: per-gate noise before any gate", lineNo)
+			}
+			for _, f := range fields[3:] {
+				q, err := parseQubit(f, circ.NumQubits)
+				if err != nil {
+					return nil, nil, fmt.Errorf("qasm: line %d: %v", lineNo, err)
+				}
+				circ.AttachNoise(circ.Len()-1, q, ch)
+				sm.GateNoiseLine = append(sm.GateNoiseLine, lineNo)
 			}
 			continue
 		}
@@ -409,6 +460,9 @@ func parseGate(fields []string, n uint) ([]gates.Gate, error) {
 // (every matrix Parse can produce round-trips, rotations included) are
 // rejected.
 func Write(w io.Writer, c *circuit.Circuit) error {
+	if err := c.Noise.Validate(c.NumQubits, len(c.Gates)); err != nil {
+		return fmt.Errorf("qasm: %v", err)
+	}
 	if _, err := fmt.Fprintf(w, "qubits %d\n", c.NumQubits); err != nil {
 		return err
 	}
@@ -416,6 +470,15 @@ func Write(w io.Writer, c *circuit.Circuit) error {
 	emit := func(format string, args ...interface{}) error {
 		_, err := fmt.Fprintf(w, format, args...)
 		return err
+	}
+	var perGate []circuit.GateNoise // sorted by gate index
+	if c.Noise != nil {
+		for _, ch := range c.Noise.Global {
+			if err := emit("noise %s %s\n", ch.Kind, formatProb(ch.P)); err != nil {
+				return err
+			}
+		}
+		perGate = c.Noise.PerGate
 	}
 	for i := 0; i <= len(c.Gates); i++ {
 		for len(regions) > 0 && regions[0].Hi == i && regions[0].Lo < i {
@@ -449,8 +512,21 @@ func Write(w io.Writer, c *circuit.Circuit) error {
 		if err := emit("%s\n", line); err != nil {
 			return err
 		}
+		for len(perGate) > 0 && perGate[0].Gate == i {
+			gn := perGate[0]
+			if err := emit("noise %s %s %d\n", gn.Ch.Kind, formatProb(gn.Ch.P), gn.Qubit); err != nil {
+				return err
+			}
+			perGate = perGate[1:]
+		}
 	}
 	return nil
+}
+
+// formatProb serialises a channel probability with enough digits to
+// round-trip the float64 exactly.
+func formatProb(p float64) string {
+	return strconv.FormatFloat(p, 'g', -1, 64)
 }
 
 func formatGate(g gates.Gate) (string, error) {

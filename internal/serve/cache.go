@@ -174,6 +174,32 @@ func (c *Cache) removeLocked(el *list.Element, a *Artifact) {
 	}
 }
 
+// ReserveSessions accounts n transient sessions of cost bytes each
+// against the cache budget — the extra trajectory-worker states a noisy
+// batch pins while it runs — evicting idle entries to make room. It
+// returns a release closure the caller must invoke when the batch
+// finishes; ErrTooLarge when n sessions can never fit the budget,
+// ErrNoRoom when every resident entry is pinned.
+func (c *Cache) ReserveSessions(cost uint64, n int) (func(), error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || cost > c.budget || uint64(n) > c.budget/cost {
+		return nil, ErrTooLarge
+	}
+	total := cost * uint64(n)
+	for c.bytes+total > c.budget {
+		if !c.evictOneLocked() {
+			return nil, ErrNoRoom
+		}
+	}
+	c.bytes += total
+	return func() {
+		c.mu.Lock()
+		c.bytes -= total
+		c.mu.Unlock()
+	}, nil
+}
+
 // Release drops one pin. The last pin on a retired artifact closes its
 // session.
 func (c *Cache) Release(a *Artifact) {

@@ -10,6 +10,7 @@
 //
 //	POST /v1/compile  {"qasm": "..."}               -> compile (or hit the cache), report the key and plan summary
 //	POST /v1/run      {"qasm"|"key", "shots", "seed", "workers"} -> draw samples from the compiled circuit
+//	POST /v1/run      {..., "trajectories", "noise"} -> stochastic-trajectory noisy batch (see below)
 //	GET  /v1/stats                                  -> cache and service counters
 //	GET  /healthz                                   -> liveness
 //
@@ -27,6 +28,23 @@
 // across sessions, requests run concurrently under a weighted worker
 // semaphore where each request's workers field is the share of the
 // service budget it occupies.
+//
+// # Noisy trajectory batches
+//
+// A run request with "trajectories": N switches to stochastic-
+// trajectory noisy simulation (internal/noise): the compiled artifact
+// is replayed N times, each replay drawing a fresh seed-deterministic
+// noise realisation from the artifact's compiled NoisePlan, and the
+// response's samples field carries one measured outcome per trajectory
+// (plus trajectories, noise_points and jumps counters). The circuit's
+// noise comes either from qasm "noise" directives or from the request's
+// "noise" field — a global after-each-gate channel spec like
+// "depolarizing:0.001" attached before fingerprinting, so the channel
+// is part of the cache key. The whole batch is served from ONE cache
+// entry and ONE compile, however large N is; the batch's parallel
+// trajectory workers ("workers" field) each pin a transient session
+// state, which is accounted against the same session-memory budget as
+// the cache's resident artifacts for the duration of the batch.
 //
 // # Cache admission policy
 //

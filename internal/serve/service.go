@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/noise"
 	"repro/internal/qasm"
 	"repro/internal/rng"
 )
@@ -122,7 +123,7 @@ type CompileResult struct {
 // Compile parses qasm source, compiles it once (or hits the cache) and
 // reports the artifact key run requests can use.
 func (s *Service) Compile(qasmSrc string) (*CompileResult, error) {
-	art, compiled, err := s.resolve(qasmSrc)
+	art, compiled, err := s.resolve(qasmSrc, "")
 	if err != nil {
 		return nil, err
 	}
@@ -141,14 +142,30 @@ func (s *Service) Compile(qasmSrc string) (*CompileResult, error) {
 type RunRequest struct {
 	Qasm string `json:"qasm,omitempty"`
 	Key  string `json:"key,omitempty"`
-	// Shots is the number of samples to draw (default 1).
+	// Shots is the number of samples to draw (default 1). Mutually
+	// exclusive with Trajectories.
 	Shots int `json:"shots,omitempty"`
 	// Seed fixes the sample stream: one seed always yields the same
-	// draws for a circuit, independent of request interleaving.
+	// draws for a circuit, independent of request interleaving. For
+	// trajectory batches it also fixes every noise realisation.
 	Seed uint64 `json:"seed,omitempty"`
 	// Workers is the share of the service's worker budget this request
-	// occupies while executing (default 1, clamped to the budget).
+	// occupies while executing (default 1, clamped to the budget). A
+	// trajectory batch stripes its trajectories over this many parallel
+	// sessions.
 	Workers int `json:"workers,omitempty"`
+	// Trajectories, when positive, switches the request to stochastic-
+	// trajectory noisy simulation: the cached artifact is replayed once
+	// per trajectory with sampled Kraus jumps, and Samples carries one
+	// outcome per trajectory. The compile still happens once per
+	// artifact, however many trajectories are requested.
+	Trajectories int `json:"trajectories,omitempty"`
+	// Noise attaches a global after-each-gate channel, "kind:p" (e.g.
+	// "depolarizing:0.001"), to a qasm-addressed request before
+	// compilation; the channel becomes part of the cache key. Requires
+	// Trajectories, and cannot combine with Key — a key names an
+	// already-compiled artifact, noise model included.
+	Noise string `json:"noise,omitempty"`
 }
 
 // RunResult carries the drawn samples.
@@ -159,6 +176,11 @@ type RunResult struct {
 	EmulatedGates int      `json:"emulated_gates"`
 	Samples       []uint64 `json:"samples"`
 	WallNs        int64    `json:"wall_ns"`
+	// Trajectory batches only: the batch size, the plan's insertion
+	// points per trajectory, and the total sampled jumps.
+	Trajectories int    `json:"trajectories,omitempty"`
+	NoisePoints  int    `json:"noise_points,omitempty"`
+	Jumps        uint64 `json:"jumps,omitempty"`
 }
 
 // ErrUnknownKey rejects run requests naming a key the cache does not
@@ -242,11 +264,29 @@ func (s *Service) AdmitArtifact(data []byte) (*ArtifactResult, error) {
 
 // Run serves one shot request: resolve the artifact (compiling only on
 // a cache miss), take the request's share of the worker budget, ensure
-// the session has executed the circuit, and draw the samples.
+// the session has executed the circuit, and draw the samples. Requests
+// with Trajectories set run the stochastic-trajectory path instead:
+// the same cached artifact is replayed once per trajectory with sampled
+// Kraus jumps, so an N-trajectory batch still compiles exactly once.
 func (s *Service) Run(req RunRequest) (*RunResult, error) {
 	s.requests.Add(1)
 	start := time.Now()
+	batch := req.Trajectories > 0
+	if batch && req.Shots > 0 {
+		return nil, badRequest(errors.New("serve: shots and trajectories are mutually exclusive"))
+	}
+	if req.Noise != "" {
+		if !batch {
+			return nil, badRequest(errors.New("serve: a noise spec needs trajectories (ideal sampling ignores noise)"))
+		}
+		if req.Key != "" {
+			return nil, badRequest(errors.New("serve: a noise spec needs qasm addressing — a key names an already-compiled artifact, noise model included"))
+		}
+	}
 	shots := req.Shots
+	if batch {
+		shots = req.Trajectories
+	}
 	if shots <= 0 {
 		shots = 1
 	}
@@ -264,7 +304,7 @@ func (s *Service) Run(req RunRequest) (*RunResult, error) {
 		}
 		art = a
 	case req.Qasm != "":
-		a, c, err := s.resolve(req.Qasm)
+		a, c, err := s.resolve(req.Qasm, req.Noise)
 		if err != nil {
 			return nil, err
 		}
@@ -277,12 +317,36 @@ func (s *Service) Run(req RunRequest) (*RunResult, error) {
 	weight := s.sem.acquire(req.Workers)
 	defer s.sem.release(weight)
 
+	x := art.Executable()
+	if batch {
+		// The batch's trajectory workers each pin a fresh session state
+		// beyond the artifact's own; account them against the cache's
+		// session-memory budget for the duration.
+		release, err := s.cache.ReserveSessions(art.Cost(), weight)
+		if err != nil {
+			return nil, badRequest(fmt.Errorf("serve: trajectory batch working set: %w", err))
+		}
+		defer release()
+		tr, err := noise.Run(x, noise.Options{
+			Trajectories: req.Trajectories, Seed: req.Seed, Workers: weight,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.shots.Add(uint64(len(tr.Outcomes)))
+		return &RunResult{
+			Key: art.Key(), Cached: !compiled,
+			NumQubits: x.NumQubits, EmulatedGates: x.EmulatedGates,
+			Samples: tr.Outcomes, WallNs: time.Since(start).Nanoseconds(),
+			Trajectories: len(tr.Outcomes), NoisePoints: tr.Points, Jumps: tr.Jumps,
+		}, nil
+	}
+
 	samples, err := art.sample(shots, req.Seed)
 	if err != nil {
 		return nil, err
 	}
 	s.shots.Add(uint64(len(samples)))
-	x := art.Executable()
 	return &RunResult{
 		Key: art.Key(), Cached: !compiled,
 		NumQubits: x.NumQubits, EmulatedGates: x.EmulatedGates,
@@ -312,13 +376,19 @@ func (a *Artifact) sample(shots int, seed uint64) ([]uint64, error) {
 	return a.b.SampleMany(shots, rng.New(seed)), nil
 }
 
-// resolve parses qasm, fingerprints it against the service target and
-// returns the pinned artifact — from the cache when resident, else
-// compiled exactly once across concurrent requests (single-flight).
-// compiled reports whether this call ran the pass pipeline.
-func (s *Service) resolve(qasmSrc string) (art *Artifact, compiled bool, err error) {
+// resolve parses qasm, attaches the optional noise spec, fingerprints
+// the result against the service target and returns the pinned artifact
+// — from the cache when resident, else compiled exactly once across
+// concurrent requests (single-flight). The noise spec lands on the
+// circuit before fingerprinting, so "same qasm, different channel" is a
+// different cache entry. compiled reports whether this call ran the
+// pass pipeline.
+func (s *Service) resolve(qasmSrc, noiseSpec string) (art *Artifact, compiled bool, err error) {
 	c, err := qasm.ParseString(qasmSrc)
 	if err != nil {
+		return nil, false, badRequest(err)
+	}
+	if err := noise.Attach(c, noiseSpec); err != nil {
 		return nil, false, badRequest(err)
 	}
 	t := s.cfg.Target

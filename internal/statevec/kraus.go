@@ -1,0 +1,70 @@
+package statevec
+
+import (
+	"math"
+
+	"repro/internal/bitops"
+	"repro/internal/gates"
+)
+
+// ApplyKraus1 applies the (generally non-unitary) 2x2 operator m to qubit
+// k and returns the resulting probability mass <ψ|K†K|ψ>, accumulated in
+// the same sweep — the trajectory runner's branch-select step: apply the
+// sampled Kraus operator, read off its mass, renormalise. The state is
+// left unnormalised; callers rescale with RenormalizeMass (or, for
+// sharded owners, reduce the per-shard masses first and rescale every
+// shard by the global mass).
+//
+//qemu:hotpath
+func (s *State) ApplyKraus1(m gates.Matrix2, k uint) float64 {
+	s.checkTarget(k)
+	half := s.Dim() >> 1
+	stride := uint64(1) << k
+	if s.parallelism(half) <= 1 {
+		return kraus1Chunk(s.amp, m, k, stride, 0, half)
+	}
+	return parallelReduce(s, half, func(start, end uint64) float64 {
+		return kraus1Chunk(s.amp, m, k, stride, start, end)
+	}, addFloat)
+}
+
+// kraus1Chunk runs the dense 2x2 butterfly over flat indices [start, end)
+// and returns the probability mass of the written amplitudes.
+func kraus1Chunk(amp []complex128, m gates.Matrix2, k uint, stride, start, end uint64) float64 {
+	var acc float64
+	for c := start; c < end; c++ {
+		i0 := bitops.InsertZeroBit(c, k)
+		i1 := i0 | stride
+		a0, a1 := amp[i0], amp[i1]
+		b0 := m[0]*a0 + m[1]*a1
+		b1 := m[2]*a0 + m[3]*a1
+		amp[i0], amp[i1] = b0, b1
+		acc += real(b0)*real(b0) + imag(b0)*imag(b0) + real(b1)*real(b1) + imag(b1)*imag(b1)
+	}
+	return acc
+}
+
+// RenormalizeMass rescales the state by 1/sqrt(mass), restoring unit norm
+// after a Kraus application whose branch mass the caller already knows.
+// It panics on non-positive mass: a zero-mass branch can never be the
+// sampled one (its jump probability was zero).
+func (s *State) RenormalizeMass(mass float64) {
+	if !(mass > 0) {
+		panic("statevec: renormalising zero-mass state")
+	}
+	s.Scale(complex(1/math.Sqrt(mass), 0))
+}
+
+// Reset returns the state to |0...0> in place, reusing the allocation.
+// The trajectory runner calls it between shots so an n-qubit batch costs
+// one vector, not one per trajectory.
+func (s *State) Reset() {
+	if s.parallelism(s.Dim()) <= 1 {
+		clear(s.amp)
+	} else {
+		s.parallelRange(s.Dim(), func(start, end uint64) {
+			clear(s.amp[start:end])
+		})
+	}
+	s.amp[0] = 1
+}

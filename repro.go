@@ -65,6 +65,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fuse"
 	"repro/internal/gates"
+	"repro/internal/noise"
 	"repro/internal/recognize"
 	"repro/internal/sim"
 	"repro/internal/statevec"
@@ -246,6 +247,56 @@ func VerifyExecutable(x *Executable) error { return backend.VerifyExecutable(x) 
 // produces interchangeable executables (the Workers run-time knob is
 // excluded). cmd/qemu-serve keys its artifact cache with it.
 func Fingerprint(c *Circuit, t Target) (string, error) { return backend.Fingerprint(c, t) }
+
+// Channel is one single-qubit noise channel (Pauli flip, depolarizing,
+// amplitude or phase damping) with its probability; see
+// internal/circuit.
+type Channel = circuit.Channel
+
+// ChannelKind enumerates the supported channels.
+type ChannelKind = circuit.ChannelKind
+
+// Noise channel kinds for Channel.Kind.
+const (
+	NoiseX            = circuit.FlipX
+	NoiseY            = circuit.FlipY
+	NoiseZ            = circuit.FlipZ
+	NoiseDepolarizing = circuit.Depolarizing
+	NoiseAmpDamp      = circuit.AmplitudeDamping
+	NoisePhaseDamp    = circuit.PhaseDamping
+)
+
+// NoiseModel is a circuit's attached noise: global after-each-gate
+// channels plus per-gate attachments; see internal/circuit. Build it
+// through Circuit.SetGlobalNoise and Circuit.AttachNoise.
+type NoiseModel = circuit.NoiseModel
+
+// TrajectoryOptions configure a stochastic-trajectory batch: trajectory
+// count, master seed, parallel workers. See internal/noise.
+type TrajectoryOptions = noise.Options
+
+// TrajectoryResult carries a batch's per-trajectory outcomes and jump
+// counts.
+type TrajectoryResult = noise.Result
+
+// WithNoise attaches a global after-each-gate channel, given as a
+// "kind:probability" spec (e.g. "depolarizing:0.001"), to a circuit.
+// Compile folds the model into the Executable's noise plan;
+// RunTrajectories replays it. An empty spec is a no-op.
+func WithNoise(c *Circuit, spec string) error { return noise.Attach(c, spec) }
+
+// ParseNoiseSpec parses a "kind:probability" channel spec — the grammar
+// shared by WithNoise, the qemu-run -noise flag and the serving API.
+func ParseNoiseSpec(spec string) (Channel, error) { return noise.ParseSpec(spec) }
+
+// RunTrajectories evolves a batch of stochastic wavefunctions of a
+// compiled Executable, sampling one Kraus branch per noise insertion
+// point per trajectory, and returns one measured outcome per
+// trajectory. The batch is seed-deterministic: one seed yields the same
+// outcomes whatever the worker count. See internal/noise.
+func RunTrajectories(x *Executable, opts TrajectoryOptions) (*TrajectoryResult, error) {
+	return noise.Run(x, opts)
+}
 
 // Emulator is the paper's primary contribution; see internal/core. Its
 // imperative shortcut methods (Multiply, ApplyPhaseOracle, QFTRange, ...)
